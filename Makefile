@@ -1,0 +1,44 @@
+# MDV build/test/benchmark driver.
+
+GO ?= go
+
+.PHONY: all build vet test test-race cover bench bench-quick figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Quick pass over every figure benchmark (one batch per configuration).
+bench-quick:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Full testing.B run (slower; engines are cached per configuration).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's figures (paper-scale rule bases; see
+# cmd/mdvbench -h for scales and figure selection).
+figures:
+	$(GO) run ./cmd/mdvbench -fig all -reps 3
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/objectglobe
+	$(GO) run ./examples/marketplace
+	$(GO) run ./examples/federation
+
+clean:
+	$(GO) clean ./...

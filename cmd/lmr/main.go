@@ -1,0 +1,98 @@
+// lmr runs a Local Metadata Repository (LMR): the MDV middle-tier cache.
+// It connects to a Metadata Provider, registers the subscription rules
+// given in the rules file (one rule per line; blank lines and lines
+// starting with # are ignored), receives published changesets, and serves
+// the MDV query language to local applications.
+//
+// Usage:
+//
+//	lmr -addr :7272 -name lmr1 -mdp host:7171 -schema schema.rdf [-rules rules.mdv]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"mdv/mdv"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7272", "listen address for clients")
+		name       = flag.String("name", "lmr", "repository name (subscriber identity)")
+		mdpAddr    = flag.String("mdp", "", "metadata provider address (required)")
+		schemaPath = flag.String("schema", "", "path to the RDF schema file (required)")
+		rulesPath  = flag.String("rules", "", "path to a subscription rules file (optional)")
+	)
+	flag.Parse()
+
+	if *mdpAddr == "" || *schemaPath == "" {
+		fmt.Fprintln(os.Stderr, "lmr: -mdp and -schema are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*schemaPath)
+	if err != nil {
+		log.Fatalf("lmr: open schema: %v", err)
+	}
+	schema, err := mdv.ParseSchema(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("lmr: parse schema: %v", err)
+	}
+
+	prov, err := mdv.DialProvider(*mdpAddr)
+	if err != nil {
+		log.Fatalf("lmr: dial provider: %v", err)
+	}
+	node, err := mdv.NewRepositoryNode(*name, schema, prov)
+	if err != nil {
+		log.Fatalf("lmr: %v", err)
+	}
+
+	if *rulesPath != "" {
+		rf, err := os.Open(*rulesPath)
+		if err != nil {
+			log.Fatalf("lmr: open rules: %v", err)
+		}
+		sc := bufio.NewScanner(rf)
+		n := 0
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			id, err := node.AddSubscription(line)
+			if err != nil {
+				log.Fatalf("lmr: subscribe %q: %v", line, err)
+			}
+			log.Printf("lmr: subscription %d: %s", id, line)
+			n++
+		}
+		rf.Close()
+		if err := sc.Err(); err != nil {
+			log.Fatalf("lmr: read rules: %v", err)
+		}
+		log.Printf("lmr: %d subscriptions registered, cache holds %d resources",
+			n, node.Repository().Len())
+	}
+
+	listenAddr, err := node.Serve(*addr)
+	if err != nil {
+		log.Fatalf("lmr: serve: %v", err)
+	}
+	log.Printf("lmr %q listening on %s (provider %s)", *name, listenAddr, *mdpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("lmr: shutting down")
+	node.Close()
+	prov.Close()
+}

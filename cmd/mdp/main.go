@@ -1,0 +1,121 @@
+// mdp runs a Metadata Provider (MDP): an MDV backbone node serving the
+// wire protocol. Peers form a fully replicating backbone.
+//
+// Usage:
+//
+//	mdp -addr :7171 -name mdp1 -schema schema.rdf [-peer host:port ...]
+//
+// The schema file uses the RDF Schema serialization accepted by
+// rdf.ParseSchema (see the repository README for an example).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mdv/mdv"
+)
+
+type peerList []string
+
+func (p *peerList) String() string { return fmt.Sprint(*p) }
+func (p *peerList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7171", "listen address")
+		name       = flag.String("name", "mdp", "provider name")
+		schemaPath = flag.String("schema", "", "path to the RDF schema file (required)")
+		snapshot   = flag.String("snapshot", "", "snapshot file: loaded at startup if present, written on shutdown")
+		peers      peerList
+	)
+	flag.Var(&peers, "peer", "backbone peer address (repeatable)")
+	flag.Parse()
+
+	if *schemaPath == "" {
+		fmt.Fprintln(os.Stderr, "mdp: -schema is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*schemaPath)
+	if err != nil {
+		log.Fatalf("mdp: open schema: %v", err)
+	}
+	schema, err := mdv.ParseSchema(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("mdp: parse schema: %v", err)
+	}
+
+	var prov *mdv.Provider
+	if *snapshot != "" {
+		if sf, err := os.Open(*snapshot); err == nil {
+			engine, lerr := mdv.LoadEngine(sf, schema)
+			sf.Close()
+			if lerr != nil {
+				log.Fatalf("mdp: load snapshot: %v", lerr)
+			}
+			prov = mdv.NewProviderFromEngine(*name, engine)
+			log.Printf("mdp: restored snapshot %s (%d documents)", *snapshot, engineDocs(engine))
+		}
+	}
+	if prov == nil {
+		var err error
+		prov, err = mdv.NewProvider(*name, schema)
+		if err != nil {
+			log.Fatalf("mdp: %v", err)
+		}
+	}
+	listenAddr, err := prov.Serve(*addr)
+	if err != nil {
+		log.Fatalf("mdp: serve: %v", err)
+	}
+	log.Printf("mdp %q listening on %s (schema: %d classes)", *name, listenAddr, len(schema.Classes()))
+
+	for _, peerAddr := range peers {
+		peer, err := mdv.DialProvider(peerAddr)
+		if err != nil {
+			log.Fatalf("mdp: dial peer %s: %v", peerAddr, err)
+		}
+		prov.AddPeer(peer)
+		log.Printf("mdp: replicating to peer %s", peerAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("mdp: shutting down")
+	if *snapshot != "" {
+		tmp := *snapshot + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			log.Printf("mdp: snapshot: %v", err)
+		} else if err := prov.SaveSnapshot(f); err != nil {
+			f.Close()
+			log.Printf("mdp: snapshot: %v", err)
+		} else {
+			f.Close()
+			if err := os.Rename(tmp, *snapshot); err != nil {
+				log.Printf("mdp: snapshot: %v", err)
+			} else {
+				log.Printf("mdp: snapshot written to %s", *snapshot)
+			}
+		}
+	}
+	prov.Close()
+}
+
+func engineDocs(engine *mdv.Engine) int {
+	uris, err := engine.DocumentURIs()
+	if err != nil {
+		return -1
+	}
+	return len(uris)
+}

@@ -1,0 +1,233 @@
+// mdvctl is the MDV command-line client for administrators and users.
+//
+// Metadata administration (against an MDP):
+//
+//	mdvctl register  -mdp host:7171 doc1.rdf [doc2.rdf ...]
+//	mdvctl delete    -mdp host:7171 -uri doc1.rdf
+//	mdvctl browse    -mdp host:7171 -class CycleProvider [-contains passau]
+//	mdvctl get       -mdp host:7171 -uri doc1.rdf
+//	mdvctl stats     -mdp host:7171
+//
+// Repository access (against an LMR):
+//
+//	mdvctl query     -lmr host:7272 "search CycleProvider c register c"
+//	mdvctl subscribe -lmr host:7272 "search CycleProvider c register c where ..."
+//	mdvctl unsubscribe -lmr host:7272 -id 3
+//	mdvctl resources -lmr host:7272 [-class CycleProvider]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mdv/mdv"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mdvctl <command> [flags] [args]
+
+commands against a metadata provider (-mdp host:port):
+  register   register RDF document files
+  delete     delete a document by URI (-uri)
+  browse     list resources of a class (-class, optional -contains)
+  get        print a registered document (-uri)
+  stats      print engine counters
+
+commands against a repository (-lmr host:port):
+  query        evaluate an MDV query
+  subscribe    add a subscription rule
+  unsubscribe  remove a subscription (-id)
+  resources    list cached resources (optional -class)`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	mdpAddr := fs.String("mdp", "", "metadata provider address")
+	lmrAddr := fs.String("lmr", "", "repository address")
+	uri := fs.String("uri", "", "document URI")
+	class := fs.String("class", "", "resource class")
+	contains := fs.String("contains", "", "substring filter")
+	subID := fs.Int64("id", 0, "subscription id")
+	fs.Parse(os.Args[2:])
+	args := fs.Args()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mdvctl: %v\n", err)
+		os.Exit(1)
+	}
+	needMDP := func() *mdv.ProviderClient {
+		if *mdpAddr == "" {
+			fail(fmt.Errorf("%s requires -mdp", cmd))
+		}
+		c, err := mdv.DialProvider(*mdpAddr)
+		if err != nil {
+			fail(err)
+		}
+		return c
+	}
+	needLMR := func() *mdv.RepositoryClient {
+		if *lmrAddr == "" {
+			fail(fmt.Errorf("%s requires -lmr", cmd))
+		}
+		c, err := mdv.DialRepository(*lmrAddr)
+		if err != nil {
+			fail(err)
+		}
+		return c
+	}
+
+	switch cmd {
+	case "register":
+		if len(args) == 0 {
+			fail(fmt.Errorf("register requires document files"))
+		}
+		c := needMDP()
+		defer c.Close()
+		var docs []*mdv.Document
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			// The document URI is the file's base name unless the document
+			// declares resources via rdf:about.
+			doc, err := mdv.ParseDocument(filepath.Base(path), f)
+			f.Close()
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", path, err))
+			}
+			docs = append(docs, doc)
+		}
+		if err := c.RegisterDocuments(docs); err != nil {
+			fail(err)
+		}
+		fmt.Printf("registered %d document(s)\n", len(docs))
+
+	case "delete":
+		if *uri == "" {
+			fail(fmt.Errorf("delete requires -uri"))
+		}
+		c := needMDP()
+		defer c.Close()
+		if err := c.DeleteDocument(*uri); err != nil {
+			fail(err)
+		}
+		fmt.Printf("deleted %s\n", *uri)
+
+	case "browse":
+		if *class == "" {
+			fail(fmt.Errorf("browse requires -class"))
+		}
+		c := needMDP()
+		defer c.Close()
+		rs, err := c.Browse(*class, *contains)
+		if err != nil {
+			fail(err)
+		}
+		printResources(rs)
+
+	case "get":
+		if *uri == "" {
+			fail(fmt.Errorf("get requires -uri"))
+		}
+		c := needMDP()
+		defer c.Close()
+		doc, err := c.GetDocument(*uri)
+		if err != nil {
+			fail(err)
+		}
+		if err := mdv.WriteDocument(os.Stdout, doc); err != nil {
+			fail(err)
+		}
+
+	case "stats":
+		c := needMDP()
+		defer c.Close()
+		st, err := c.Stats()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("documents registered:  %d\n", st.DocumentsRegistered)
+		fmt.Printf("resources registered:  %d\n", st.ResourcesRegistered)
+		fmt.Printf("filter runs:           %d\n", st.FilterRuns)
+		fmt.Printf("filter iterations:     %d\n", st.FilterIterations)
+		fmt.Printf("triggering matches:    %d\n", st.TriggeringMatches)
+		fmt.Printf("join evaluations:      %d\n", st.JoinEvaluations)
+		fmt.Printf("join matches:          %d\n", st.JoinMatches)
+		fmt.Printf("atomic rules created:  %d\n", st.AtomicRulesCreated)
+		fmt.Printf("atomic rules shared:   %d\n", st.AtomicRulesShared)
+
+	case "query":
+		if len(args) != 1 {
+			fail(fmt.Errorf("query requires exactly one query string"))
+		}
+		c := needLMR()
+		defer c.Close()
+		rs, err := c.Query(args[0])
+		if err != nil {
+			fail(err)
+		}
+		printResources(rs)
+
+	case "subscribe":
+		if len(args) != 1 {
+			fail(fmt.Errorf("subscribe requires exactly one rule string"))
+		}
+		c := needLMR()
+		defer c.Close()
+		id, err := c.AddSubscription(args[0])
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("subscription %d registered\n", id)
+
+	case "unsubscribe":
+		if *subID == 0 {
+			fail(fmt.Errorf("unsubscribe requires -id"))
+		}
+		c := needLMR()
+		defer c.Close()
+		if err := c.RemoveSubscription(*subID); err != nil {
+			fail(err)
+		}
+		fmt.Printf("subscription %d removed\n", *subID)
+
+	case "resources":
+		c := needLMR()
+		defer c.Close()
+		rs, err := c.Resources(*class)
+		if err != nil {
+			fail(err)
+		}
+		printResources(rs)
+
+	default:
+		usage()
+	}
+}
+
+func printResources(rs []*mdv.Resource) {
+	if len(rs) == 0 {
+		fmt.Println("(no resources)")
+		return
+	}
+	for _, r := range rs {
+		fmt.Printf("%s  [%s]\n", r.URIRef, r.Class)
+		for _, p := range r.Props {
+			kind := ""
+			if p.Value.Kind != 0 {
+				kind = " ->"
+			}
+			fmt.Printf("    %-20s%s %s\n", p.Name, kind, strings.TrimSpace(p.Value.String()))
+		}
+	}
+	fmt.Printf("%d resource(s)\n", len(rs))
+}

@@ -1,0 +1,3 @@
+module mdv
+
+go 1.24

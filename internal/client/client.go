@@ -1,0 +1,190 @@
+// Package client provides typed network clients for the two MDV server
+// tiers: MDP (metadata providers) and LMR (local metadata repositories).
+// The MDP client implements lmr.ProviderAPI, so an LMR node works
+// identically against an in-process provider and a remote one, and
+// provider.Peer, so backbone replication can cross machines.
+package client
+
+import (
+	"encoding/json"
+
+	"mdv/internal/core"
+	"mdv/internal/rdf"
+	"mdv/internal/wire"
+)
+
+// MDP is a client connection to a metadata provider.
+type MDP struct {
+	conn *wire.Client
+	// applyFns receive pushed changesets per attached subscriber.
+	applyFns map[string]func(*core.Changeset) error
+}
+
+// DialMDP connects to an MDP server.
+func DialMDP(addr string) (*MDP, error) {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &MDP{conn: conn, applyFns: map[string]func(*core.Changeset) error{}}
+	conn.OnPush = c.onPush
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *MDP) Close() error { return c.conn.Close() }
+
+// Done is closed when the connection terminates.
+func (c *MDP) Done() <-chan struct{} { return c.conn.Done() }
+
+func (c *MDP) onPush(kind string, body json.RawMessage) {
+	if kind != wire.KindChangeset {
+		return
+	}
+	var cs core.Changeset
+	if err := json.Unmarshal(body, &cs); err != nil {
+		return
+	}
+	// Pushes are not addressed per subscriber on the wire: each attached
+	// connection receives only its own subscriber's changesets, so every
+	// registered apply function on this connection gets it.
+	for _, fn := range c.applyFns {
+		fn(&cs)
+	}
+}
+
+// RegisterDocument registers one document at the MDP.
+func (c *MDP) RegisterDocument(doc *rdf.Document) error {
+	return c.RegisterDocuments([]*rdf.Document{doc})
+}
+
+// RegisterDocuments registers a batch of documents at the MDP.
+func (c *MDP) RegisterDocuments(docs []*rdf.Document) error {
+	req := wire.RegisterDocumentsRequest{}
+	for _, d := range docs {
+		req.Docs = append(req.Docs, wire.Doc{URI: d.URI, XML: rdf.DocumentString(d)})
+	}
+	return c.conn.Call(wire.KindRegisterDocuments, &req, nil)
+}
+
+// DeleteDocument removes a document at the MDP.
+func (c *MDP) DeleteDocument(uri string) error {
+	return c.conn.Call(wire.KindDeleteDocument, &wire.DeleteDocumentRequest{URI: uri}, nil)
+}
+
+// Subscribe registers a subscription rule.
+func (c *MDP) Subscribe(subscriber, rule string) (int64, *core.Changeset, error) {
+	var resp wire.SubscribeResponse
+	err := c.conn.Call(wire.KindSubscribe, &wire.SubscribeRequest{Subscriber: subscriber, Rule: rule}, &resp)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.SubID, resp.Initial, nil
+}
+
+// Unsubscribe removes a subscription.
+func (c *MDP) Unsubscribe(subID int64) error {
+	return c.conn.Call(wire.KindUnsubscribe, &wire.UnsubscribeRequest{SubID: subID}, nil)
+}
+
+// Attach registers this connection as the subscriber's push channel;
+// published changesets are delivered to apply.
+func (c *MDP) Attach(subscriber string, apply func(*core.Changeset) error) error {
+	c.applyFns[subscriber] = apply
+	return c.conn.Call(wire.KindAttach, &wire.AttachRequest{Subscriber: subscriber}, nil)
+}
+
+// Browse lists resources of a class at the MDP.
+func (c *MDP) Browse(class, contains string) ([]*rdf.Resource, error) {
+	var resp wire.ResourcesResponse
+	err := c.conn.Call(wire.KindBrowse, &wire.BrowseRequest{Class: class, Contains: contains}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Resources, nil
+}
+
+// GetDocument fetches a registered document.
+func (c *MDP) GetDocument(uri string) (*rdf.Document, error) {
+	var resp wire.Doc
+	if err := c.conn.Call(wire.KindGetDocument, &wire.GetDocumentRequest{URI: uri}, &resp); err != nil {
+		return nil, err
+	}
+	return rdf.ParseDocumentString(resp.URI, resp.XML)
+}
+
+// RegisterNamedRule registers a rule usable as a search extension.
+func (c *MDP) RegisterNamedRule(name, rule string) error {
+	return c.conn.Call(wire.KindNamedRule, &wire.NamedRuleRequest{Name: name, Rule: rule}, nil)
+}
+
+// Stats fetches the provider's engine counters.
+func (c *MDP) Stats() (core.Stats, error) {
+	var st core.Stats
+	err := c.conn.Call(wire.KindStats, nil, &st)
+	return st, err
+}
+
+// ReplicateDocuments forwards a registration batch (backbone peer link).
+func (c *MDP) ReplicateDocuments(docs []wire.Doc) error {
+	return c.conn.Call(wire.KindReplicate, &wire.RegisterDocumentsRequest{Docs: docs}, nil)
+}
+
+// ReplicateDelete forwards a document deletion (backbone peer link).
+func (c *MDP) ReplicateDelete(uri string) error {
+	return c.conn.Call(wire.KindReplicateDelete, &wire.DeleteDocumentRequest{URI: uri}, nil)
+}
+
+// LMR is a client connection to a local metadata repository.
+type LMR struct {
+	conn *wire.Client
+}
+
+// DialLMR connects to an LMR server.
+func DialLMR(addr string) (*LMR, error) {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &LMR{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *LMR) Close() error { return c.conn.Close() }
+
+// Query evaluates an MDV query at the LMR.
+func (c *LMR) Query(q string) ([]*rdf.Resource, error) {
+	var resp wire.ResourcesResponse
+	if err := c.conn.Call(wire.KindQuery, &wire.QueryRequest{Query: q}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Resources, nil
+}
+
+// AddSubscription asks the LMR to subscribe to its MDP.
+func (c *LMR) AddSubscription(rule string) (int64, error) {
+	var resp wire.SubscribeResponse
+	if err := c.conn.Call(wire.KindAddSubscription, &wire.AddSubscriptionRequest{Rule: rule}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.SubID, nil
+}
+
+// RemoveSubscription drops one of the LMR's subscriptions.
+func (c *LMR) RemoveSubscription(subID int64) error {
+	return c.conn.Call(wire.KindRemoveSubscription, &wire.UnsubscribeRequest{SubID: subID}, nil)
+}
+
+// RegisterLocalDocument stores LMR-private metadata.
+func (c *LMR) RegisterLocalDocument(doc *rdf.Document) error {
+	return c.conn.Call(wire.KindRegisterLocal, &wire.Doc{URI: doc.URI, XML: rdf.DocumentString(doc)}, nil)
+}
+
+// Resources lists cached resources of a class (empty = all).
+func (c *LMR) Resources(class string) ([]*rdf.Resource, error) {
+	var resp wire.ResourcesResponse
+	if err := c.conn.Call(wire.KindListResources, &wire.ListResourcesRequest{Class: class}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Resources, nil
+}

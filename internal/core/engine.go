@@ -1,0 +1,389 @@
+// Package core implements the paper's primary contribution: the MDV
+// publish & subscribe filter algorithm (paper §3), built entirely on the
+// relational engine (internal/rdb) through its SQL layer — mirroring the
+// paper's implementation on "a standard relational database system".
+//
+// The engine maintains:
+//
+//   - the registered metadata itself (Statements, Resources, Documents);
+//   - the decomposed subscription rules: AtomicRules with their kinds
+//     (triggering vs. join), the global dependency graph
+//     (RuleDependencies), join-rule groups (RuleGroups/JoinRules), and the
+//     per-operator filter tables FilterRulesANY/EQ/EQN/NE/CON/LT/LE/GT/GE
+//     (§3.3.4);
+//   - materialized results of every atomic rule (RuleResults, §3.4);
+//   - subscriptions mapping end rules to subscribers.
+//
+// Registration of documents runs the filter (§3.4); re-registration and
+// deletion run it three times per §3.5 to compute removal candidates. The
+// engine produces a PublishSet per batch: the per-subscriber changesets an
+// MDP sends to its LMRs.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mdv/internal/rdb/sql"
+	"mdv/internal/rdf"
+	"mdv/internal/rules"
+)
+
+// Options tune the engine, mainly for the ablation experiments.
+type Options struct {
+	// DisableRuleGroups evaluates every join rule individually instead of
+	// batching group members (ablation of §3.3.3).
+	DisableRuleGroups bool
+	// DisableSharing gives every registered rule private atomic rules
+	// instead of merging equivalent ones into the global dependency graph
+	// (ablation of §3.3.2).
+	DisableSharing bool
+}
+
+// Stats counts engine work, exposed for the performance experiments.
+type Stats struct {
+	DocumentsRegistered int
+	ResourcesRegistered int
+	FilterRuns          int
+	FilterIterations    int
+	TriggeringMatches   int
+	JoinEvaluations     int
+	JoinMatches         int
+	AtomicRulesShared   int // registrations that reused an existing atomic rule
+	AtomicRulesCreated  int
+}
+
+// Engine is the MDV filter engine of one Metadata Provider.
+type Engine struct {
+	mu     sync.Mutex
+	db     *sql.DB
+	schema *rdf.Schema
+	opts   Options
+	stats  Stats
+
+	nextRuleID  int64
+	nextSubID   int64
+	nextGroupID int64
+	// disambig makes rule texts unique when sharing is disabled.
+	disambig int64
+
+	// named holds rules registered under a name, usable as extensions of
+	// later rules (paper §2.3: an extension is "either some class defined
+	// in the schema or another subscription rule").
+	named map[string]*rules.NormalRule
+
+	prep  prepared
+	cache stmtCache
+}
+
+// prepared holds the engine's prepared statements (the filter issues a
+// fixed query set; preparing them once keeps the hot path allocation-light).
+type prepared struct {
+	insStatement  *sql.Stmt
+	delStatements *sql.Stmt
+	insResource   *sql.Stmt
+	delResource   *sql.Stmt
+	insFilterData *sql.Stmt
+	clearFilter   *sql.Stmt
+	stmtsOfURI    *sql.Stmt
+	trigANY       *sql.Stmt
+	trigEQ        *sql.Stmt
+	trigEQN       *sql.Stmt
+	trigNE        *sql.Stmt
+	trigNEN       *sql.Stmt
+	trigCON       *sql.Stmt
+	trigLT        *sql.Stmt
+	trigLE        *sql.Stmt
+	trigGT        *sql.Stmt
+	trigGE        *sql.Stmt
+	resultHas     *sql.Stmt
+	resultIns     *sql.Stmt
+	resultDel     *sql.Stmt
+	resultObjIns  *sql.Stmt
+	subsOfEndRule *sql.Stmt
+	strongRefsTo  *sql.Stmt
+	resourceClass *sql.Stmt
+}
+
+// NewEngine creates an engine with a fresh database.
+func NewEngine(schema *rdf.Schema) (*Engine, error) {
+	return NewEngineWithOptions(schema, Options{})
+}
+
+// NewEngineWithOptions creates an engine with explicit options.
+func NewEngineWithOptions(schema *rdf.Schema, opts Options) (*Engine, error) {
+	e := &Engine{db: sql.Open(), schema: schema, opts: opts, named: map[string]*rules.NormalRule{}}
+	if err := e.bootstrap(); err != nil {
+		return nil, err
+	}
+	e.prepare()
+	return e, nil
+}
+
+// DB exposes the underlying SQL database (tests and persistence).
+func (e *Engine) DB() *sql.DB { return e.db }
+
+// Schema returns the engine's metadata schema.
+func (e *Engine) Schema() *rdf.Schema { return e.schema }
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the counters (between benchmark phases).
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
+
+// ddl is the engine's relational schema (paper §3.3.4 and Figure 4/7/8/9).
+var ddl = []string{
+	// All metadata atoms ever registered: the MDP's database (RDF mapped to
+	// tables per Florescu/Kossmann [14]).
+	`CREATE TABLE Statements (
+		uri_reference TEXT NOT NULL,
+		class TEXT NOT NULL,
+		property TEXT NOT NULL,
+		value TEXT NOT NULL,
+		is_ref BOOL NOT NULL
+	)`,
+	`CREATE INDEX idx_stmt_uri ON Statements (uri_reference, property)`,
+	`CREATE INDEX idx_stmt_cpv ON Statements (class, property, value)`,
+	`CREATE INDEX idx_stmt_value ON Statements (value)`,
+
+	// Resource catalog: which document owns each resource.
+	`CREATE TABLE Resources (
+		uri_reference TEXT PRIMARY KEY,
+		doc_uri TEXT NOT NULL,
+		class TEXT NOT NULL
+	)`,
+	`CREATE INDEX idx_res_doc ON Resources (doc_uri)`,
+	`CREATE INDEX idx_res_class ON Resources (class)`,
+
+	// Registered documents (serialized), for re-registration diffs.
+	`CREATE TABLE Documents (
+		uri TEXT PRIMARY KEY,
+		content TEXT NOT NULL
+	)`,
+
+	// Atomic rules (paper Figure 7). kind: 'T' triggering, 'J' join.
+	// class is the type of the resources the rule registers.
+	`CREATE TABLE AtomicRules (
+		rule_id INT PRIMARY KEY,
+		kind TEXT NOT NULL,
+		class TEXT NOT NULL,
+		rule_text TEXT NOT NULL,
+		refcount INT NOT NULL
+	)`,
+	`CREATE UNIQUE INDEX idx_ar_text ON AtomicRules (rule_text) USING HASH`,
+
+	// The global dependency graph (paper §3.3.2): source feeds target.
+	// side is 'L' or 'R' (which input of the join rule the source feeds).
+	`CREATE TABLE RuleDependencies (
+		source_rule INT NOT NULL,
+		target_rule INT NOT NULL,
+		side TEXT NOT NULL
+	)`,
+	`CREATE INDEX idx_dep_source ON RuleDependencies (source_rule)`,
+	`CREATE INDEX idx_dep_target ON RuleDependencies (target_rule)`,
+
+	// Join rules with their group assignment (paper §3.3.3, Figure 7).
+	// left_prop/right_prop empty means the bare resource (its URI).
+	`CREATE TABLE JoinRules (
+		rule_id INT PRIMARY KEY,
+		left_rule INT NOT NULL,
+		right_rule INT NOT NULL,
+		group_id INT NOT NULL
+	)`,
+	`CREATE INDEX idx_jr_group ON JoinRules (group_id)`,
+	`CREATE INDEX idx_jr_left ON JoinRules (left_rule)`,
+	`CREATE INDEX idx_jr_right ON JoinRules (right_rule)`,
+	`CREATE INDEX idx_jr_lr ON JoinRules (left_rule, right_rule)`,
+
+	// Rule groups: the shared where-part of equally shaped join rules.
+	`CREATE TABLE RuleGroups (
+		group_id INT PRIMARY KEY,
+		left_class TEXT NOT NULL,
+		left_prop TEXT NOT NULL,
+		op TEXT NOT NULL,
+		right_prop TEXT NOT NULL,
+		right_class TEXT NOT NULL,
+		register_side TEXT NOT NULL,
+		is_self BOOL NOT NULL,
+		group_key TEXT NOT NULL
+	)`,
+	`CREATE UNIQUE INDEX idx_rg_key ON RuleGroups (group_key) USING HASH`,
+
+	// Triggering-rule filter tables (paper §3.3.4, Figure 8). One table per
+	// operator; numeric constants are stored as strings and reconverted at
+	// join time via CAST. EQ is split: string equality (EQ) joins through
+	// the value index; numeric equality (EQN) must reconvert and therefore
+	// scans the (class, property) prefix — the same asymmetry the paper's
+	// prototype exhibits between OID and PATH rules.
+	`CREATE TABLE FilterRulesANY (rule_id INT NOT NULL, class TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_any ON FilterRulesANY (class)`,
+	`CREATE TABLE FilterRulesEQ (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_eq ON FilterRulesEQ (class, property, value)`,
+	`CREATE TABLE FilterRulesEQN (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_eqn ON FilterRulesEQN (class, property)`,
+	`CREATE TABLE FilterRulesNE (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_ne ON FilterRulesNE (class, property)`,
+	`CREATE TABLE FilterRulesNEN (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_nen ON FilterRulesNEN (class, property)`,
+	`CREATE TABLE FilterRulesCON (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_con ON FilterRulesCON (class, property)`,
+	`CREATE TABLE FilterRulesLT (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_lt ON FilterRulesLT (class, property)`,
+	`CREATE TABLE FilterRulesLE (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_le ON FilterRulesLE (class, property)`,
+	`CREATE TABLE FilterRulesGT (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_gt ON FilterRulesGT (class, property)`,
+	`CREATE TABLE FilterRulesGE (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
+	`CREATE INDEX idx_fr_ge ON FilterRulesGE (class, property)`,
+
+	// Materialized results of every atomic rule (paper §3.4).
+	`CREATE TABLE RuleResults (rule_id INT NOT NULL, uri_reference TEXT NOT NULL)`,
+	`CREATE UNIQUE INDEX idx_rr_pk ON RuleResults (rule_id, uri_reference)`,
+	`CREATE INDEX idx_rr_rule ON RuleResults (rule_id)`,
+	`CREATE INDEX idx_rr_uri ON RuleResults (uri_reference)`,
+
+	// Transient per-run input atoms (paper Figure 4).
+	`CREATE TABLE FilterData (
+		uri_reference TEXT NOT NULL,
+		class TEXT NOT NULL,
+		property TEXT NOT NULL,
+		value TEXT NOT NULL,
+		is_ref BOOL NOT NULL
+	)`,
+	`CREATE INDEX idx_fd_cp ON FilterData (class, property)`,
+	`CREATE INDEX idx_fd_uri ON FilterData (uri_reference)`,
+
+	// Transient per-iteration results (paper Figure 9).
+	`CREATE TABLE ResultObjects (uri_reference TEXT NOT NULL, rule_id INT NOT NULL)`,
+	`CREATE INDEX idx_ro_rule ON ResultObjects (rule_id)`,
+
+	// Subscriptions: one subscription per registered rule per subscriber;
+	// OR-splitting can give a subscription several end rules.
+	`CREATE TABLE Subscriptions (
+		sub_id INT PRIMARY KEY,
+		subscriber TEXT NOT NULL,
+		rule_text TEXT NOT NULL
+	)`,
+	`CREATE INDEX idx_sub_subscriber ON Subscriptions (subscriber)`,
+	`CREATE TABLE SubscriptionEndRules (sub_id INT NOT NULL, end_rule INT NOT NULL)`,
+	`CREATE INDEX idx_ser_end ON SubscriptionEndRules (end_rule)`,
+	`CREATE INDEX idx_ser_sub ON SubscriptionEndRules (sub_id)`,
+	// Every atomic rule interned on behalf of a subscription (including
+	// duplicates), for refcount release on unsubscribe.
+	`CREATE TABLE SubscriptionAtomicRules (sub_id INT NOT NULL, rule_id INT NOT NULL)`,
+	`CREATE INDEX idx_sar_sub ON SubscriptionAtomicRules (sub_id)`,
+}
+
+func (e *Engine) bootstrap() error {
+	for _, stmt := range ddl {
+		if _, err := e.db.Exec(stmt); err != nil {
+			return fmt.Errorf("core: bootstrap: %w", err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) prepare() {
+	p := &e.prep
+	p.insStatement = e.db.MustPrepare(
+		`INSERT INTO Statements (uri_reference, class, property, value, is_ref) VALUES (?, ?, ?, ?, ?)`)
+	p.delStatements = e.db.MustPrepare(`DELETE FROM Statements WHERE uri_reference = ?`)
+	p.insResource = e.db.MustPrepare(
+		`INSERT INTO Resources (uri_reference, doc_uri, class) VALUES (?, ?, ?)`)
+	p.delResource = e.db.MustPrepare(`DELETE FROM Resources WHERE uri_reference = ?`)
+	p.insFilterData = e.db.MustPrepare(
+		`INSERT INTO FilterData (uri_reference, class, property, value, is_ref) VALUES (?, ?, ?, ?, ?)`)
+	p.clearFilter = e.db.MustPrepare(`DELETE FROM FilterData`)
+	p.stmtsOfURI = e.db.MustPrepare(
+		`SELECT uri_reference, class, property, value, is_ref FROM Statements WHERE uri_reference = ?`)
+
+	// Triggering-rule determination (paper §3.4, "Determination of Affected
+	// Triggering Rules"): FilterData joined against each filter table.
+	p.trigANY = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesANY fr
+		WHERE fd.property = '` + rdf.SubjectProperty + `' AND fr.class = fd.class`)
+	p.trigEQ = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesEQ fr
+		WHERE fr.class = fd.class AND fr.property = fd.property AND fr.value = fd.value`)
+	p.trigEQN = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesEQN fr
+		WHERE fr.class = fd.class AND fr.property = fd.property
+		  AND CAST(fd.value AS FLOAT) = CAST(fr.value AS FLOAT)`)
+	p.trigNE = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesNE fr
+		WHERE fr.class = fd.class AND fr.property = fd.property AND fd.value != fr.value`)
+	p.trigNEN = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesNEN fr
+		WHERE fr.class = fd.class AND fr.property = fd.property
+		  AND CAST(fd.value AS FLOAT) != CAST(fr.value AS FLOAT)`)
+	p.trigCON = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesCON fr
+		WHERE fr.class = fd.class AND fr.property = fd.property AND fd.value CONTAINS fr.value`)
+	p.trigLT = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesLT fr
+		WHERE fr.class = fd.class AND fr.property = fd.property
+		  AND CAST(fd.value AS FLOAT) < CAST(fr.value AS FLOAT)`)
+	p.trigLE = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesLE fr
+		WHERE fr.class = fd.class AND fr.property = fd.property
+		  AND CAST(fd.value AS FLOAT) <= CAST(fr.value AS FLOAT)`)
+	p.trigGT = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesGT fr
+		WHERE fr.class = fd.class AND fr.property = fd.property
+		  AND CAST(fd.value AS FLOAT) > CAST(fr.value AS FLOAT)`)
+	p.trigGE = e.db.MustPrepare(`
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesGE fr
+		WHERE fr.class = fd.class AND fr.property = fd.property
+		  AND CAST(fd.value AS FLOAT) >= CAST(fr.value AS FLOAT)`)
+
+	p.resultHas = e.db.MustPrepare(
+		`SELECT rule_id FROM RuleResults WHERE rule_id = ? AND uri_reference = ? LIMIT 1`)
+	p.resultIns = e.db.MustPrepare(
+		`INSERT INTO RuleResults (rule_id, uri_reference) VALUES (?, ?)`)
+	p.resultDel = e.db.MustPrepare(
+		`DELETE FROM RuleResults WHERE rule_id = ? AND uri_reference = ?`)
+	p.resultObjIns = e.db.MustPrepare(
+		`INSERT INTO ResultObjects (uri_reference, rule_id) VALUES (?, ?)`)
+	p.subsOfEndRule = e.db.MustPrepare(`
+		SELECT s.sub_id, s.subscriber FROM SubscriptionEndRules ser, Subscriptions s
+		WHERE ser.end_rule = ? AND s.sub_id = ser.sub_id`)
+	p.strongRefsTo = e.db.MustPrepare(`
+		SELECT uri_reference, class, property FROM Statements
+		WHERE property != '` + rdf.SubjectProperty + `' AND is_ref = TRUE AND value = ?`)
+	p.resourceClass = e.db.MustPrepare(
+		`SELECT class, doc_uri FROM Resources WHERE uri_reference = ?`)
+}
+
+// scalar counts for introspection and tests.
+func (e *Engine) count(table string) int {
+	rows, err := e.db.Query(`SELECT COUNT(*) FROM ` + table)
+	if err != nil {
+		return -1
+	}
+	v, err := rows.Scalar()
+	if err != nil {
+		return -1
+	}
+	return int(v.Int)
+}
+
+// AtomicRuleCount returns the number of atomic rules in the engine.
+func (e *Engine) AtomicRuleCount() int { return e.count("AtomicRules") }
+
+// RuleGroupCount returns the number of join-rule groups.
+func (e *Engine) RuleGroupCount() int { return e.count("RuleGroups") }
+
+// StatementCount returns the number of stored metadata atoms.
+func (e *Engine) StatementCount() int { return e.count("Statements") }
+
+// ResourceCount returns the number of registered resources.
+func (e *Engine) ResourceCount() int { return e.count("Resources") }

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"mdv/internal/rdb"
+	"mdv/internal/rdb/sql"
+	"mdv/internal/rdf"
+	"mdv/internal/rules"
+)
+
+// stmtCache caches prepared statements for the dynamically shaped join
+// queries (shape depends on operator and which operands access properties;
+// classes and property names are passed as parameters).
+type stmtCache struct {
+	mu sync.Mutex
+	m  map[string]*sql.Stmt
+}
+
+func (e *Engine) cachedStmt(text string) (*sql.Stmt, error) {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	if e.cache.m == nil {
+		e.cache.m = make(map[string]*sql.Stmt)
+	}
+	if st, ok := e.cache.m[text]; ok {
+		return st, nil
+	}
+	st, err := e.db.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.m[text] = st
+	return st, nil
+}
+
+// matchSet accumulates (rule, uri) matches of one filter run.
+type matchSet struct {
+	byRule map[int64]map[string]bool
+}
+
+func newMatchSet() *matchSet {
+	return &matchSet{byRule: make(map[int64]map[string]bool)}
+}
+
+// add records a match and reports whether it is new within this set.
+func (m *matchSet) add(rule int64, uri string) bool {
+	set := m.byRule[rule]
+	if set == nil {
+		set = make(map[string]bool)
+		m.byRule[rule] = set
+	}
+	if set[uri] {
+		return false
+	}
+	set[uri] = true
+	return true
+}
+
+func (m *matchSet) has(rule int64, uri string) bool {
+	return m.byRule[rule][uri]
+}
+
+// uris returns the sorted matches of one rule.
+func (m *matchSet) uris(rule int64) []string {
+	set := m.byRule[rule]
+	out := make([]string, 0, len(set))
+	for uri := range set {
+		out = append(out, uri)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// filterMode controls materialization during a run.
+type filterMode uint8
+
+const (
+	// modeMaterialize records new matches in RuleResults and propagates
+	// only matches not materialized before (normal registration, §3.4).
+	modeMaterialize filterMode = iota
+	// modeCollect finds matches of the given atoms without touching
+	// RuleResults; propagation is deduplicated within the run only. Used
+	// for the old-version run of §3.5 (the caller unmaterializes the
+	// result afterwards) and for the candidate re-check run.
+	modeCollect
+)
+
+// runFilter executes the filter algorithm (paper §3.4) over the given
+// atoms: loads them into FilterData, determines affected triggering rules,
+// then iteratively evaluates dependent join rules until no new results
+// appear. It returns every (atomic rule, resource) match derived in this
+// run.
+func (e *Engine) runFilter(atoms []rdf.Statement, mode filterMode) (*matchSet, error) {
+	e.stats.FilterRuns++
+	if _, err := e.prep.clearFilter.Exec(); err != nil {
+		return nil, err
+	}
+	for _, a := range atoms {
+		if _, err := e.prep.insFilterData.Exec(
+			rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
+			rdb.NewText(a.Value), rdb.NewBool(a.IsRef)); err != nil {
+			return nil, err
+		}
+	}
+
+	all := newMatchSet()
+	var delta []matchPair
+
+	// Phase 1: affected triggering rules (Figure 9, initial iteration).
+	trigStmts := []*sql.Stmt{
+		e.prep.trigANY, e.prep.trigEQ, e.prep.trigEQN, e.prep.trigNE, e.prep.trigNEN,
+		e.prep.trigCON, e.prep.trigLT, e.prep.trigLE, e.prep.trigGT, e.prep.trigGE,
+	}
+	// Collect matches first, then do the materialization bookkeeping:
+	// mutating statements must not run inside a streaming query.
+	var trigPairs []matchPair
+	for _, st := range trigStmts {
+		err := st.QueryFunc(nil, func(row []rdb.Value) error {
+			trigPairs = append(trigPairs, matchPair{rule: row[0].Int, uri: row[1].Str})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range trigPairs {
+		if !all.add(p.rule, p.uri) {
+			continue
+		}
+		e.stats.TriggeringMatches++
+		isNew, err := e.noteMatch(p.rule, p.uri, mode)
+		if err != nil {
+			return nil, err
+		}
+		if isNew {
+			delta = append(delta, p)
+		}
+	}
+
+	// Phase 2: iterate dependent join rules through ResultObjects until a
+	// fixpoint (the dependency graph is a DAG, so this terminates after at
+	// most longest-path iterations; §3.4).
+	for len(delta) > 0 {
+		if err := e.loadResultObjects(delta); err != nil {
+			return nil, err
+		}
+		next, err := e.evaluateDependentGroups(all, mode)
+		if err != nil {
+			return nil, err
+		}
+		delta = next
+	}
+	return all, nil
+}
+
+type matchPair struct {
+	rule int64
+	uri  string
+}
+
+// noteMatch handles materialization bookkeeping for a derived match and
+// reports whether it should propagate to the next iteration.
+func (e *Engine) noteMatch(rule int64, uri string, mode filterMode) (bool, error) {
+	switch mode {
+	case modeMaterialize:
+		has, err := e.hasResult(rule, uri)
+		if err != nil {
+			return false, err
+		}
+		if has {
+			return false, nil
+		}
+		return true, e.materialize(rule, uri)
+	default: // modeCollect
+		return true, nil
+	}
+}
+
+// loadResultObjects replaces the ResultObjects table with the delta.
+func (e *Engine) loadResultObjects(delta []matchPair) error {
+	if _, err := e.db.Exec(`DELETE FROM ResultObjects`); err != nil {
+		return err
+	}
+	ins := e.prep.resultObjIns
+	for _, p := range delta {
+		if _, err := ins.Exec(rdb.NewText(p.uri), rdb.NewInt(p.rule)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evaluateDependentGroups finds the rule groups fed by the current
+// ResultObjects and evaluates each once per affected side (§3.3.3: grouped
+// join rules are evaluated together; §3.4: inputs are the delta plus the
+// materialized results of the other side).
+func (e *Engine) evaluateDependentGroups(all *matchSet, mode filterMode) ([]matchPair, error) {
+	type task struct {
+		group int64
+		side  byte // 'L' or 'R' delta side
+	}
+	var tasks []task
+	seen := map[task]bool{}
+	collect := func(q string, side byte) error {
+		rows, err := e.db.Query(q)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Data {
+			t := task{group: r[0].Int, side: side}
+			if !seen[t] {
+				seen[t] = true
+				tasks = append(tasks, t)
+			}
+		}
+		return nil
+	}
+	if err := collect(`SELECT DISTINCT jr.group_id FROM JoinRules jr, ResultObjects ro
+		WHERE jr.left_rule = ro.rule_id`, 'L'); err != nil {
+		return nil, err
+	}
+	if err := collect(`SELECT DISTINCT jr.group_id FROM JoinRules jr, ResultObjects ro
+		WHERE jr.right_rule = ro.rule_id`, 'R'); err != nil {
+		return nil, err
+	}
+	// Deterministic evaluation order.
+	sort.Slice(tasks, func(a, b int) bool {
+		if tasks[a].group != tasks[b].group {
+			return tasks[a].group < tasks[b].group
+		}
+		return tasks[a].side < tasks[b].side
+	})
+	if len(tasks) > 0 {
+		e.stats.FilterIterations++
+	}
+
+	var next []matchPair
+	for _, t := range tasks {
+		g, err := e.groupByID(t.group)
+		if err != nil {
+			return nil, err
+		}
+		if g.self && t.side == 'R' {
+			continue // self groups have a single input side
+		}
+		e.stats.JoinEvaluations++
+		pairs, err := e.evalGroupDelta(g, t.side)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pairs {
+			if !all.add(p.rule, p.uri) {
+				continue
+			}
+			e.stats.JoinMatches++
+			isNew, err := e.noteMatch(p.rule, p.uri, mode)
+			if err != nil {
+				return nil, err
+			}
+			if isNew {
+				next = append(next, p)
+			}
+		}
+	}
+	return next, nil
+}
+
+// evalGroupDelta evaluates one rule group with the delta on the given side
+// and the materialized results on the other (§3.4, "Evaluation of Join
+// Rules").
+func (e *Engine) evalGroupDelta(g *groupInfo, deltaSide byte) ([]matchPair, error) {
+	text, params := buildGroupSQL(g, deltaSide)
+	st, err := e.cachedStmt(text)
+	if err != nil {
+		return nil, err
+	}
+	var out []matchPair
+	err = st.QueryFunc(params, func(row []rdb.Value) error {
+		out = append(out, matchPair{rule: row[0].Int, uri: row[1].Str})
+		return nil
+	})
+	return out, err
+}
+
+// evalJoinFull evaluates one join rule over the full materialized results
+// of both inputs (used when a new rule is registered, to bootstrap its own
+// materialization against already stored metadata).
+func (e *Engine) evalJoinFull(g *groupInfo, leftRule, rightRule int64) ([]string, error) {
+	text, params := buildFullJoinSQL(g, leftRule, rightRule)
+	st, err := e.cachedStmt(text)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	err = st.QueryFunc(params, func(row []rdb.Value) error {
+		out = append(out, row[0].Str)
+		return nil
+	})
+	return out, err
+}
+
+// compareSQL renders "<lhs> <op> <rhs>" with CAST reconversion for numeric
+// comparisons (paper §3.3.4: constants are stored as strings).
+func compareSQL(lhs, rhs string, op rules.Op, numeric bool) string {
+	cmp, cast := sqlCompare(op, numeric)
+	if cast {
+		lhs = "CAST(" + lhs + " AS FLOAT)"
+		rhs = "CAST(" + rhs + " AS FLOAT)"
+	}
+	return lhs + " " + cmp + " " + rhs
+}
+
+// buildGroupSQL constructs the delta-evaluation query of one rule group.
+// This is where the batched group evaluation of §3.3.3 pays off: for
+// equi-joins the query starts from the delta resources, resolves the join
+// partner through value indexes, and only then probes JoinRules by both
+// rule ids — so the cost is proportional to the delta and its join fan-out,
+// not to the number of join rules in the group. For non-equality
+// comparisons no index can resolve the partner, so the query enumerates the
+// group members first and their materialized inputs after (the same
+// rule-base-size dependence the paper measures for COMP-style predicates).
+//
+// Classes and property names are parameters; only the operator and operand
+// shapes are baked into the text, so the statement cache stays small.
+func buildGroupSQL(g *groupInfo, deltaSide byte) (string, []rdb.Value) {
+	// View the join from the delta side: d* is the delta input, f* the full
+	// (materialized) side.
+	dProp, fProp := g.leftProp, g.rightProp
+	dRule, fRule := "jr.left_rule", "jr.right_rule"
+	fClass := g.rightClass
+	op := g.op
+	outDelta := g.registerSide == 'L'
+	flipped := false
+	if deltaSide == 'R' {
+		dProp, fProp = g.rightProp, g.leftProp
+		dRule, fRule = "jr.right_rule", "jr.left_rule"
+		fClass = g.leftClass
+		outDelta = g.registerSide == 'R'
+		flipped = true
+	}
+
+	var from []string
+	var where []string
+	var params []rdb.Value
+
+	if g.self {
+		// Single resource, two property accesses; member probe last.
+		from = append(from, "ResultObjects ro", "Statements s1", "Statements s2", "JoinRules jr")
+		where = append(where,
+			"s1.uri_reference = ro.uri_reference", "s1.property = ?",
+			"s2.uri_reference = ro.uri_reference", "s2.property = ?",
+			compareSQL("s1.value", "s2.value", g.op, g.numeric),
+			"jr.group_id = ?", dRule+" = ro.rule_id")
+		params = append(params, rdb.NewText(g.leftProp), rdb.NewText(g.rightProp), rdb.NewInt(g.id))
+		text := "SELECT jr.rule_id, ro.uri_reference FROM " + strings.Join(from, ", ") +
+			" WHERE " + strings.Join(where, " AND ")
+		return text, params
+	}
+
+	from = append(from, "ResultObjects ro")
+	deltaVal := "ro.uri_reference"
+	if dProp != "" {
+		from = append(from, "Statements sd")
+		where = append(where, "sd.uri_reference = ro.uri_reference", "sd.property = ?")
+		params = append(params, rdb.NewText(dProp))
+		deltaVal = "sd.value"
+	}
+
+	// Orient the comparison as originally written (left op right).
+	cmp := func(dv, fv string) string {
+		if flipped {
+			return compareSQL(fv, dv, op, g.numeric)
+		}
+		return compareSQL(dv, fv, op, g.numeric)
+	}
+
+	eqJoin := op == rules.OpEq && !g.numeric
+	var outFull string
+	if eqJoin {
+		// Resolve the full-side resource through value indexes, then check
+		// group membership: jr is probed by (left_rule, right_rule).
+		if fProp == "" {
+			// Full side joined by its URI: RuleResults rows for that URI.
+			from = append(from, "RuleResults rr")
+			where = append(where, "rr.uri_reference = "+deltaVal)
+		} else {
+			// Full side joined by property value: (class, property, value)
+			// statement index finds the partner, then its RuleResults rows.
+			from = append(from, "Statements sf", "RuleResults rr")
+			where = append(where,
+				"sf.class = ?", "sf.property = ?", "sf.value = "+deltaVal,
+				"rr.uri_reference = sf.uri_reference")
+			params = append(params, rdb.NewText(fClass), rdb.NewText(fProp))
+		}
+		from = append(from, "JoinRules jr")
+		where = append(where, dRule+" = ro.rule_id", fRule+" = rr.rule_id", "jr.group_id = ?")
+		params = append(params, rdb.NewInt(g.id))
+		outFull = "rr.uri_reference"
+	} else {
+		// General comparison: enumerate members, then the full side's
+		// materialized results, and compare.
+		from = append(from, "JoinRules jr", "RuleResults rr")
+		where = append(where, "jr.group_id = ?", dRule+" = ro.rule_id", "rr.rule_id = "+fRule)
+		params = append(params, rdb.NewInt(g.id))
+		fullVal := "rr.uri_reference"
+		if fProp != "" {
+			from = append(from, "Statements sf")
+			where = append(where, "sf.uri_reference = rr.uri_reference", "sf.property = ?")
+			params = append(params, rdb.NewText(fProp))
+			fullVal = "sf.value"
+		}
+		where = append(where, cmp(deltaVal, fullVal))
+		outFull = "rr.uri_reference"
+	}
+	out := "ro.uri_reference"
+	if !outDelta {
+		out = outFull
+	}
+	text := "SELECT jr.rule_id, " + out + " FROM " + strings.Join(from, ", ") +
+		" WHERE " + strings.Join(where, " AND ")
+	return text, params
+}
+
+// buildFullJoinSQL constructs the full-evaluation query for one join rule
+// (both sides from RuleResults), used at rule registration time.
+func buildFullJoinSQL(g *groupInfo, leftRule, rightRule int64) (string, []rdb.Value) {
+	var from []string
+	var where []string
+	var params []rdb.Value
+
+	if g.self {
+		from = append(from, "RuleResults rl", "Statements s1", "Statements s2")
+		where = append(where, "rl.rule_id = ?",
+			"s1.uri_reference = rl.uri_reference", "s1.property = ?",
+			"s2.uri_reference = rl.uri_reference", "s2.property = ?",
+			compareSQL("s1.value", "s2.value", g.op, g.numeric))
+		params = append(params, rdb.NewInt(leftRule), rdb.NewText(g.leftProp), rdb.NewText(g.rightProp))
+		return "SELECT rl.uri_reference FROM " + strings.Join(from, ", ") +
+			" WHERE " + strings.Join(where, " AND "), params
+	}
+
+	from = append(from, "RuleResults rl")
+	where = append(where, "rl.rule_id = ?")
+	params = append(params, rdb.NewInt(leftRule))
+	leftVal := "rl.uri_reference"
+	if g.leftProp != "" {
+		from = append(from, "Statements sl")
+		where = append(where, "sl.uri_reference = rl.uri_reference", "sl.property = ?")
+		params = append(params, rdb.NewText(g.leftProp))
+		leftVal = "sl.value"
+	}
+
+	eqJoin := g.op == rules.OpEq && !g.numeric
+	var rightURI string
+	switch {
+	case eqJoin && g.rightProp == "":
+		from = append(from, "RuleResults rr")
+		where = append(where, "rr.rule_id = ?", "rr.uri_reference = "+leftVal)
+		params = append(params, rdb.NewInt(rightRule))
+		rightURI = "rr.uri_reference"
+	case eqJoin && g.rightProp != "":
+		from = append(from, "Statements sr", "RuleResults rr")
+		where = append(where,
+			"sr.class = ?", "sr.property = ?", "sr.value = "+leftVal,
+			"rr.rule_id = ?", "rr.uri_reference = sr.uri_reference")
+		params = append(params, rdb.NewText(g.rightClass), rdb.NewText(g.rightProp), rdb.NewInt(rightRule))
+		rightURI = "rr.uri_reference"
+	default:
+		from = append(from, "RuleResults rr")
+		where = append(where, "rr.rule_id = ?")
+		params = append(params, rdb.NewInt(rightRule))
+		rightVal := "rr.uri_reference"
+		if g.rightProp != "" {
+			from = append(from, "Statements sr")
+			where = append(where, "sr.uri_reference = rr.uri_reference", "sr.property = ?")
+			params = append(params, rdb.NewText(g.rightProp))
+			rightVal = "sr.value"
+		}
+		where = append(where, compareSQL(leftVal, rightVal, g.op, g.numeric))
+		rightURI = "rr.uri_reference"
+	}
+
+	out := "rl.uri_reference"
+	if g.registerSide == 'R' {
+		out = rightURI
+	}
+	return "SELECT " + out + " FROM " + strings.Join(from, ", ") +
+		" WHERE " + strings.Join(where, " AND "), params
+}
+
+// unmaterializeAll removes every match of the set from RuleResults (the
+// cleanup step after the old-version run of §3.5).
+func (e *Engine) unmaterializeAll(m *matchSet) error {
+	for rule, uris := range m.byRule {
+		for uri := range uris {
+			if err := e.unmaterialize(rule, uri); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// endRuleSubscribers maps an end rule to its subscriptions.
+type subscriberRef struct {
+	subID      int64
+	subscriber string
+}
+
+func (e *Engine) subscribersOf(endRule int64) ([]subscriberRef, error) {
+	rows, err := e.prep.subsOfEndRule.Query(rdb.NewInt(endRule))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]subscriberRef, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, subscriberRef{subID: r[0].Int, subscriber: r[1].Str})
+	}
+	return out, nil
+}

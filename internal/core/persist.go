@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mdv/internal/rdb"
+	"mdv/internal/rdb/sql"
+	"mdv/internal/rdf"
+	"mdv/internal/rules"
+)
+
+// Save writes a snapshot of the engine's entire state — metadata,
+// decomposed rules, materializations, and subscriptions — to w. Named
+// rules are persisted through the NamedRules table.
+func (e *Engine) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.syncNamedRulesTable(); err != nil {
+		return err
+	}
+	return e.db.Raw().Save(w)
+}
+
+// syncNamedRulesTable mirrors the in-memory named-rule catalog into its
+// table so snapshots carry it.
+func (e *Engine) syncNamedRulesTable() error {
+	if !e.db.Raw().HasTable("NamedRules") {
+		if _, err := e.db.Exec(`CREATE TABLE NamedRules (name TEXT PRIMARY KEY, rule_text TEXT NOT NULL)`); err != nil {
+			return err
+		}
+	}
+	if _, err := e.db.Exec(`DELETE FROM NamedRules`); err != nil {
+		return err
+	}
+	for name, nr := range e.named {
+		if _, err := e.db.Exec(`INSERT INTO NamedRules (name, rule_text) VALUES (?, ?)`,
+			rdb.NewText(name), rdb.NewText(nr.Text())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load restores an engine from a snapshot previously written by Save. The
+// schema must be the one the snapshot was created with (the snapshot does
+// not embed it; schemas are shared federation-wide configuration).
+func Load(r io.Reader, schema *rdf.Schema) (*Engine, error) {
+	raw, err := rdb.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{db: sql.NewDB(raw), schema: schema, named: map[string]*rules.NormalRule{}}
+	// The snapshot must contain the engine's tables.
+	for _, table := range []string{"Statements", "AtomicRules", "Subscriptions"} {
+		if !raw.HasTable(table) {
+			return nil, fmt.Errorf("core: snapshot is not an engine snapshot (missing %s)", table)
+		}
+	}
+	e.prepare()
+	// Restore the id counters from the stored maxima.
+	var restoreErr error
+	maxOf := func(q string) int64 {
+		rows, err := e.db.Query(q)
+		if err != nil {
+			restoreErr = err
+			return 0
+		}
+		v, err := rows.Scalar()
+		if err != nil {
+			restoreErr = err
+			return 0
+		}
+		if v.IsNull() {
+			return 0
+		}
+		return v.Int
+	}
+	e.nextRuleID = maxOf(`SELECT MAX(rule_id) FROM AtomicRules`)
+	e.nextSubID = maxOf(`SELECT MAX(sub_id) FROM Subscriptions`)
+	e.nextGroupID = maxOf(`SELECT MAX(group_id) FROM RuleGroups`)
+	if restoreErr != nil {
+		return nil, restoreErr
+	}
+	// Restore named rules.
+	if raw.HasTable("NamedRules") {
+		rows, err := e.db.Query(`SELECT name, rule_text FROM NamedRules`)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows.Data {
+			name, text := row[0].Str, row[1].Str
+			parsed, err := rules.Parse(text)
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshot named rule %q: %w", name, err)
+			}
+			normalized, err := rules.Normalize(parsed, schema, e.resolveNamed)
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshot named rule %q: %w", name, err)
+			}
+			if len(normalized) != 1 {
+				return nil, fmt.Errorf("core: snapshot named rule %q normalizes to %d rules", name, len(normalized))
+			}
+			e.named[name] = normalized[0]
+		}
+	}
+	return e, nil
+}

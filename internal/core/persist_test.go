@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mdv/internal/rdf"
+)
+
+// TestEngineSnapshotRoundTrip: a saved engine restores with its metadata,
+// rules, materializations, subscriptions, and named rules intact, and
+// continues to filter correctly.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.RegisterNamedRule("Passau",
+		`search CycleProvider c register c where c.serverHost contains 'uni-passau.de'`); err != nil {
+		t.Fatal(err)
+	}
+	subID, _, err := e.Subscribe("lmr1", example331)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterDocument(figure1Doc()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, paperSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// State survived.
+	if restored.AtomicRuleCount() != e.AtomicRuleCount() {
+		t.Errorf("atomic rules: %d vs %d", restored.AtomicRuleCount(), e.AtomicRuleCount())
+	}
+	if restored.ResourceCount() != 2 {
+		t.Errorf("resources = %d", restored.ResourceCount())
+	}
+	ends, err := restored.EndRulesOf(subID)
+	if err != nil || len(ends) != 1 {
+		t.Fatalf("end rules after restore: %v %v", ends, err)
+	}
+	uris, _ := restored.RuleResultsOf(ends[0])
+	if len(uris) != 1 || uris[0] != "doc.rdf#host" {
+		t.Errorf("materialization after restore: %v", uris)
+	}
+	if got := restored.NamedRules(); len(got) != 1 || got[0] != "Passau" {
+		t.Errorf("named rules after restore: %v", got)
+	}
+
+	// The restored engine keeps filtering: a new document and a new
+	// subscription work, and fresh ids do not collide with restored ones.
+	doc2 := rdf.NewDocument("doc2.rdf")
+	cp := doc2.NewResource("host", "CycleProvider")
+	cp.Add("serverHost", rdf.Lit("x.uni-passau.de"))
+	cp.Add("serverInformation", rdf.Ref("doc2.rdf#info"))
+	info := doc2.NewResource("info", "ServerInformation")
+	info.Add("memory", rdf.Lit("128"))
+	info.Add("cpu", rdf.Lit("900"))
+	ps, err := restored.RegisterDocument(doc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := ps.Changesets["lmr1"]
+	if cs == nil || len(cs.Upserts) != 1 || cs.Upserts[0].Resource.URIRef != "doc2.rdf#host" {
+		t.Fatalf("restored engine does not filter: %+v", cs)
+	}
+	sub2, _, err := restored.Subscribe("lmr2", `search Passau p register p where p.serverPort >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2 <= subID {
+		t.Errorf("subscription id collision after restore: %d <= %d", sub2, subID)
+	}
+
+	// Updates still run the three-phase machinery correctly.
+	doc2b := doc2.Clone()
+	info2, _ := doc2b.Find("doc2.rdf#info")
+	info2.Set("memory", rdf.Lit("8"))
+	ps, err = restored.RegisterDocument(doc2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ps.Changesets["lmr1"]; cs == nil || len(cs.Removals) != 1 {
+		t.Errorf("restored engine update handling: %+v", cs)
+	}
+}
+
+// TestLoadRejectsNonEngineSnapshot: a plain database snapshot without the
+// engine tables is rejected.
+func TestLoadRejectsNonEngineSnapshot(t *testing.T) {
+	if _, err := Load(strings.NewReader("garbage"), paperSchema()); err == nil {
+		t.Error("garbage accepted")
+	}
+}

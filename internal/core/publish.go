@@ -1,0 +1,333 @@
+package core
+
+import (
+	"sort"
+
+	"mdv/internal/rdb"
+	"mdv/internal/rdf"
+)
+
+// Upsert is a resource delivered to a subscriber because it newly or still
+// matches one of its subscriptions, together with the strong-reference
+// closure resources that must travel with it (paper §2.4).
+type Upsert struct {
+	Resource *rdf.Resource
+	// SubIDs are the subscriber's subscriptions this resource matches; the
+	// LMR uses them as cache credits for its garbage collector.
+	SubIDs []int64
+	// Closure holds the resources reached from Resource over strong
+	// references, transitively.
+	Closure []*rdf.Resource
+}
+
+// Removal tells a subscriber that a resource no longer matches one of its
+// subscriptions. The LMR drops the credit and garbage-collects the resource
+// if nothing else holds it (§3.5 "true candidate resources").
+type Removal struct {
+	URIRef string
+	SubID  int64
+}
+
+// Changeset is what an MDP publishes to one subscriber after a batch.
+type Changeset struct {
+	Upserts  []Upsert
+	Removals []Removal
+	// ClosureUpserts carry new versions of resources the subscriber may
+	// hold only via strong references (they match none of its rules).
+	ClosureUpserts []*rdf.Resource
+	// ForcedDeletes are resources deleted at the source; the subscriber
+	// must drop them regardless of credits.
+	ForcedDeletes []string
+}
+
+// Empty reports whether the changeset carries nothing.
+func (c *Changeset) Empty() bool {
+	return len(c.Upserts) == 0 && len(c.Removals) == 0 &&
+		len(c.ClosureUpserts) == 0 && len(c.ForcedDeletes) == 0
+}
+
+// PublishSet maps subscriber names to their changesets for one batch.
+type PublishSet struct {
+	Changesets map[string]*Changeset
+}
+
+func newPublishSet() *PublishSet {
+	return &PublishSet{Changesets: make(map[string]*Changeset)}
+}
+
+func (p *PublishSet) changesetFor(subscriber string) *Changeset {
+	cs := p.Changesets[subscriber]
+	if cs == nil {
+		cs = &Changeset{}
+		p.Changesets[subscriber] = cs
+	}
+	return cs
+}
+
+// Subscribers returns the subscribers with non-empty changesets, sorted.
+func (p *PublishSet) Subscribers() []string {
+	out := make([]string, 0, len(p.Changesets))
+	for s, cs := range p.Changesets {
+		if !cs.Empty() {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildPublishSet turns the before/after match sets of a registration batch
+// into per-subscriber changesets.
+func (e *Engine) buildPublishSet(before, after *matchSet, updated, deleted []*rdf.Resource,
+	holders map[string]map[string]bool) (*PublishSet, error) {
+	ps := newPublishSet()
+
+	// Upserts: after-matches of subscribed end rules.
+	type pendingUpsert struct {
+		subscriber string
+		subIDs     map[int64]bool
+	}
+	upserts := map[string]map[string]*pendingUpsert{} // subscriber -> uri -> entry
+	for rule := range after.byRule {
+		subs, err := e.subscribersOf(rule)
+		if err != nil {
+			return nil, err
+		}
+		if len(subs) == 0 {
+			continue
+		}
+		for _, uri := range after.uris(rule) {
+			for _, s := range subs {
+				byURI := upserts[s.subscriber]
+				if byURI == nil {
+					byURI = map[string]*pendingUpsert{}
+					upserts[s.subscriber] = byURI
+				}
+				entry := byURI[uri]
+				if entry == nil {
+					entry = &pendingUpsert{subscriber: s.subscriber, subIDs: map[int64]bool{}}
+					byURI[uri] = entry
+				}
+				entry.subIDs[s.subID] = true
+			}
+		}
+	}
+	for subscriber, byURI := range upserts {
+		cs := ps.changesetFor(subscriber)
+		uris := make([]string, 0, len(byURI))
+		for uri := range byURI {
+			uris = append(uris, uri)
+		}
+		sort.Strings(uris)
+		for _, uri := range uris {
+			entry := byURI[uri]
+			up, err := e.buildUpsert(uri, entry.subIDs)
+			if err != nil {
+				return nil, err
+			}
+			if up != nil {
+				cs.Upserts = append(cs.Upserts, *up)
+			}
+		}
+	}
+
+	// Removals: before-matches of subscribed end rules that are no longer
+	// materialized (the "true candidates" of §3.5).
+	for rule := range before.byRule {
+		subs, err := e.subscribersOf(rule)
+		if err != nil {
+			return nil, err
+		}
+		if len(subs) == 0 {
+			continue
+		}
+		for _, uri := range before.uris(rule) {
+			still, err := e.hasResult(rule, uri)
+			if err != nil {
+				return nil, err
+			}
+			if still {
+				continue // wrong candidate: it still matches
+			}
+			for _, s := range subs {
+				cs := ps.changesetFor(s.subscriber)
+				cs.Removals = append(cs.Removals, Removal{URIRef: uri, SubID: s.subID})
+			}
+		}
+	}
+
+	// Closure updates: an updated resource may be cached by subscribers
+	// only through strong references from rule-matched resources. Walk the
+	// strong-reference graph backwards to find them.
+	for _, r := range updated {
+		for subscriber := range holders[r.URIRef] {
+			// Skip subscribers already receiving the resource as an upsert.
+			if byURI := upserts[subscriber]; byURI != nil && byURI[r.URIRef] != nil {
+				continue
+			}
+			cs := ps.changesetFor(subscriber)
+			cur, ok, err := e.GetResource(r.URIRef)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cs.ClosureUpserts = append(cs.ClosureUpserts, cur)
+			}
+		}
+	}
+
+	// Forced deletes: resources removed at the source are dropped
+	// everywhere. Deliver to subscribers that had any before-match for the
+	// resource or hold it via strong references.
+	for _, r := range deleted {
+		targets := map[string]bool{}
+		for rule := range before.byRule {
+			if !before.has(rule, r.URIRef) {
+				continue
+			}
+			subs, err := e.subscribersOf(rule)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range subs {
+				targets[s.subscriber] = true
+			}
+		}
+		for subscriber := range holders[r.URIRef] {
+			targets[subscriber] = true
+		}
+		for subscriber := range targets {
+			cs := ps.changesetFor(subscriber)
+			cs.ForcedDeletes = append(cs.ForcedDeletes, r.URIRef)
+		}
+	}
+
+	// Deterministic ordering of removal/delete lists.
+	for _, cs := range ps.Changesets {
+		sort.Slice(cs.Removals, func(a, b int) bool {
+			if cs.Removals[a].URIRef != cs.Removals[b].URIRef {
+				return cs.Removals[a].URIRef < cs.Removals[b].URIRef
+			}
+			return cs.Removals[a].SubID < cs.Removals[b].SubID
+		})
+		sort.Strings(cs.ForcedDeletes)
+		sort.Slice(cs.ClosureUpserts, func(a, b int) bool {
+			return cs.ClosureUpserts[a].URIRef < cs.ClosureUpserts[b].URIRef
+		})
+	}
+	return ps, nil
+}
+
+// buildUpsert assembles an upsert with its strong-reference closure.
+func (e *Engine) buildUpsert(uri string, subIDs map[int64]bool) (*Upsert, error) {
+	res, ok, err := e.GetResource(uri)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil // raced with deletion inside the batch
+	}
+	ids := make([]int64, 0, len(subIDs))
+	for id := range subIDs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	closure, err := e.strongClosure(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Upsert{Resource: res, SubIDs: ids, Closure: closure}, nil
+}
+
+// strongClosure returns the resources reachable from res over strong
+// references, transitively, excluding res itself (paper §2.4: "resources
+// referenced by [strong references] are always transmitted together with
+// the referencing resource").
+func (e *Engine) strongClosure(res *rdf.Resource) ([]*rdf.Resource, error) {
+	visited := map[string]bool{res.URIRef: true}
+	var out []*rdf.Resource
+	queue := []*rdf.Resource{res}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range cur.Props {
+			if p.Value.Kind != rdf.ResourceRef {
+				continue
+			}
+			if !e.schema.IsStrongReference(cur.Class, p.Name) {
+				continue
+			}
+			target := p.Value.Ref
+			if visited[target] {
+				continue
+			}
+			visited[target] = true
+			tres, ok, err := e.GetResource(target)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue // dangling reference; nothing to transmit
+			}
+			out = append(out, tres)
+			queue = append(queue, tres)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].URIRef < out[b].URIRef })
+	return out, nil
+}
+
+// strongHolders finds the subscribers that may cache the given resource via
+// strong references: it walks incoming strong references transitively until
+// it reaches resources matching subscribed end rules, and collects those
+// rules' subscribers.
+func (e *Engine) strongHolders(uri string) (map[string]bool, error) {
+	subscribers := map[string]bool{}
+	visited := map[string]bool{uri: true}
+	queue := []string{uri}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		rows, err := e.prep.strongRefsTo.Query(rdb.NewText(cur))
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows.Data {
+			referrer, class, prop := row[0].Str, row[1].Str, row[2].Str
+			if !e.schema.IsStrongReference(class, prop) {
+				continue
+			}
+			if visited[referrer] {
+				continue
+			}
+			visited[referrer] = true
+			// Does the referrer match any subscribed end rule?
+			subs, err := e.subscribedRuleMatches(referrer)
+			if err != nil {
+				return nil, err
+			}
+			for s := range subs {
+				subscribers[s] = true
+			}
+			queue = append(queue, referrer)
+		}
+	}
+	return subscribers, nil
+}
+
+// subscribedRuleMatches returns the subscribers whose end rules the
+// resource currently matches.
+func (e *Engine) subscribedRuleMatches(uri string) (map[string]bool, error) {
+	rows, err := e.db.Query(`
+		SELECT s.subscriber FROM RuleResults rr, SubscriptionEndRules ser, Subscriptions s
+		WHERE rr.uri_reference = ? AND ser.end_rule = rr.rule_id AND s.sub_id = ser.sub_id`,
+		rdb.NewText(uri))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, row := range rows.Data {
+		out[row[0].Str] = true
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"mdv/internal/core"
+	"mdv/internal/query"
+	"mdv/internal/rdb"
+	"mdv/internal/rdb/sql"
+	"mdv/internal/rdf"
+	"mdv/internal/rules"
+)
+
+// The soundness property of the whole filter pipeline: after any sequence
+// of document registrations, updates, and deletions, the engine's
+// materialized matches for every subscription equal a from-scratch
+// evaluation of the subscription rule over the current metadata. This is
+// the paper's implicit correctness claim for the incremental algorithm
+// (§3.4/§3.5) checked by differential testing against a naive evaluator.
+
+func soundnessSchema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverHost", Type: rdf.TypeString})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverPort", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "synthValue", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{
+		Name: "serverInformation", Type: rdf.TypeResource, RefClass: "ServerInformation", RefKind: rdf.StrongRef})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "memory", Type: rdf.TypeInteger})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "cpu", Type: rdf.TypeInteger})
+	return s
+}
+
+// randomRule draws one subscription rule.
+func randomRule(rng *rand.Rand) string {
+	hostDomains := []string{"uni-passau.de", "tum.de", "example.org"}
+	switch rng.Intn(8) {
+	case 0:
+		return `search CycleProvider c register c`
+	case 1:
+		return fmt.Sprintf(`search CycleProvider c register c where c.serverPort %s %d`,
+			randomOp(rng), rng.Intn(40))
+	case 2:
+		return fmt.Sprintf(`search CycleProvider c register c where c.serverHost contains '%s'`,
+			hostDomains[rng.Intn(len(hostDomains))])
+	case 3:
+		return fmt.Sprintf(`search CycleProvider c register c where c.serverInformation.memory %s %d`,
+			randomOp(rng), rng.Intn(40))
+	case 4:
+		return fmt.Sprintf(
+			`search CycleProvider c register c where c.serverInformation.memory %s %d and c.serverInformation.cpu %s %d`,
+			randomOp(rng), rng.Intn(40), randomOp(rng), rng.Intn(40))
+	case 5:
+		return fmt.Sprintf(`search CycleProvider c register c where c = 'doc%d.rdf#host'`, rng.Intn(12))
+	case 6:
+		return fmt.Sprintf(
+			`search CycleProvider c register c where c.serverPort %s %d or c.serverInformation.cpu %s %d`,
+			randomOp(rng), rng.Intn(40), randomOp(rng), rng.Intn(40))
+	default:
+		return fmt.Sprintf(
+			`search CycleProvider c, ServerInformation s register s where c.serverInformation = s and c.serverPort %s %d`,
+			randomOp(rng), rng.Intn(40))
+	}
+}
+
+func randomOp(rng *rand.Rand) string {
+	return []string{"=", "!=", "<", "<=", ">", ">="}[rng.Intn(6)]
+}
+
+// randomDoc draws document i's content. References are sometimes
+// cross-document (possibly dangling), which exercises the hardest part of
+// the three-phase update handling: a join match whose support spans
+// documents that change independently.
+func randomDoc(rng *rand.Rand, i int) *rdf.Document {
+	domains := []string{"uni-passau.de", "tum.de", "example.org"}
+	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
+	host := doc.NewResource("host", "CycleProvider")
+	host.Add("serverHost", rdf.Lit(fmt.Sprintf("h%d.%s", i, domains[rng.Intn(len(domains))])))
+	host.Add("serverPort", rdf.Lit(fmt.Sprint(rng.Intn(40))))
+	host.Add("synthValue", rdf.Lit(fmt.Sprint(rng.Intn(40))))
+	switch rng.Intn(5) {
+	case 0: // no server information at all
+	case 1: // cross-document reference (may dangle)
+		host.Add("serverInformation", rdf.Ref(fmt.Sprintf("doc%d.rdf#info", rng.Intn(12))))
+		info := doc.NewResource("info", "ServerInformation")
+		info.Add("memory", rdf.Lit(fmt.Sprint(rng.Intn(40))))
+		info.Add("cpu", rdf.Lit(fmt.Sprint(rng.Intn(40))))
+	default: // in-document reference, the Figure 1 shape
+		host.Add("serverInformation", rdf.Ref(doc.QualifyID("info")))
+		info := doc.NewResource("info", "ServerInformation")
+		info.Add("memory", rdf.Lit(fmt.Sprint(rng.Intn(40))))
+		info.Add("cpu", rdf.Lit(fmt.Sprint(rng.Intn(40))))
+	}
+	return doc
+}
+
+// reference evaluates a subscription rule from scratch over the current
+// documents, using the query translator over a freshly built statement
+// store.
+type reference struct {
+	schema *rdf.Schema
+	docs   map[string]*rdf.Document
+}
+
+func (ref *reference) matches(t *testing.T, ruleText string) []string {
+	t.Helper()
+	db := sql.Open()
+	for _, stmt := range []string{
+		`CREATE TABLE Cache (uri_reference TEXT PRIMARY KEY, class TEXT NOT NULL, local BOOL NOT NULL)`,
+		`CREATE TABLE CacheStatements (uri_reference TEXT NOT NULL, class TEXT NOT NULL,
+			property TEXT NOT NULL, value TEXT NOT NULL, is_ref BOOL NOT NULL)`,
+		`CREATE INDEX idx_cstmt_uri ON CacheStatements (uri_reference, property)`,
+		`CREATE INDEX idx_cstmt_cpv ON CacheStatements (class, property, value)`,
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, doc := range ref.docs {
+		for _, a := range doc.Statements() {
+			if a.Property == rdf.SubjectProperty {
+				db.MustExec(`INSERT INTO Cache (uri_reference, class, local) VALUES (?, ?, FALSE)`,
+					rdb.NewText(a.URIRef), rdb.NewText(a.Class))
+			}
+			db.MustExec(`INSERT INTO CacheStatements (uri_reference, class, property, value, is_ref)
+				VALUES (?, ?, ?, ?, ?)`,
+				rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
+				rdb.NewText(a.Value), rdb.NewBool(a.IsRef))
+		}
+	}
+	r, err := rules.Parse(ruleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalized, err := rules.Normalize(r, ref.schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, nr := range normalized {
+		text, params, err := query.Translate(nr, ref.schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = db.QueryFunc(text, params, func(row []rdb.Value) error {
+			if uri := row[0].Str; !seen[uri] {
+				seen[uri] = true
+				out = append(out, uri)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func engineMatches(t *testing.T, e *core.Engine, subID int64) []string {
+	t.Helper()
+	rs, err := e.MatchingResources(subID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.URIRef
+	}
+	return out
+}
+
+// TestFilterSoundnessRandomized drives randomized workloads through the
+// engine and checks the materialized matches against the reference after
+// every mutation batch.
+func TestFilterSoundnessRandomized(t *testing.T) {
+	seeds := []int64{1, 7, 42, 99, 1234, 77777}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := soundnessSchema()
+			e, err := core.NewEngine(schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := &reference{schema: schema, docs: map[string]*rdf.Document{}}
+
+			// Random subscriptions (registered before and between data).
+			type sub struct {
+				id   int64
+				rule string
+			}
+			var subs []sub
+			addSub := func() {
+				rule := randomRule(rng)
+				id, _, err := e.Subscribe("lmr", rule)
+				if err != nil {
+					t.Fatalf("subscribe %q: %v", rule, err)
+				}
+				subs = append(subs, sub{id: id, rule: rule})
+			}
+			for i := 0; i < 8; i++ {
+				addSub()
+			}
+
+			check := func(step string) {
+				t.Helper()
+				for _, s := range subs {
+					got := engineMatches(t, e, s.id)
+					want := ref.matches(t, s.rule)
+					if strings.Join(got, ",") != strings.Join(want, ",") {
+						t.Fatalf("%s: rule %q:\n engine %v\n naive  %v",
+							step, s.rule, got, want)
+					}
+				}
+			}
+
+			nextDoc := 0
+			for step := 0; step < 20; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5 || len(ref.docs) == 0: // register a fresh batch
+					n := 1 + rng.Intn(3)
+					var docs []*rdf.Document
+					for i := 0; i < n; i++ {
+						d := randomDoc(rng, nextDoc)
+						nextDoc++
+						docs = append(docs, d)
+						ref.docs[d.URI] = d
+					}
+					if _, err := e.RegisterDocuments(docs); err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("step %d register %d", step, n))
+				case op < 8: // update an existing document
+					uris := sortedKeys(ref.docs)
+					uri := uris[rng.Intn(len(uris))]
+					var num int
+					fmt.Sscanf(uri, "doc%d.rdf", &num)
+					d := randomDoc(rng, num)
+					ref.docs[uri] = d
+					if _, err := e.RegisterDocument(d); err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("step %d update %s", step, uri))
+				case op < 9: // delete a document
+					uris := sortedKeys(ref.docs)
+					uri := uris[rng.Intn(len(uris))]
+					delete(ref.docs, uri)
+					if _, err := e.DeleteDocument(uri); err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("step %d delete %s", step, uri))
+				default: // register another subscription mid-stream
+					addSub()
+					check(fmt.Sprintf("step %d subscribe", step))
+				}
+			}
+		})
+	}
+}
+
+func sortedKeys(m map[string]*rdf.Document) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

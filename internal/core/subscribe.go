@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mdv/internal/rdb"
+	"mdv/internal/rdf"
+	"mdv/internal/rules"
+)
+
+// Subscription describes one registered subscription.
+type Subscription struct {
+	ID         int64
+	Subscriber string
+	RuleText   string
+}
+
+// Subscribe registers a subscription rule for a subscriber (an LMR). The
+// rule is parsed, normalized (splitting OR into several normalized rules),
+// decomposed into atomic rules merged with the global dependency graph
+// (§3.3), and evaluated against the already registered metadata. The
+// returned changeset carries the initial cache content: every currently
+// matching resource with its strong-reference closure.
+func (e *Engine) Subscribe(subscriber, ruleText string) (int64, *Changeset, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	rule, err := rules.Parse(ruleText)
+	if err != nil {
+		return 0, nil, err
+	}
+	normalized, err := rules.Normalize(rule, e.schema, e.resolveNamed)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	e.nextSubID++
+	subID := e.nextSubID
+	if _, err := e.db.Exec(`INSERT INTO Subscriptions (sub_id, subscriber, rule_text) VALUES (?, ?, ?)`,
+		rdb.NewInt(subID), rdb.NewText(subscriber), rdb.NewText(ruleText)); err != nil {
+		return 0, nil, err
+	}
+
+	ctx := &internCtx{}
+	endRules := make([]int64, 0, len(normalized))
+	for _, nr := range normalized {
+		end, err := e.decomposeNormalRule(nr, ctx)
+		if err != nil {
+			// Roll back the subscription row; atomic-rule refcounts are
+			// repaired by releasing what was interned so far.
+			e.releaseInterned(ctx.interned)
+			e.db.Exec(`DELETE FROM Subscriptions WHERE sub_id = ?`, rdb.NewInt(subID))
+			return 0, nil, err
+		}
+		endRules = append(endRules, end)
+		if _, err := e.db.Exec(`INSERT INTO SubscriptionEndRules (sub_id, end_rule) VALUES (?, ?)`,
+			rdb.NewInt(subID), rdb.NewInt(end)); err != nil {
+			return 0, nil, err
+		}
+	}
+	for _, id := range ctx.interned {
+		if _, err := e.db.Exec(`INSERT INTO SubscriptionAtomicRules (sub_id, rule_id) VALUES (?, ?)`,
+			rdb.NewInt(subID), rdb.NewInt(id)); err != nil {
+			return 0, nil, err
+		}
+	}
+
+	// Initial cache fill: current matches of the end rules.
+	cs := &Changeset{}
+	delivered := map[string]bool{}
+	for _, end := range endRules {
+		uris, err := e.RuleResultsOf(end)
+		if err != nil {
+			return 0, nil, err
+		}
+		for _, uri := range uris {
+			if delivered[uri] {
+				continue
+			}
+			delivered[uri] = true
+			up, err := e.buildUpsert(uri, map[int64]bool{subID: true})
+			if err != nil {
+				return 0, nil, err
+			}
+			if up != nil {
+				cs.Upserts = append(cs.Upserts, *up)
+			}
+		}
+	}
+	return subID, cs, nil
+}
+
+// Unsubscribe removes a subscription and releases its atomic rules. Atomic
+// rules whose refcount drops to zero are deleted together with their filter
+// table entries, group memberships, dependencies, and materialized results
+// (§2.2: rules can be changed or removed when users adjust their
+// selections).
+func (e *Engine) Unsubscribe(subID int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	rows, err := e.db.Query(`SELECT sub_id FROM Subscriptions WHERE sub_id = ?`, rdb.NewInt(subID))
+	if err != nil {
+		return err
+	}
+	if rows.Empty() {
+		return fmt.Errorf("core: no subscription %d", subID)
+	}
+	ruleRows, err := e.db.Query(`SELECT rule_id FROM SubscriptionAtomicRules WHERE sub_id = ?`,
+		rdb.NewInt(subID))
+	if err != nil {
+		return err
+	}
+	interned := make([]int64, 0, ruleRows.Len())
+	for _, r := range ruleRows.Data {
+		interned = append(interned, r[0].Int)
+	}
+	if _, err := e.db.Exec(`DELETE FROM Subscriptions WHERE sub_id = ?`, rdb.NewInt(subID)); err != nil {
+		return err
+	}
+	if _, err := e.db.Exec(`DELETE FROM SubscriptionEndRules WHERE sub_id = ?`, rdb.NewInt(subID)); err != nil {
+		return err
+	}
+	if _, err := e.db.Exec(`DELETE FROM SubscriptionAtomicRules WHERE sub_id = ?`, rdb.NewInt(subID)); err != nil {
+		return err
+	}
+	return e.releaseInterned(interned)
+}
+
+// releaseInterned decrements refcounts and sweeps rules that reached zero.
+func (e *Engine) releaseInterned(interned []int64) error {
+	for _, id := range interned {
+		if _, err := e.db.Exec(`UPDATE AtomicRules SET refcount = refcount - 1 WHERE rule_id = ?`,
+			rdb.NewInt(id)); err != nil {
+			return err
+		}
+	}
+	// Sweep: delete zero-refcount rules. One pass suffices because the
+	// refcounts of input rules were decremented independently (every intern
+	// call was recorded).
+	rows, err := e.db.Query(`SELECT rule_id, kind FROM AtomicRules WHERE refcount <= 0`)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows.Data {
+		id, kind := r[0].Int, r[1].Str
+		if _, err := e.db.Exec(`DELETE FROM AtomicRules WHERE rule_id = ?`, rdb.NewInt(id)); err != nil {
+			return err
+		}
+		if _, err := e.db.Exec(`DELETE FROM RuleResults WHERE rule_id = ?`, rdb.NewInt(id)); err != nil {
+			return err
+		}
+		if _, err := e.db.Exec(`DELETE FROM RuleDependencies WHERE source_rule = ?`, rdb.NewInt(id)); err != nil {
+			return err
+		}
+		if _, err := e.db.Exec(`DELETE FROM RuleDependencies WHERE target_rule = ?`, rdb.NewInt(id)); err != nil {
+			return err
+		}
+		if kind == kindTrigger {
+			for _, table := range []string{"FilterRulesANY", "FilterRulesEQ", "FilterRulesEQN",
+				"FilterRulesNE", "FilterRulesNEN", "FilterRulesCON", "FilterRulesLT",
+				"FilterRulesLE", "FilterRulesGT", "FilterRulesGE"} {
+				if _, err := e.db.Exec(`DELETE FROM `+table+` WHERE rule_id = ?`, rdb.NewInt(id)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Join rule: remove from its group; drop the group when empty.
+		grows, err := e.db.Query(`SELECT group_id FROM JoinRules WHERE rule_id = ?`, rdb.NewInt(id))
+		if err != nil {
+			return err
+		}
+		if _, err := e.db.Exec(`DELETE FROM JoinRules WHERE rule_id = ?`, rdb.NewInt(id)); err != nil {
+			return err
+		}
+		if !grows.Empty() {
+			gid := grows.Data[0][0].Int
+			mrows, err := e.db.Query(`SELECT COUNT(*) FROM JoinRules WHERE group_id = ?`, rdb.NewInt(gid))
+			if err != nil {
+				return err
+			}
+			if n, _ := mrows.Scalar(); n.Int == 0 {
+				if _, err := e.db.Exec(`DELETE FROM RuleGroups WHERE group_id = ?`, rdb.NewInt(gid)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Subscriptions lists all registered subscriptions, sorted by id.
+func (e *Engine) Subscriptions() ([]Subscription, error) {
+	rows, err := e.db.Query(`SELECT sub_id, subscriber, rule_text FROM Subscriptions ORDER BY sub_id`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Subscription, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, Subscription{ID: r[0].Int, Subscriber: r[1].Str, RuleText: r[2].Str})
+	}
+	return out, nil
+}
+
+// SubscriptionsOf lists a subscriber's subscriptions.
+func (e *Engine) SubscriptionsOf(subscriber string) ([]Subscription, error) {
+	rows, err := e.db.Query(
+		`SELECT sub_id, subscriber, rule_text FROM Subscriptions WHERE subscriber = ? ORDER BY sub_id`,
+		rdb.NewText(subscriber))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Subscription, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, Subscription{ID: r[0].Int, Subscriber: r[1].Str, RuleText: r[2].Str})
+	}
+	return out, nil
+}
+
+// RegisterNamedRule stores a rule under a name so later rules can use it as
+// an extension (paper §2.3). The named rule must normalize to a single
+// conjunctive rule (no OR).
+func (e *Engine) RegisterNamedRule(name, ruleText string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.named[name]; exists {
+		return fmt.Errorf("core: named rule %q already registered", name)
+	}
+	if _, isClass := e.schema.Class(name); isClass {
+		return fmt.Errorf("core: name %q collides with a schema class", name)
+	}
+	rule, err := rules.Parse(ruleText)
+	if err != nil {
+		return err
+	}
+	normalized, err := rules.Normalize(rule, e.schema, e.resolveNamed)
+	if err != nil {
+		return err
+	}
+	if len(normalized) != 1 {
+		return fmt.Errorf("core: named rule %q must not contain OR (normalizes to %d rules)",
+			name, len(normalized))
+	}
+	e.named[name] = normalized[0]
+	return nil
+}
+
+// NamedRules lists the registered rule names, sorted.
+func (e *Engine) NamedRules() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.named))
+	for name := range e.named {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Engine) resolveNamed(name string) (*rules.NormalRule, bool) {
+	nr, ok := e.named[name]
+	return nr, ok
+}
+
+// EndRulesOf returns the end atomic rules of a subscription (tests).
+func (e *Engine) EndRulesOf(subID int64) ([]int64, error) {
+	rows, err := e.db.Query(`SELECT end_rule FROM SubscriptionEndRules WHERE sub_id = ? ORDER BY end_rule`,
+		rdb.NewInt(subID))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, r[0].Int)
+	}
+	return out, nil
+}
+
+// MatchingResources evaluates which resources currently match a
+// subscription (the union of its end rules' materialized results).
+func (e *Engine) MatchingResources(subID int64) ([]*rdf.Resource, error) {
+	ends, err := e.EndRulesOf(subID)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []*rdf.Resource
+	for _, end := range ends {
+		uris, err := e.RuleResultsOf(end)
+		if err != nil {
+			return nil, err
+		}
+		for _, uri := range uris {
+			if seen[uri] {
+				continue
+			}
+			seen[uri] = true
+			res, ok, err := e.GetResource(uri)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, res)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].URIRef < out[b].URIRef })
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"mdv/internal/rdf"
+)
+
+// Tests for the per-operator triggering machinery (FilterRules tables).
+
+func floatSchema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("Offer", rdf.PropertyDef{Name: "price", Type: rdf.TypeFloat})
+	s.MustAddProperty("Offer", rdf.PropertyDef{Name: "title", Type: rdf.TypeString})
+	return s
+}
+
+func offerDoc(uri, price, title string) *rdf.Document {
+	doc := rdf.NewDocument(uri)
+	o := doc.NewResource("o", "Offer")
+	o.Add("price", rdf.Lit(price))
+	o.Add("title", rdf.Lit(title))
+	return doc
+}
+
+// TestNumericEqualityLexicalVariance: numeric equality must reconvert
+// (paper §3.3.4: constants stored as strings) — "8.50" matches the rule
+// constant 8.5 even though the lexical forms differ.
+func TestNumericEqualityLexicalVariance(t *testing.T) {
+	e, err := NewEngine(floatSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Subscribe("lmr", `search Offer o register o where o.price = 8.5`); err != nil {
+		t.Fatal(err)
+	}
+	// Lexically different, numerically equal.
+	ps, err := e.RegisterDocument(offerDoc("a.rdf", "8.50", "cheap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ps.Changesets["lmr"]; cs == nil || len(cs.Upserts) != 1 {
+		t.Errorf("8.50 did not match rule constant 8.5: %+v", cs)
+	}
+	// Integer lexical form of the same value.
+	if _, _, err := e.Subscribe("lmr", `search Offer o register o where o.price = 12`); err != nil {
+		t.Fatal(err)
+	}
+	ps, err = e.RegisterDocument(offerDoc("b.rdf", "12.0", "twelve"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ps.Changesets["lmr"]; cs == nil || len(cs.Upserts) != 1 {
+		t.Errorf("12.0 did not match rule constant 12: %+v", cs)
+	}
+	// String equality must NOT be numeric: a title rule stays exact.
+	if _, _, err := e.Subscribe("lmr", `search Offer o register o where o.title = '12'`); err != nil {
+		t.Fatal(err)
+	}
+	ps, err = e.RegisterDocument(offerDoc("c.rdf", "1", "12.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ps.Changesets["lmr"]; cs != nil {
+		for _, up := range cs.Upserts {
+			if up.Resource.URIRef == "c.rdf#o" {
+				t.Error("string equality coerced numerically")
+			}
+		}
+	}
+}
+
+// TestContainsOnBareVariable: contains applies to the URI reference when
+// used on a bare variable.
+func TestContainsOnBareVariable(t *testing.T) {
+	e := newTestEngine(t)
+	if _, _, err := e.Subscribe("lmr",
+		`search CycleProvider c register c where c contains 'passau'`); err != nil {
+		t.Fatal(err)
+	}
+	doc := rdf.NewDocument("passau-north.rdf")
+	doc.NewResource("cp", "CycleProvider")
+	ps, err := e.RegisterDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ps.Changesets["lmr"]; cs == nil || len(cs.Upserts) != 1 {
+		t.Errorf("URI contains match failed: %+v", cs)
+	}
+	doc2 := rdf.NewDocument("munich.rdf")
+	doc2.NewResource("cp", "CycleProvider")
+	ps, err = e.RegisterDocument(doc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Subscribers()) != 0 {
+		t.Error("non-matching URI delivered")
+	}
+}
+
+// TestAllComparisonOperatorsTrigger: each operator lands in its own filter
+// table and matches correctly.
+func TestAllComparisonOperatorsTrigger(t *testing.T) {
+	e := newTestEngine(t)
+	cases := []struct {
+		rule    string
+		match   string // serverPort value that matches
+		nomatch string
+	}{
+		{`search CycleProvider c register c where c.serverPort = 10`, "10", "11"},
+		{`search CycleProvider c register c where c.serverPort != 10`, "11", "10"},
+		{`search CycleProvider c register c where c.serverPort < 10`, "9", "10"},
+		{`search CycleProvider c register c where c.serverPort <= 10`, "10", "11"},
+		{`search CycleProvider c register c where c.serverPort > 10`, "11", "10"},
+		{`search CycleProvider c register c where c.serverPort >= 10`, "10", "9"},
+	}
+	subByRule := map[int]int64{}
+	for i, c := range cases {
+		id, _, err := e.Subscribe("lmr", c.rule)
+		if err != nil {
+			t.Fatalf("%s: %v", c.rule, err)
+		}
+		subByRule[i] = id
+	}
+	docNum := 0
+	register := func(port string) map[int64]bool {
+		t.Helper()
+		docNum++
+		doc := rdf.NewDocument(rdf.NewDocument("x").URI + string(rune('a'+docNum)) + ".rdf")
+		cp := doc.NewResource("cp", "CycleProvider")
+		cp.Add("serverPort", rdf.Lit(port))
+		ps, err := e.RegisterDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]bool{}
+		if cs := ps.Changesets["lmr"]; cs != nil {
+			for _, up := range cs.Upserts {
+				for _, id := range up.SubIDs {
+					got[id] = true
+				}
+			}
+		}
+		return got
+	}
+	for i, c := range cases {
+		if got := register(c.match); !got[subByRule[i]] {
+			t.Errorf("rule %q did not match port %s", c.rule, c.match)
+		}
+		if got := register(c.nomatch); got[subByRule[i]] {
+			t.Errorf("rule %q wrongly matched port %s", c.rule, c.nomatch)
+		}
+	}
+	// Table placement: one row per operator table (NE with a numeric
+	// constant lands in the reconverting NEN table).
+	for _, table := range []string{"FilterRulesEQN", "FilterRulesNEN", "FilterRulesLT",
+		"FilterRulesLE", "FilterRulesGT", "FilterRulesGE"} {
+		if n := e.count(table); n != 1 {
+			t.Errorf("%s has %d rows, want 1", table, n)
+		}
+	}
+}

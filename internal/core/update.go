@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mdv/internal/rdb"
+	"mdv/internal/rdf"
+)
+
+// RegisterDocument registers a single document. See RegisterDocuments.
+func (e *Engine) RegisterDocument(doc *rdf.Document) (*PublishSet, error) {
+	return e.RegisterDocuments([]*rdf.Document{doc})
+}
+
+// RegisterDocuments registers (or re-registers) a batch of RDF documents
+// and runs the publish & subscribe filter over the batch. Re-registering a
+// document with the same URI updates it: the engine diffs the versions
+// (§3.5) and treats resources as added, updated, or deleted accordingly.
+//
+// The returned PublishSet contains the per-subscriber changesets: upserts
+// for resources that newly or still match subscribed rules (with their
+// strong-reference closures), removals for resources that no longer match
+// a subscription, and forced deletes for resources removed at the source.
+func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	var added, updatedNew, updatedOld, deleted []*rdf.Resource
+	var changes []docChange
+
+	seen := map[string]bool{}
+	for _, doc := range docs {
+		if seen[doc.URI] {
+			return nil, fmt.Errorf("core: duplicate document %s in batch", doc.URI)
+		}
+		seen[doc.URI] = true
+		if err := e.schema.ValidateDocument(doc); err != nil {
+			return nil, err
+		}
+		old, isNew, err := e.loadStoredDocument(doc.URI)
+		if err != nil {
+			return nil, err
+		}
+		diff := rdf.DiffDocuments(old, doc)
+		added = append(added, diff.Added...)
+		updatedNew = append(updatedNew, diff.Updated...)
+		updatedOld = append(updatedOld, diff.OldUpdated...)
+		deleted = append(deleted, diff.Deleted...)
+		changes = append(changes, docChange{doc: doc, content: rdf.DocumentString(doc), isNew: isNew})
+	}
+
+	// Reject cross-document URI collisions for added resources.
+	for _, r := range added {
+		rows, err := e.prep.resourceClass.Query(rdb.NewText(r.URIRef))
+		if err != nil {
+			return nil, err
+		}
+		if !rows.Empty() {
+			return nil, fmt.Errorf("core: resource %s is already registered by document %s",
+				r.URIRef, rows.Data[0][1].Str)
+		}
+	}
+
+	e.stats.DocumentsRegistered += len(docs)
+	e.stats.ResourcesRegistered += len(added) + len(updatedNew)
+
+	// Capture, before any state changes, which subscribers may cache the
+	// soon-to-change resources via strong references: the reverse closure
+	// must be computed while the old statements and materializations are
+	// still in place.
+	holders := map[string]map[string]bool{}
+	for _, group := range [][]*rdf.Resource{updatedOld, deleted} {
+		for _, r := range group {
+			h, err := e.strongHolders(r.URIRef)
+			if err != nil {
+				return nil, err
+			}
+			holders[r.URIRef] = h
+		}
+	}
+
+	// Phase 1 (§3.5, first filter execution): run the filter over the OLD
+	// versions of updated and deleted resources. The matches are the
+	// candidate set — every (rule, resource) pair whose support involves
+	// the old data — and their materializations are retracted.
+	var before *matchSet
+	if len(updatedOld)+len(deleted) > 0 {
+		oldAtoms := resourceAtoms(append(append([]*rdf.Resource{}, updatedOld...), deleted...))
+		m, err := e.runFilter(oldAtoms, modeCollect)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.unmaterializeAll(m); err != nil {
+			return nil, err
+		}
+		before = m
+	} else {
+		before = newMatchSet()
+	}
+
+	// Phase 2 (§3.5: "the modified metadata is written into the database"):
+	// apply the data changes.
+	for _, r := range append(append([]*rdf.Resource{}, updatedOld...), deleted...) {
+		if _, err := e.prep.delStatements.Exec(rdb.NewText(r.URIRef)); err != nil {
+			return nil, err
+		}
+		if _, err := e.prep.delResource.Exec(rdb.NewText(r.URIRef)); err != nil {
+			return nil, err
+		}
+	}
+	for _, ch := range changes {
+		if ch.isNew {
+			if _, err := e.db.Exec(`INSERT INTO Documents (uri, content) VALUES (?, ?)`,
+				rdb.NewText(ch.doc.URI), rdb.NewText(ch.content)); err != nil {
+				return nil, err
+			}
+		} else {
+			if _, err := e.db.Exec(`UPDATE Documents SET content = ? WHERE uri = ?`,
+				rdb.NewText(ch.content), rdb.NewText(ch.doc.URI)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, group := range [][]*rdf.Resource{added, updatedNew} {
+		for _, r := range group {
+			docURI, err := e.docURIOf(changes, r.URIRef)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := e.prep.insResource.Exec(
+				rdb.NewText(r.URIRef), rdb.NewText(docURI), rdb.NewText(r.Class)); err != nil {
+				return nil, err
+			}
+			for _, a := range singleResourceAtoms(r) {
+				if _, err := e.prep.insStatement.Exec(
+					rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
+					rdb.NewText(a.Value), rdb.NewBool(a.IsRef)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Phase 3 (§3.5, final filter execution; for new documents this is the
+	// only effective one): run the filter over the new and modified data,
+	// materializing the derived matches.
+	var after *matchSet
+	if len(added)+len(updatedNew) > 0 {
+		newAtoms := resourceAtoms(append(append([]*rdf.Resource{}, added...), updatedNew...))
+		m, err := e.runFilter(newAtoms, modeMaterialize)
+		if err != nil {
+			return nil, err
+		}
+		after = m
+	} else {
+		after = newMatchSet()
+	}
+
+	// Phase 4: determine true candidates (§3.5, second execution). A
+	// candidate (rule, resource) from phase 1 is a "wrong candidate" iff it
+	// is materialized again — either re-derived in phase 3 or never really
+	// retracted. RuleResults membership after phase 3 is exactly that test.
+	return e.buildPublishSet(before, after, updatedNew, deleted, holders)
+}
+
+// DeleteDocument removes a registered document and all its resources
+// (§2.2: "removing the complete document with all its content").
+func (e *Engine) DeleteDocument(uri string) (*PublishSet, error) {
+	e.mu.Lock()
+	stored, isNew, err := e.loadStoredDocument(uri)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	if isNew || stored == nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: document %s is not registered", uri)
+	}
+	e.mu.Unlock()
+	// Re-register an empty version: every resource becomes deleted.
+	empty := rdf.NewDocument(uri)
+	ps, err := e.RegisterDocuments([]*rdf.Document{empty})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	_, err = e.db.Exec(`DELETE FROM Documents WHERE uri = ?`, rdb.NewText(uri))
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// loadStoredDocument fetches and parses the stored version of a document.
+// isNew reports that no version is registered yet.
+func (e *Engine) loadStoredDocument(uri string) (doc *rdf.Document, isNew bool, err error) {
+	rows, err := e.db.Query(`SELECT content FROM Documents WHERE uri = ?`, rdb.NewText(uri))
+	if err != nil {
+		return nil, false, err
+	}
+	if rows.Empty() {
+		return nil, true, nil
+	}
+	doc, err = rdf.ParseDocumentString(uri, rows.Data[0][0].Str)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: stored document %s is corrupt: %w", uri, err)
+	}
+	return doc, false, nil
+}
+
+// docChange is one document of a registration batch.
+type docChange struct {
+	doc     *rdf.Document
+	content string
+	isNew   bool
+}
+
+// docURIOf resolves which batch document owns a resource.
+func (e *Engine) docURIOf(changes []docChange, uriRef string) (string, error) {
+	for _, ch := range changes {
+		if _, ok := ch.doc.Find(uriRef); ok {
+			return ch.doc.URI, nil
+		}
+	}
+	return "", fmt.Errorf("core: resource %s not found in batch", uriRef)
+}
+
+// resourceAtoms decomposes resources into statements (paper §3.2).
+func resourceAtoms(rs []*rdf.Resource) []rdf.Statement {
+	var out []rdf.Statement
+	for _, r := range rs {
+		out = append(out, singleResourceAtoms(r)...)
+	}
+	return out
+}
+
+func singleResourceAtoms(r *rdf.Resource) []rdf.Statement {
+	d := rdf.Document{Resources: []*rdf.Resource{r}}
+	return d.Statements()
+}
+
+// GetResource reconstructs a resource from the Statements table.
+func (e *Engine) GetResource(uriRef string) (*rdf.Resource, bool, error) {
+	rows, err := e.prep.stmtsOfURI.Query(rdb.NewText(uriRef))
+	if err != nil {
+		return nil, false, err
+	}
+	if rows.Empty() {
+		return nil, false, nil
+	}
+	res := &rdf.Resource{URIRef: uriRef}
+	for _, row := range rows.Data {
+		res.Class = row[1].Str
+		prop, value, isRef := row[2].Str, row[3].Str, row[4].Bool
+		if prop == rdf.SubjectProperty {
+			continue
+		}
+		if isRef {
+			res.Add(prop, rdf.Ref(value))
+		} else {
+			res.Add(prop, rdf.Lit(value))
+		}
+	}
+	return res, true, nil
+}
+
+// DocumentURIs lists all registered document URIs.
+func (e *Engine) DocumentURIs() ([]string, error) {
+	rows, err := e.db.Query(`SELECT uri FROM Documents ORDER BY uri`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, r[0].Str)
+	}
+	return out, nil
+}
+
+// StoredDocument returns the stored serialized form of a document.
+func (e *Engine) StoredDocument(uri string) (*rdf.Document, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	doc, isNew, err := e.loadStoredDocument(uri)
+	if err != nil {
+		return nil, err
+	}
+	if isNew {
+		return nil, fmt.Errorf("core: document %s is not registered", uri)
+	}
+	return doc, nil
+}
+
+// Browse lists resources of a class with a simple substring filter over
+// their serialized properties — the MDP-side browsing facility real users
+// use to select metadata for caching (paper §2.2, Figure 2).
+func (e *Engine) Browse(class, contains string) ([]*rdf.Resource, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rows, err := e.db.Query(`SELECT uri_reference FROM Resources WHERE class = ? ORDER BY uri_reference`,
+		rdb.NewText(class))
+	if err != nil {
+		return nil, err
+	}
+	var out []*rdf.Resource
+	for _, row := range rows.Data {
+		res, ok, err := e.GetResource(row[0].Str)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if contains != "" {
+			match := strings.Contains(res.URIRef, contains)
+			for _, p := range res.Props {
+				if strings.Contains(p.Value.String(), contains) {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

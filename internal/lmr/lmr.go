@@ -1,0 +1,222 @@
+// Package lmr implements the Local Metadata Repository node: the middle
+// tier of MDV (paper §2.2). A node owns a cache repository, maintains its
+// subscriptions at an MDP, receives published changesets, and serves the
+// MDV query language to local clients.
+package lmr
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"mdv/internal/core"
+	"mdv/internal/query"
+	"mdv/internal/rdf"
+	"mdv/internal/repository"
+	"mdv/internal/wire"
+)
+
+// ProviderAPI is what an LMR needs from its MDP. The in-process
+// provider.Provider and the network client.MDP both implement it.
+type ProviderAPI interface {
+	Subscribe(subscriber, rule string) (int64, *core.Changeset, error)
+	Unsubscribe(subID int64) error
+	Attach(subscriber string, apply func(*core.Changeset) error) error
+}
+
+// Node is one LMR.
+type Node struct {
+	name string
+	repo *repository.Repository
+	eval *query.Evaluator
+	prov ProviderAPI
+
+	mu       sync.Mutex
+	subs     map[int64]string // subID -> rule text
+	attached bool
+
+	server *wire.Server
+}
+
+// New creates an LMR node connected to the given provider.
+func New(name string, schema *rdf.Schema, prov ProviderAPI) (*Node, error) {
+	repo, err := repository.New(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		name: name,
+		repo: repo,
+		eval: query.NewEvaluator(repo.DB(), schema),
+		prov: prov,
+		subs: map[int64]string{},
+	}, nil
+}
+
+// Name returns the node's subscriber identity.
+func (n *Node) Name() string { return n.name }
+
+// Repository exposes the underlying cache (tests, tooling).
+func (n *Node) Repository() *repository.Repository { return n.repo }
+
+// ensureAttached registers the push channel at the MDP once, before the
+// first subscription, so no published changeset is missed.
+func (n *Node) ensureAttached() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.attached {
+		return nil
+	}
+	if err := n.prov.Attach(n.name, n.repo.ApplyChangeset); err != nil {
+		return err
+	}
+	n.attached = true
+	return nil
+}
+
+// AddSubscription registers a subscription rule at the MDP (paper §2.2:
+// "When subscribing to an MDP an LMR registers a set of subscription
+// rules"). The node is attached before subscribing, so the MDP delivers the
+// initial cache fill through the ordered push channel; the returned initial
+// changeset is deliberately not applied here (see provider.Subscribe).
+func (n *Node) AddSubscription(rule string) (int64, error) {
+	if err := n.ensureAttached(); err != nil {
+		return 0, err
+	}
+	subID, _, err := n.prov.Subscribe(n.name, rule)
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	n.subs[subID] = rule
+	n.mu.Unlock()
+	return subID, nil
+}
+
+// RemoveSubscription unregisters a rule and drops its cache credits; the
+// garbage collector then removes resources no longer covered (§2.4).
+func (n *Node) RemoveSubscription(subID int64) error {
+	n.mu.Lock()
+	_, known := n.subs[subID]
+	n.mu.Unlock()
+	if !known {
+		return fmt.Errorf("lmr: unknown subscription %d", subID)
+	}
+	if err := n.prov.Unsubscribe(subID); err != nil {
+		return err
+	}
+	if err := n.repo.DropSubscriptionCredits(subID); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	delete(n.subs, subID)
+	n.mu.Unlock()
+	return nil
+}
+
+// Subscriptions lists the node's subscriptions (id -> rule text).
+func (n *Node) Subscriptions() map[int64]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[int64]string, len(n.subs))
+	for id, rule := range n.subs {
+		out[id] = rule
+	}
+	return out
+}
+
+// Query evaluates an MDV query against the local cache only (§2.2: "LMRs
+// cache global metadata and use only locally available metadata for query
+// processing").
+func (n *Node) Query(q string) ([]*rdf.Resource, error) {
+	return n.eval.Evaluate(q)
+}
+
+// RegisterLocalDocument stores LMR-private metadata.
+func (n *Node) RegisterLocalDocument(doc *rdf.Document) error {
+	return n.repo.RegisterLocalDocument(doc)
+}
+
+// Resources lists cached resources of a class (empty = all).
+func (n *Node) Resources(class string) ([]*rdf.Resource, error) {
+	return n.repo.Resources(class)
+}
+
+// Serve starts the node's client-facing wire server.
+func (n *Node) Serve(addr string) (string, error) {
+	srv, err := wire.NewServer(addr, n.handle)
+	if err != nil {
+		return "", err
+	}
+	n.mu.Lock()
+	n.server = srv
+	n.mu.Unlock()
+	return srv.Addr(), nil
+}
+
+// Close stops the wire server, if running.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	srv := n.server
+	n.server = nil
+	n.mu.Unlock()
+	if srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+func (n *Node) handle(_ *wire.ServerConn, kind string, body json.RawMessage) (interface{}, error) {
+	switch kind {
+	case wire.KindQuery:
+		var req wire.QueryRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		rs, err := n.Query(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.ResourcesResponse{Resources: rs}, nil
+	case wire.KindAddSubscription:
+		var req wire.AddSubscriptionRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		id, err := n.AddSubscription(req.Rule)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.SubscribeResponse{SubID: id}, nil
+	case wire.KindRemoveSubscription:
+		var req wire.UnsubscribeRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, n.RemoveSubscription(req.SubID)
+	case wire.KindRegisterLocal:
+		var req wire.Doc
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		doc, err := rdf.ParseDocumentString(req.URI, req.XML)
+		if err != nil {
+			return nil, err
+		}
+		return nil, n.RegisterLocalDocument(doc)
+	case wire.KindListResources:
+		var req wire.ListResourcesRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		rs, err := n.Resources(req.Class)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.ResourcesResponse{Resources: rs}, nil
+	case wire.KindLMRStats:
+		return n.repo.Stats(), nil
+	default:
+		return nil, fmt.Errorf("lmr: unknown request kind %q", kind)
+	}
+}

@@ -1,0 +1,381 @@
+package lmr_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mdv/internal/client"
+	"mdv/internal/lmr"
+	"mdv/internal/provider"
+	"mdv/internal/rdf"
+)
+
+func testSchema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverHost", Type: rdf.TypeString})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverPort", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{
+		Name: "serverInformation", Type: rdf.TypeResource, RefClass: "ServerInformation", RefKind: rdf.StrongRef})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "memory", Type: rdf.TypeInteger})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "cpu", Type: rdf.TypeInteger})
+	return s
+}
+
+func providerDoc(i, memory int) *rdf.Document {
+	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
+	host := doc.NewResource("host", "CycleProvider")
+	host.Add("serverHost", rdf.Lit(fmt.Sprintf("host%02d.uni-passau.de", i)))
+	host.Add("serverPort", rdf.Lit(fmt.Sprint(5000+i)))
+	host.Add("serverInformation", rdf.Ref(doc.QualifyID("info")))
+	info := doc.NewResource("info", "ServerInformation")
+	info.Add("memory", rdf.Lit(fmt.Sprint(memory)))
+	info.Add("cpu", rdf.Lit("600"))
+	return doc
+}
+
+// TestInProcessThreeTier exercises the full architecture of Figure 2 in a
+// single process: MDP backbone node, LMR cache, client queries.
+func TestInProcessThreeTier(t *testing.T) {
+	schema := testSchema()
+	mdp, err := provider.New("mdp1", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := lmr.New("lmr1", schema, mdp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-existing metadata.
+	if err := mdp.RegisterDocument(providerDoc(1, 128)); err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe: initial fill arrives via the attached channel.
+	subID, err := node.AddSubscription(
+		`search CycleProvider c register c where c.serverInformation.memory > 64`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !node.Repository().Has("doc1.rdf#host") {
+		t.Fatal("initial fill missing")
+	}
+	if !node.Repository().Has("doc1.rdf#info") {
+		t.Fatal("initial fill missing strong closure")
+	}
+
+	// Live publication: new matching and non-matching documents.
+	if err := mdp.RegisterDocument(providerDoc(2, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mdp.RegisterDocument(providerDoc(3, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if !node.Repository().Has("doc2.rdf#host") {
+		t.Error("matching document not published")
+	}
+	if node.Repository().Has("doc3.rdf#host") {
+		t.Error("non-matching document published")
+	}
+
+	// Local queries over the cache.
+	rs, err := node.Query(`search CycleProvider c register c where c.serverInformation.memory >= 128`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Errorf("query found %d resources, want 2", len(rs))
+	}
+
+	// Update at the MDP propagates.
+	doc := providerDoc(1, 32) // drops below the threshold
+	if err := mdp.RegisterDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	if node.Repository().Has("doc1.rdf#host") {
+		t.Error("stale resource survived update")
+	}
+
+	// Unsubscribe clears the cache.
+	if err := node.RemoveSubscription(subID); err != nil {
+		t.Fatal(err)
+	}
+	if node.Repository().Len() != 0 {
+		t.Errorf("cache holds %d resources after unsubscribe", node.Repository().Len())
+	}
+	if _, err := node.Query(`search CycleProvider c register c`); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.RemoveSubscription(subID); err == nil {
+		t.Error("double unsubscribe accepted")
+	}
+}
+
+// TestLocalMetadataInQueries: LMR-private metadata participates in local
+// query evaluation but never reaches the MDP.
+func TestLocalMetadataInQueries(t *testing.T) {
+	schema := testSchema()
+	mdp, err := provider.New("mdp1", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := lmr.New("lmr1", schema, mdp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := rdf.NewDocument("private.rdf")
+	r := local.NewResource("secret", "CycleProvider")
+	r.Add("serverHost", rdf.Lit("internal.corp"))
+	r.Add("serverPort", rdf.Lit("22"))
+	if err := node.RegisterLocalDocument(local); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := node.Query(`search CycleProvider c register c where c.serverHost contains 'corp'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Errorf("local metadata not queryable: %d results", len(rs))
+	}
+	// The MDP knows nothing about it.
+	global, err := mdp.Browse("CycleProvider", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global) != 0 {
+		t.Error("local metadata leaked to the backbone")
+	}
+}
+
+// TestBackboneReplication: two MDPs replicate registrations; an LMR
+// subscribed at the second sees documents registered at the first (§2.2:
+// MDPs "consistently replicating metadata among each other").
+func TestBackboneReplication(t *testing.T) {
+	schema := testSchema()
+	mdp1, err := provider.New("mdp1", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdp2, err := provider.New("mdp2", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdp1.AddPeer(mdp2)
+	mdp2.AddPeer(mdp1)
+
+	node, err := lmr.New("lmr1", schema, mdp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.AddSubscription(
+		`search CycleProvider c register c where c.serverPort >= 5000`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register at mdp1; the LMR at mdp2 receives it via replication.
+	if err := mdp1.RegisterDocument(providerDoc(1, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if !node.Repository().Has("doc1.rdf#host") {
+		t.Fatal("replicated registration did not reach the second MDP's subscriber")
+	}
+	// Both backbone nodes store the document.
+	if _, err := mdp1.GetDocument("doc1.rdf"); err != nil {
+		t.Error("document missing at origin")
+	}
+	if _, err := mdp2.GetDocument("doc1.rdf"); err != nil {
+		t.Error("document missing at replica")
+	}
+
+	// Deletion replicates too.
+	if err := mdp1.DeleteDocument("doc1.rdf"); err != nil {
+		t.Fatal(err)
+	}
+	if node.Repository().Has("doc1.rdf#host") {
+		t.Error("replicated deletion did not propagate")
+	}
+}
+
+// TestWireEndToEnd runs the full architecture over real TCP sockets: MDP
+// server, LMR node connected via the network client, and an application
+// client querying the LMR server.
+func TestWireEndToEnd(t *testing.T) {
+	schema := testSchema()
+	mdp, err := provider.New("mdp1", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdpAddr, err := mdp.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mdp.Close()
+
+	// LMR connects to the MDP over the wire.
+	mdpClient, err := client.DialMDP(mdpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mdpClient.Close()
+	node, err := lmr.New("lmr1", schema, mdpClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmrAddr, err := node.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	// An administrator registers documents at the MDP over the wire.
+	admin, err := client.DialMDP(mdpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if err := admin.RegisterDocument(providerDoc(1, 128)); err != nil {
+		t.Fatal(err)
+	}
+
+	// An application talks to the LMR over the wire.
+	app, err := client.DialLMR(lmrAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	subID, err := app.AddSubscription(
+		`search CycleProvider c register c where c.serverInformation.memory > 64`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subID == 0 {
+		t.Error("subscription id missing")
+	}
+
+	rs, err := app.Query(`search CycleProvider c register c where c.serverHost contains 'uni-passau'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].URIRef != "doc1.rdf#host" {
+		t.Fatalf("wire query = %v", rs)
+	}
+
+	// A registration at the MDP is pushed to the LMR asynchronously.
+	if err := admin.RegisterDocument(providerDoc(2, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if !eventually(func() bool { return node.Repository().Has("doc2.rdf#host") }) {
+		t.Fatal("push notification did not arrive")
+	}
+
+	// Browse at the MDP over the wire.
+	browsed, err := admin.Browse("CycleProvider", "host02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(browsed) != 1 {
+		t.Errorf("browse = %v", browsed)
+	}
+
+	// Fetch a document back.
+	doc, err := admin.GetDocument("doc1.rdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Resources) != 2 {
+		t.Errorf("fetched document has %d resources", len(doc.Resources))
+	}
+
+	// Engine stats over the wire.
+	st, err := admin.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DocumentsRegistered != 2 {
+		t.Errorf("stats: DocumentsRegistered = %d", st.DocumentsRegistered)
+	}
+
+	// Deletion propagates over the wire.
+	if err := admin.DeleteDocument("doc2.rdf"); err != nil {
+		t.Fatal(err)
+	}
+	if !eventually(func() bool { return !node.Repository().Has("doc2.rdf#host") }) {
+		t.Fatal("deletion push did not arrive")
+	}
+
+	// Remove subscription through the application client.
+	if err := app.RemoveSubscription(subID); err != nil {
+		t.Fatal(err)
+	}
+	if !eventually(func() bool { return node.Repository().Len() == 0 }) {
+		t.Errorf("cache not empty after unsubscribe: %d", node.Repository().Len())
+	}
+
+	// Unknown request kinds produce errors, not hangs.
+	if _, err := app.Query(`this is not a query`); err == nil {
+		t.Error("malformed query accepted over the wire")
+	}
+
+	// Local metadata over the wire.
+	local := rdf.NewDocument("private.rdf")
+	r := local.NewResource("x", "ServerInformation")
+	r.Add("memory", rdf.Lit("1"))
+	if err := app.RegisterLocalDocument(local); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := app.Resources("ServerInformation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached) != 1 {
+		t.Errorf("local registration over wire: %v", cached)
+	}
+}
+
+// TestWireReplicationAcrossSockets: backbone replication across TCP.
+func TestWireReplicationAcrossSockets(t *testing.T) {
+	schema := testSchema()
+	mdp1, err := provider.New("mdp1", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdp2, err := provider.New("mdp2", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := mdp2.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mdp2.Close()
+	peer, err := client.DialMDP(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	mdp1.AddPeer(peer)
+
+	if err := mdp1.RegisterDocument(providerDoc(7, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdp2.GetDocument("doc7.rdf"); err != nil {
+		t.Fatal("document not replicated over the wire")
+	}
+	if err := mdp1.DeleteDocument("doc7.rdf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdp2.GetDocument("doc7.rdf"); err == nil {
+		t.Error("deletion not replicated over the wire")
+	}
+}
+
+func eventually(cond func() bool) bool {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}

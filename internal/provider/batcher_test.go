@@ -1,0 +1,151 @@
+package provider
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mdv/internal/core"
+	"mdv/internal/rdf"
+)
+
+func batcherSchema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverPort", Type: rdf.TypeInteger})
+	return s
+}
+
+func batcherDoc(i, port int) *rdf.Document {
+	doc := rdf.NewDocument(fmt.Sprintf("b%d.rdf", i))
+	doc.NewResource("cp", "CycleProvider").Add("serverPort", rdf.Lit(fmt.Sprint(port)))
+	return doc
+}
+
+func newBatcherProvider(t *testing.T) (*Provider, *[]*core.Changeset, *sync.Mutex) {
+	t.Helper()
+	p, err := New("mdp", batcherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []*core.Changeset
+	p.Attach("lmr", func(cs *core.Changeset) error {
+		mu.Lock()
+		got = append(got, cs)
+		mu.Unlock()
+		return nil
+	})
+	if _, _, err := p.Subscribe("lmr", `search CycleProvider c register c where c.serverPort > 0`); err != nil {
+		t.Fatal(err)
+	}
+	return p, &got, &mu
+}
+
+func TestBatcherFlushesOnSize(t *testing.T) {
+	p, got, mu := newBatcherProvider(t)
+	b := NewBatcher(p, 5, time.Hour) // size-triggered only
+	var flushes []int
+	b.OnFlush = func(n int, _ time.Duration, err error) {
+		if err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		flushes = append(flushes, n)
+	}
+	for i := 0; i < 12; i++ {
+		if err := b.Register(batcherDoc(i, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(flushes) != 2 || flushes[0] != 5 || flushes[1] != 5 {
+		t.Errorf("size flushes = %v", flushes)
+	}
+	if b.Pending() != 2 {
+		t.Errorf("pending = %d", b.Pending())
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Engine().Stats().DocumentsRegistered != 12 {
+		t.Errorf("registered = %d", p.Engine().Stats().DocumentsRegistered)
+	}
+	mu.Lock()
+	total := 0
+	for _, cs := range *got {
+		total += len(cs.Upserts)
+	}
+	mu.Unlock()
+	if total != 12 {
+		t.Errorf("published upserts = %d", total)
+	}
+	// Closed batcher rejects registrations.
+	if err := b.Register(batcherDoc(99, 80)); err == nil {
+		t.Error("register after close accepted")
+	}
+}
+
+func TestBatcherFlushesOnDelay(t *testing.T) {
+	p, _, _ := newBatcherProvider(t)
+	b := NewBatcher(p, 1000, 30*time.Millisecond)
+	done := make(chan int, 1)
+	b.OnFlush = func(n int, _ time.Duration, err error) {
+		if err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		done <- n
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Register(batcherDoc(i, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case n := <-done:
+		if n != 3 {
+			t.Errorf("delayed flush size = %d", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delay flush never fired")
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d after delay flush", b.Pending())
+	}
+}
+
+func TestBatcherCollapsesReRegistration(t *testing.T) {
+	p, _, _ := newBatcherProvider(t)
+	b := NewBatcher(p, 1000, time.Hour)
+	if err := b.Register(batcherDoc(1, 80)); err != nil {
+		t.Fatal(err)
+	}
+	// Newer version of the same document before the flush.
+	if err := b.Register(batcherDoc(1, 443)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (collapsed)", b.Pending())
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := p.Engine().GetResource("b1.rdf#cp")
+	if err != nil || res == nil {
+		t.Fatalf("resource missing: %v", err)
+	}
+	if v, _ := res.Get("serverPort"); v.String() != "443" {
+		t.Errorf("collapsed registration kept old version: %v", v)
+	}
+}
+
+func TestBatcherSurfacesFlushErrors(t *testing.T) {
+	p, _, _ := newBatcherProvider(t)
+	b := NewBatcher(p, 1000, time.Hour)
+	bad := rdf.NewDocument("bad.rdf")
+	bad.NewResource("x", "NoSuchClass")
+	if err := b.Register(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err == nil {
+		t.Error("flush error swallowed")
+	}
+}

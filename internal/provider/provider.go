@@ -1,0 +1,455 @@
+// Package provider implements the Metadata Provider (MDP) tier of MDV
+// (paper §2.2): the backbone node that stores global metadata, runs the
+// publish & subscribe filter on registrations, publishes changesets to
+// attached LMRs, and replicates registrations to its backbone peers (a flat
+// hierarchy with full replication).
+package provider
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"mdv/internal/core"
+	"mdv/internal/rdf"
+	"mdv/internal/wire"
+)
+
+// Peer is another MDP the provider replicates registrations to. Both
+// in-process providers and network clients implement it.
+type Peer interface {
+	ReplicateDocuments(docs []wire.Doc) error
+	ReplicateDelete(uri string) error
+}
+
+// Provider is one MDP node.
+type Provider struct {
+	name   string
+	engine *core.Engine
+
+	mu sync.Mutex
+	// attached holds in-process delivery callbacks per subscriber;
+	// wireAttach holds push connections of wire-attached subscribers.
+	attached   map[string][]func(*core.Changeset) error
+	wireAttach map[string][]*wire.ServerConn
+	peers      []Peer
+
+	// OnDeliveryError, if set, observes changeset delivery failures
+	// (broken subscribers). Delivery failures never fail the registration
+	// that produced the changeset: the metadata is committed either way,
+	// and a crashed LMR re-subscribes to recover.
+	OnDeliveryError func(subscriber string, err error)
+
+	// pubMu imposes a total order on everything a subscriber observes:
+	// registrations/deletions hold it across the engine run and the
+	// delivery of the resulting changesets, and Subscribe holds it across
+	// rule registration and the delivery of the initial cache fill. Without
+	// it, a changeset computed after a subscription could be delivered
+	// before the subscription's initial fill and be overwritten by stale
+	// data.
+	pubMu sync.Mutex
+
+	server *wire.Server
+}
+
+// New creates an MDP with a fresh filter engine.
+func New(name string, schema *rdf.Schema) (*Provider, error) {
+	return NewWithOptions(name, schema, core.Options{})
+}
+
+// NewWithOptions creates an MDP with explicit engine options.
+func NewWithOptions(name string, schema *rdf.Schema, opts core.Options) (*Provider, error) {
+	engine, err := core.NewEngineWithOptions(schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromEngine(name, engine), nil
+}
+
+// NewFromEngine wraps an existing engine (e.g. one restored from a
+// snapshot via core.Load) as a provider.
+func NewFromEngine(name string, engine *core.Engine) *Provider {
+	return &Provider{
+		name:       name,
+		engine:     engine,
+		attached:   map[string][]func(*core.Changeset) error{},
+		wireAttach: map[string][]*wire.ServerConn{},
+	}
+}
+
+// SaveSnapshot writes the provider's full engine state. Registrations are
+// quiesced for the duration (the engine serializes with its own lock).
+func (p *Provider) SaveSnapshot(w io.Writer) error {
+	return p.engine.Save(w)
+}
+
+// Name returns the provider's name.
+func (p *Provider) Name() string { return p.name }
+
+// Engine exposes the filter engine (tests, benchmarks).
+func (p *Provider) Engine() *core.Engine { return p.engine }
+
+// AddPeer registers a backbone peer for replication.
+func (p *Provider) AddPeer(peer Peer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.peers = append(p.peers, peer)
+}
+
+// Attach registers a delivery callback for a subscriber. Every published
+// changeset addressed to that subscriber is passed to apply. In-process
+// LMRs attach a direct function; the wire server attaches a push wrapper.
+func (p *Provider) Attach(subscriber string, apply func(*core.Changeset) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.attached[subscriber] = append(p.attached[subscriber], apply)
+	return nil
+}
+
+// Detach removes all delivery callbacks of a subscriber.
+func (p *Provider) Detach(subscriber string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.attached, subscriber)
+	delete(p.wireAttach, subscriber)
+}
+
+// attachWire registers a wire connection as a subscriber's push channel.
+func (p *Provider) attachWire(subscriber string, conn *wire.ServerConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wireAttach[subscriber] = append(p.wireAttach[subscriber], conn)
+}
+
+// publishLocked fans a publish set out to the attached subscribers. The
+// caller must hold pubMu. Delivery failures are reported through
+// OnDeliveryError and the failing wire channel is detached; they do not
+// fail the registration (the metadata is already committed).
+func (p *Provider) publishLocked(ps *core.PublishSet) error {
+	if ps == nil {
+		return nil
+	}
+	p.mu.Lock()
+	type delivery struct {
+		subscriber string
+		fn         func(*core.Changeset) error
+		cs         *core.Changeset
+	}
+	var deliveries []delivery
+	for subscriber, cs := range ps.Changesets {
+		if cs.Empty() {
+			continue
+		}
+		for _, fn := range p.attached[subscriber] {
+			deliveries = append(deliveries, delivery{subscriber: subscriber, fn: fn, cs: cs})
+		}
+		for _, conn := range p.wireAttach[subscriber] {
+			c := conn
+			sub := subscriber
+			deliveries = append(deliveries, delivery{
+				subscriber: subscriber,
+				fn: func(cs *core.Changeset) error {
+					if err := c.Notify(wire.KindChangeset, cs); err != nil {
+						p.detachConn(sub, c)
+						return err
+					}
+					return nil
+				},
+				cs: cs,
+			})
+		}
+	}
+	p.mu.Unlock()
+	for _, d := range deliveries {
+		if err := d.fn(d.cs); err != nil && p.OnDeliveryError != nil {
+			p.OnDeliveryError(d.subscriber, err)
+		}
+	}
+	return nil
+}
+
+// RegisterDocument registers one document. See RegisterDocuments.
+func (p *Provider) RegisterDocument(doc *rdf.Document) error {
+	return p.RegisterDocuments([]*rdf.Document{doc})
+}
+
+// RegisterDocuments registers a batch: runs the filter, publishes the
+// resulting changesets, and replicates the batch to backbone peers.
+func (p *Provider) RegisterDocuments(docs []*rdf.Document) error {
+	return p.registerDocuments(docs, false)
+}
+
+// ReplicateDocuments applies a batch forwarded by a backbone peer (not
+// forwarded again; the backbone is a full mesh).
+func (p *Provider) ReplicateDocuments(wdocs []wire.Doc) error {
+	docs, err := decodeDocs(wdocs)
+	if err != nil {
+		return err
+	}
+	return p.registerDocuments(docs, true)
+}
+
+func (p *Provider) registerDocuments(docs []*rdf.Document, replicated bool) error {
+	p.pubMu.Lock()
+	ps, err := p.engine.RegisterDocuments(docs)
+	if err != nil {
+		p.pubMu.Unlock()
+		return err
+	}
+	err = p.publishLocked(ps)
+	p.pubMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if replicated {
+		return nil
+	}
+	return p.forEachPeer(func(peer Peer) error {
+		return peer.ReplicateDocuments(encodeDocs(docs))
+	})
+}
+
+// DeleteDocument removes a document, publishes, and replicates the delete.
+func (p *Provider) DeleteDocument(uri string) error {
+	return p.deleteDocument(uri, false)
+}
+
+// ReplicateDelete applies a peer-forwarded document deletion.
+func (p *Provider) ReplicateDelete(uri string) error {
+	return p.deleteDocument(uri, true)
+}
+
+func (p *Provider) deleteDocument(uri string, replicated bool) error {
+	p.pubMu.Lock()
+	ps, err := p.engine.DeleteDocument(uri)
+	if err != nil {
+		p.pubMu.Unlock()
+		return err
+	}
+	err = p.publishLocked(ps)
+	p.pubMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if replicated {
+		return nil
+	}
+	return p.forEachPeer(func(peer Peer) error {
+		return peer.ReplicateDelete(uri)
+	})
+}
+
+func (p *Provider) forEachPeer(fn func(Peer) error) error {
+	p.mu.Lock()
+	peers := append([]Peer(nil), p.peers...)
+	p.mu.Unlock()
+	var errs []string
+	for _, peer := range peers {
+		if err := fn(peer); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("provider: replication: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// Subscribe registers a subscription and returns its id and the initial
+// cache fill. If the subscriber has attached delivery channels, the initial
+// fill is additionally delivered through them, in order with all other
+// published changesets; attached callers (LMR nodes) must therefore NOT
+// apply the returned changeset themselves.
+func (p *Provider) Subscribe(subscriber, rule string) (int64, *core.Changeset, error) {
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	subID, initial, err := p.engine.Subscribe(subscriber, rule)
+	if err != nil {
+		return 0, nil, err
+	}
+	if initial != nil && !initial.Empty() {
+		ps := &core.PublishSet{Changesets: map[string]*core.Changeset{subscriber: initial}}
+		if err := p.publishLocked(ps); err != nil {
+			return 0, nil, err
+		}
+	}
+	return subID, initial, nil
+}
+
+// Unsubscribe removes a subscription.
+func (p *Provider) Unsubscribe(subID int64) error {
+	return p.engine.Unsubscribe(subID)
+}
+
+// Browse lists resources of a class (paper §2.2's user browsing at an MDP).
+func (p *Provider) Browse(class, contains string) ([]*rdf.Resource, error) {
+	return p.engine.Browse(class, contains)
+}
+
+// GetDocument returns a registered document.
+func (p *Provider) GetDocument(uri string) (*rdf.Document, error) {
+	return p.engine.StoredDocument(uri)
+}
+
+// RegisterNamedRule stores a rule usable as a search extension.
+func (p *Provider) RegisterNamedRule(name, rule string) error {
+	return p.engine.RegisterNamedRule(name, rule)
+}
+
+func encodeDocs(docs []*rdf.Document) []wire.Doc {
+	out := make([]wire.Doc, len(docs))
+	for i, d := range docs {
+		out[i] = wire.Doc{URI: d.URI, XML: rdf.DocumentString(d)}
+	}
+	return out
+}
+
+func decodeDocs(wdocs []wire.Doc) ([]*rdf.Document, error) {
+	docs := make([]*rdf.Document, len(wdocs))
+	for i, wd := range wdocs {
+		d, err := rdf.ParseDocumentString(wd.URI, wd.XML)
+		if err != nil {
+			return nil, err
+		}
+		docs[i] = d
+	}
+	return docs, nil
+}
+
+// Serve starts the provider's wire server on addr ("host:0" for an
+// ephemeral port). The returned address is the actual listen address.
+func (p *Provider) Serve(addr string) (string, error) {
+	srv, err := wire.NewServer(addr, p.handle)
+	if err != nil {
+		return "", err
+	}
+	srv.OnDisconnect = func(conn *wire.ServerConn) {
+		if tag, ok := conn.Tag.Load().(string); ok && tag != "" {
+			p.detachConn(tag, conn)
+		}
+	}
+	p.mu.Lock()
+	p.server = srv
+	p.mu.Unlock()
+	return srv.Addr(), nil
+}
+
+// Close stops the wire server, if running.
+func (p *Provider) Close() error {
+	p.mu.Lock()
+	srv := p.server
+	p.server = nil
+	p.mu.Unlock()
+	if srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// detachConn drops a disconnected push channel.
+func (p *Provider) detachConn(subscriber string, conn *wire.ServerConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	list := p.wireAttach[subscriber]
+	for i, c := range list {
+		if c == conn {
+			p.wireAttach[subscriber] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(p.wireAttach[subscriber]) == 0 {
+		delete(p.wireAttach, subscriber)
+	}
+}
+
+func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessage) (interface{}, error) {
+	switch kind {
+	case wire.KindRegisterDocuments:
+		var req wire.RegisterDocumentsRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		docs, err := decodeDocs(req.Docs)
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.registerDocuments(docs, req.Replicated)
+	case wire.KindReplicate:
+		var req wire.RegisterDocumentsRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, p.ReplicateDocuments(req.Docs)
+	case wire.KindDeleteDocument:
+		var req wire.DeleteDocumentRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, p.deleteDocument(req.URI, req.Replicated)
+	case wire.KindReplicateDelete:
+		var req wire.DeleteDocumentRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, p.ReplicateDelete(req.URI)
+	case wire.KindSubscribe:
+		var req wire.SubscribeRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		id, initial, err := p.Subscribe(req.Subscriber, req.Rule)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.SubscribeResponse{SubID: id, Initial: initial}, nil
+	case wire.KindUnsubscribe:
+		var req wire.UnsubscribeRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, p.Unsubscribe(req.SubID)
+	case wire.KindBrowse:
+		var req wire.BrowseRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		rs, err := p.Browse(req.Class, req.Contains)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.ResourcesResponse{Resources: rs}, nil
+	case wire.KindGetDocument:
+		var req wire.GetDocumentRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		doc, err := p.GetDocument(req.URI)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Doc{URI: doc.URI, XML: rdf.DocumentString(doc)}, nil
+	case wire.KindAttach:
+		var req wire.AttachRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Subscriber == "" {
+			return nil, fmt.Errorf("provider: attach requires a subscriber name")
+		}
+		conn.Tag.Store(req.Subscriber)
+		p.attachWire(req.Subscriber, conn)
+		return nil, nil
+	case wire.KindNamedRule:
+		var req wire.NamedRuleRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, p.RegisterNamedRule(req.Name, req.Rule)
+	case wire.KindStats:
+		return p.engine.Stats(), nil
+	default:
+		return nil, fmt.Errorf("provider: unknown request kind %q", kind)
+	}
+}

@@ -1,0 +1,209 @@
+// Package query implements the MDV query language over an LMR's local
+// cache. The paper (§2.2) states the query language "is quite similar to
+// the rule language" and that "search requests are translated into SQL join
+// queries"; this package does exactly that: a query is parsed and
+// normalized with the rule machinery, then translated into one SQL join
+// query over the cache tables and executed locally.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdv/internal/rdb"
+	"mdv/internal/rdb/sql"
+	"mdv/internal/rdf"
+	"mdv/internal/rules"
+)
+
+// Result is one query answer: a resource from the local cache.
+type Result = rdf.Resource
+
+// Evaluator evaluates MDV queries against a cache database (the tables
+// created by internal/repository).
+type Evaluator struct {
+	db     *sql.DB
+	schema *rdf.Schema
+}
+
+// NewEvaluator creates an evaluator over a repository's database.
+func NewEvaluator(db *sql.DB, schema *rdf.Schema) *Evaluator {
+	return &Evaluator{db: db, schema: schema}
+}
+
+// Evaluate runs a query in the MDV query language and returns the matching
+// resources, sorted by URI reference. OR queries evaluate each disjunct and
+// union the results.
+func (ev *Evaluator) Evaluate(src string) ([]*rdf.Resource, error) {
+	uris, err := ev.EvaluateURIs(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*rdf.Resource, 0, len(uris))
+	for _, uri := range uris {
+		res, ok, err := ev.getResource(uri)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// EvaluateURIs runs a query and returns the matching URI references.
+func (ev *Evaluator) EvaluateURIs(src string) ([]string, error) {
+	q, err := rules.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	normalized, err := rules.Normalize(q, ev.schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, nr := range normalized {
+		text, params, err := Translate(nr, ev.schema)
+		if err != nil {
+			return nil, err
+		}
+		err = ev.db.QueryFunc(text, params, func(row []rdb.Value) error {
+			uri := row[0].Str
+			if !seen[uri] {
+				seen[uri] = true
+				out = append(out, uri)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (ev *Evaluator) getResource(uriRef string) (*rdf.Resource, bool, error) {
+	rows, err := ev.db.Query(
+		`SELECT property, value, is_ref, class FROM CacheStatements WHERE uri_reference = ?`,
+		rdb.NewText(uriRef))
+	if err != nil {
+		return nil, false, err
+	}
+	if rows.Empty() {
+		return nil, false, nil
+	}
+	res := &rdf.Resource{URIRef: uriRef}
+	for _, row := range rows.Data {
+		res.Class = row[3].Str
+		prop, value, isRef := row[0].Str, row[1].Str, row[2].Bool
+		if prop == rdf.SubjectProperty {
+			continue
+		}
+		if isRef {
+			res.Add(prop, rdf.Ref(value))
+		} else {
+			res.Add(prop, rdf.Lit(value))
+		}
+	}
+	return res, true, nil
+}
+
+// Translate turns one normalized query into a SQL join query over the cache
+// tables (Cache anchors the class of each variable; every property access
+// joins one CacheStatements alias). It returns the SQL text and parameters;
+// the single result column is the registered variable's URI reference.
+func Translate(nr *rules.NormalRule, schema *rdf.Schema) (string, []rdb.Value, error) {
+	var from []string
+	var where []string
+	var params []rdb.Value
+
+	// One Cache anchor per variable.
+	anchor := map[string]string{}
+	for i, b := range nr.Search {
+		alias := fmt.Sprintf("r%d", i)
+		anchor[b.Var] = alias
+		from = append(from, "Cache "+alias)
+		where = append(where, alias+".class = ?")
+		params = append(params, rdb.NewText(b.Extension))
+	}
+
+	// One CacheStatements alias per property access.
+	nProps := 0
+	propAlias := func(v, prop string) string {
+		nProps++
+		alias := fmt.Sprintf("p%d", nProps)
+		from = append(from, "CacheStatements "+alias)
+		where = append(where,
+			alias+".uri_reference = "+anchor[v]+".uri_reference",
+			alias+".property = ?")
+		params = append(params, rdb.NewText(prop))
+		return alias + ".value"
+	}
+
+	// operandSQL renders one operand, emitting joins as needed. Constant
+	// parameters are deferred: their ? appears in the comparison condition,
+	// which is appended after any property-join conditions, so the caller
+	// appends them to params only once the condition itself is appended.
+	var deferred []rdb.Value
+	operandSQL := func(o rules.Operand) (string, bool, error) {
+		switch {
+		case o.Kind == rules.OperandConst:
+			deferred = append(deferred, rdb.NewText(o.Const.Lexical()))
+			return "?", o.Const.Kind != rules.ConstString, nil
+		case len(o.Path) == 0:
+			return anchor[o.Var] + ".uri_reference", false, nil
+		default:
+			step := o.Path[0]
+			numeric := false
+			if b, ok := nr.Binding(o.Var); ok {
+				if c, ok := schema.Class(b.Extension); ok {
+					if def, ok := c.Property(step.Property); ok {
+						numeric = def.Type == rdf.TypeInteger || def.Type == rdf.TypeFloat
+					}
+				}
+			}
+			return propAlias(o.Var, step.Property), numeric, nil
+		}
+	}
+
+	for _, p := range nr.Where {
+		deferred = deferred[:0]
+		lhs, lNum, err := operandSQL(p.Left)
+		if err != nil {
+			return "", nil, err
+		}
+		rhs, rNum, err := operandSQL(p.Right)
+		if err != nil {
+			return "", nil, err
+		}
+		var cond string
+		switch p.Op {
+		case rules.OpContains:
+			cond = lhs + " CONTAINS " + rhs
+		case rules.OpLt, rules.OpLe, rules.OpGt, rules.OpGe:
+			cond = "CAST(" + lhs + " AS FLOAT) " + p.Op.String() + " CAST(" + rhs + " AS FLOAT)"
+		default: // = and !=
+			if lNum && rNum {
+				cond = "CAST(" + lhs + " AS FLOAT) " + p.Op.String() + " CAST(" + rhs + " AS FLOAT)"
+			} else {
+				cond = lhs + " " + p.Op.String() + " " + rhs
+			}
+		}
+		where = append(where, cond)
+		params = append(params, deferred...)
+	}
+
+	regAnchor, ok := anchor[nr.Register]
+	if !ok {
+		return "", nil, fmt.Errorf("query: register variable %q unbound", nr.Register)
+	}
+	text := "SELECT DISTINCT " + regAnchor + ".uri_reference FROM " + strings.Join(from, ", ")
+	if len(where) > 0 {
+		text += " WHERE " + strings.Join(where, " AND ")
+	}
+	return text, params, nil
+}

@@ -1,0 +1,178 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"mdv/internal/rdb"
+	"mdv/internal/rdb/sql"
+	"mdv/internal/rdf"
+	"mdv/internal/rules"
+)
+
+func translateSchema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverHost", Type: rdf.TypeString})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverPort", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{
+		Name: "serverInformation", Type: rdf.TypeResource, RefClass: "ServerInformation", RefKind: rdf.StrongRef})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "memory", Type: rdf.TypeInteger})
+	return s
+}
+
+func normalize(t *testing.T, src string) *rules.NormalRule {
+	t.Helper()
+	r, err := rules.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrs, err := rules.Normalize(r, translateSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nrs) != 1 {
+		t.Fatalf("expected one normalized rule, got %d", len(nrs))
+	}
+	return nrs[0]
+}
+
+// TestTranslateShapes checks the SQL the translator emits for the main
+// operand combinations (§2.2: "search requests are translated into SQL
+// join queries").
+func TestTranslateShapes(t *testing.T) {
+	cases := []struct {
+		rule       string
+		wantParts  []string
+		paramCount int
+	}{
+		{
+			`search CycleProvider c register c`,
+			[]string{"SELECT DISTINCT r0.uri_reference", "FROM Cache r0", "r0.class = ?"},
+			1,
+		},
+		{
+			`search CycleProvider c register c where c.serverPort = 80`,
+			[]string{"CacheStatements p1", "p1.property = ?", "CAST(p1.value AS FLOAT) = CAST(? AS FLOAT)"},
+			3,
+		},
+		{
+			`search CycleProvider c register c where c.serverHost contains 'de'`,
+			[]string{"p1.value CONTAINS ?"},
+			3,
+		},
+		{
+			`search CycleProvider c register c where c = 'doc.rdf#host'`,
+			[]string{"r0.uri_reference = ?"},
+			2,
+		},
+		{
+			`search CycleProvider c, ServerInformation s register c
+			 where c.serverInformation = s and s.memory > 64`,
+			[]string{"Cache r0", "Cache r1", "p1.value = r1.uri_reference",
+				"CAST(p2.value AS FLOAT) > CAST(? AS FLOAT)"},
+			5,
+		},
+	}
+	for _, c := range cases {
+		nr := normalize(t, c.rule)
+		text, params, err := Translate(nr, translateSchema())
+		if err != nil {
+			t.Fatalf("%s: %v", c.rule, err)
+		}
+		for _, part := range c.wantParts {
+			if !strings.Contains(text, part) {
+				t.Errorf("rule %q:\n sql %q\n missing %q", c.rule, text, part)
+			}
+		}
+		if len(params) != c.paramCount {
+			t.Errorf("rule %q: %d params, want %d (%v)", c.rule, len(params), c.paramCount, params)
+		}
+		// Placeholder count matches the parameter list.
+		if got := strings.Count(text, "?"); got != len(params) {
+			t.Errorf("rule %q: %d placeholders vs %d params", c.rule, got, len(params))
+		}
+	}
+}
+
+// TestTranslateConstLeftParamOrder regression-tests the parameter ordering
+// when the constant is the left operand.
+func TestTranslateConstLeftParamOrder(t *testing.T) {
+	db := sql.Open()
+	for _, stmt := range []string{
+		`CREATE TABLE Cache (uri_reference TEXT PRIMARY KEY, class TEXT NOT NULL, local BOOL NOT NULL)`,
+		`CREATE TABLE CacheStatements (uri_reference TEXT NOT NULL, class TEXT NOT NULL,
+			property TEXT NOT NULL, value TEXT NOT NULL, is_ref BOOL NOT NULL)`,
+	} {
+		db.MustExec(stmt)
+	}
+	db.MustExec(`INSERT INTO Cache (uri_reference, class, local) VALUES ('d#1', 'CycleProvider', FALSE)`)
+	db.MustExec(`INSERT INTO CacheStatements (uri_reference, class, property, value, is_ref)
+		VALUES ('d#1', 'CycleProvider', 'serverPort', '99', FALSE)`)
+
+	ev := NewEvaluator(db, translateSchema())
+	uris, err := ev.EvaluateURIs(`search CycleProvider c register c where 50 < c.serverPort`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uris) != 1 {
+		t.Errorf("const-left: %v", uris)
+	}
+	uris, err = ev.EvaluateURIs(`search CycleProvider c register c where 150 < c.serverPort`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uris) != 0 {
+		t.Errorf("const-left negative: %v", uris)
+	}
+}
+
+// TestEvaluatorErrors: malformed queries surface as errors.
+func TestEvaluatorErrors(t *testing.T) {
+	db := sql.Open()
+	db.MustExec(`CREATE TABLE Cache (uri_reference TEXT PRIMARY KEY, class TEXT NOT NULL, local BOOL NOT NULL)`)
+	db.MustExec(`CREATE TABLE CacheStatements (uri_reference TEXT NOT NULL, class TEXT NOT NULL,
+		property TEXT NOT NULL, value TEXT NOT NULL, is_ref BOOL NOT NULL)`)
+	ev := NewEvaluator(db, translateSchema())
+	for _, q := range []string{
+		`not a query`,
+		`search Unknown u register u`,
+		`search CycleProvider c register c where c.nope = 1`,
+	} {
+		if _, err := ev.Evaluate(q); err == nil {
+			t.Errorf("accepted %q", q)
+		}
+	}
+}
+
+// TestEvaluatorResourceReconstruction: results carry full property sets.
+func TestEvaluatorResourceReconstruction(t *testing.T) {
+	db := sql.Open()
+	db.MustExec(`CREATE TABLE Cache (uri_reference TEXT PRIMARY KEY, class TEXT NOT NULL, local BOOL NOT NULL)`)
+	db.MustExec(`CREATE TABLE CacheStatements (uri_reference TEXT NOT NULL, class TEXT NOT NULL,
+		property TEXT NOT NULL, value TEXT NOT NULL, is_ref BOOL NOT NULL)`)
+	db.MustExec(`INSERT INTO Cache (uri_reference, class, local) VALUES ('d#1', 'CycleProvider', FALSE)`)
+	for _, row := range [][3]interface{}{
+		{"serverHost", "h.example.org", false},
+		{"serverPort", "80", false},
+		{"serverInformation", "d#si", true},
+	} {
+		db.MustExec(`INSERT INTO CacheStatements (uri_reference, class, property, value, is_ref)
+			VALUES ('d#1', 'CycleProvider', ?, ?, ?)`,
+			rdb.NewText(row[0].(string)), rdb.NewText(row[1].(string)), rdb.NewBool(row[2].(bool)))
+	}
+	ev := NewEvaluator(db, translateSchema())
+	rs, err := ev.Evaluate(`search CycleProvider c register c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	r := rs[0]
+	if r.Class != "CycleProvider" || len(r.Props) != 3 {
+		t.Errorf("reconstructed resource: %+v", r)
+	}
+	if v, _ := r.Get("serverInformation"); v.Kind != rdf.ResourceRef || v.Ref != "d#si" {
+		t.Errorf("reference property lost: %+v", v)
+	}
+}

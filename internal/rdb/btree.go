@@ -1,0 +1,203 @@
+package rdb
+
+// bptree is an in-memory B+tree mapping composite keys to row IDs. Keys in
+// the tree are made unique by appending the row ID as a final INT component,
+// so non-unique indexes need no postings lists and deletion is exact.
+//
+// Leaves are linked for range scans. The order (max children per internal
+// node) is fixed; leaves hold up to order-1 entries.
+
+const btreeOrder = 64
+
+type bptree struct {
+	root   btnode
+	height int // 1 = root is a leaf
+	size   int
+}
+
+type btnode interface{}
+
+type btleaf struct {
+	keys []Key
+	rows []int64
+	next *btleaf
+}
+
+type btinner struct {
+	// keys[i] is the smallest key in children[i+1]'s subtree.
+	keys     []Key
+	children []btnode
+}
+
+func newBPTree() *bptree {
+	return &bptree{root: &btleaf{}, height: 1}
+}
+
+// fullKey materializes the tree key for (key, rowID).
+func fullKey(key Key, rowID int64) Key {
+	fk := make(Key, len(key)+1)
+	copy(fk, key)
+	fk[len(key)] = NewInt(rowID)
+	return fk
+}
+
+// search returns the index of the first element in keys >= k.
+func searchKeys(keys []Key, k Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an inner node should contain key k.
+func (n *btinner) childIndex(k Key) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(n.keys[mid], k) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds (key, rowID) to the tree.
+func (t *bptree) Insert(key Key, rowID int64) {
+	fk := fullKey(key, rowID)
+	splitKey, newNode := t.insert(t.root, t.height, fk, rowID)
+	if newNode != nil {
+		t.root = &btinner{keys: []Key{splitKey}, children: []btnode{t.root, newNode}}
+		t.height++
+	}
+	t.size++
+}
+
+// insert recursively inserts and returns a (splitKey, newRightSibling) pair
+// if the visited node split, else (nil, nil).
+func (t *bptree) insert(n btnode, height int, fk Key, rowID int64) (Key, btnode) {
+	if height == 1 {
+		leaf := n.(*btleaf)
+		i := searchKeys(leaf.keys, fk)
+		leaf.keys = append(leaf.keys, nil)
+		copy(leaf.keys[i+1:], leaf.keys[i:])
+		leaf.keys[i] = fk
+		leaf.rows = append(leaf.rows, 0)
+		copy(leaf.rows[i+1:], leaf.rows[i:])
+		leaf.rows[i] = rowID
+		if len(leaf.keys) < btreeOrder {
+			return nil, nil
+		}
+		// Split the leaf in half.
+		mid := len(leaf.keys) / 2
+		right := &btleaf{
+			keys: append([]Key(nil), leaf.keys[mid:]...),
+			rows: append([]int64(nil), leaf.rows[mid:]...),
+			next: leaf.next,
+		}
+		leaf.keys = leaf.keys[:mid:mid]
+		leaf.rows = leaf.rows[:mid:mid]
+		leaf.next = right
+		return right.keys[0], right
+	}
+	inner := n.(*btinner)
+	ci := inner.childIndex(fk)
+	splitKey, newChild := t.insert(inner.children[ci], height-1, fk, rowID)
+	if newChild == nil {
+		return nil, nil
+	}
+	inner.keys = append(inner.keys, nil)
+	copy(inner.keys[ci+1:], inner.keys[ci:])
+	inner.keys[ci] = splitKey
+	inner.children = append(inner.children, nil)
+	copy(inner.children[ci+2:], inner.children[ci+1:])
+	inner.children[ci+1] = newChild
+	if len(inner.children) < btreeOrder {
+		return nil, nil
+	}
+	// Split the inner node; the middle key moves up.
+	mid := len(inner.keys) / 2
+	upKey := inner.keys[mid]
+	right := &btinner{
+		keys:     append([]Key(nil), inner.keys[mid+1:]...),
+		children: append([]btnode(nil), inner.children[mid+1:]...),
+	}
+	inner.keys = inner.keys[:mid:mid]
+	inner.children = inner.children[: mid+1 : mid+1]
+	return upKey, right
+}
+
+// Delete removes (key, rowID) from the tree. It reports whether the entry
+// was found. Underfull nodes are not rebalanced — deleted space is reclaimed
+// on the next snapshot reload, which rebuilds indexes from scratch. This
+// trades worst-case tree height for simplicity; the MDV workloads are
+// insert-heavy.
+func (t *bptree) Delete(key Key, rowID int64) bool {
+	fk := fullKey(key, rowID)
+	n := t.root
+	for h := t.height; h > 1; h-- {
+		inner := n.(*btinner)
+		n = inner.children[inner.childIndex(fk)]
+	}
+	leaf := n.(*btleaf)
+	i := searchKeys(leaf.keys, fk)
+	if i >= len(leaf.keys) || CompareKeys(leaf.keys[i], fk) != 0 {
+		return false
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.rows = append(leaf.rows[:i], leaf.rows[i+1:]...)
+	t.size--
+	return true
+}
+
+// ScanRange visits every (key, rowID) with low <= key <= high in key order,
+// where key is the user key (without the rowID tiebreak). Bounds may use
+// sentinel values and may be shorter than the full key (prefix scans). The
+// visit function returns false to stop early.
+func (t *bptree) ScanRange(low, high Key, visit func(key Key, rowID int64) bool) {
+	// The stored keys have a trailing rowID component; a low bound of
+	// (v1..vk) must start at the first stored key >= (v1..vk, -inf), which
+	// prefix comparison already gives us (shorter key sorts first).
+	n := t.root
+	for h := t.height; h > 1; h-- {
+		inner := n.(*btinner)
+		n = inner.children[inner.childIndex(low)]
+	}
+	leaf := n.(*btleaf)
+	i := searchKeys(leaf.keys, low)
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			fk := leaf.keys[i]
+			userKey := fk[:len(fk)-1]
+			// Compare the user key against the high bound, truncating to the
+			// bound's length so prefix bounds behave inclusively.
+			cmpKey := userKey
+			if len(high) < len(cmpKey) {
+				cmpKey = cmpKey[:len(high)]
+			}
+			if CompareKeys(cmpKey, high) > 0 {
+				return
+			}
+			if !visit(userKey, leaf.rows[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		i = 0
+	}
+}
+
+// ScanAll visits every entry in key order.
+func (t *bptree) ScanAll(visit func(key Key, rowID int64) bool) {
+	t.ScanRange(Key{MinSentinel()}, Key{MaxSentinel()}, visit)
+}
+
+// Len returns the number of entries in the tree.
+func (t *bptree) Len() int { return t.size }

@@ -1,0 +1,233 @@
+package rdb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func collectRange(t *bptree, low, high Key) []int64 {
+	var out []int64
+	t.ScanRange(low, high, func(_ Key, rowID int64) bool {
+		out = append(out, rowID)
+		return true
+	})
+	return out
+}
+
+func TestBPTreeInsertAndScanOrder(t *testing.T) {
+	tr := newBPTree()
+	// Insert in reverse to exercise ordering.
+	for i := 999; i >= 0; i-- {
+		tr.Insert(Key{NewInt(int64(i))}, int64(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got []int64
+	tr.ScanAll(func(k Key, rowID int64) bool {
+		got = append(got, rowID)
+		return true
+	})
+	if len(got) != 1000 {
+		t.Fatalf("scan returned %d entries", len(got))
+	}
+	for i, id := range got {
+		if id != int64(i) {
+			t.Fatalf("position %d: got %d", i, id)
+		}
+	}
+}
+
+func TestBPTreeRangeScanBounds(t *testing.T) {
+	tr := newBPTree()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Key{NewInt(int64(i * 2))}, int64(i))
+	}
+	// [10, 20] covers keys 10,12,...,20 => rows 5..10.
+	got := collectRange(tr, Key{NewInt(10)}, Key{NewInt(20)})
+	want := []int64{5, 6, 7, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Empty range.
+	if got := collectRange(tr, Key{NewInt(11)}, Key{NewInt(11)}); len(got) != 0 {
+		t.Errorf("odd key should be absent, got %v", got)
+	}
+	// Open bounds via sentinels.
+	if got := collectRange(tr, Key{MinSentinel()}, Key{NewInt(4)}); len(got) != 3 {
+		t.Errorf("(-inf,4] should have 3 entries, got %v", got)
+	}
+	if got := collectRange(tr, Key{NewInt(194)}, Key{MaxSentinel()}); len(got) != 3 {
+		t.Errorf("[194,inf) should have 3 entries, got %v", got)
+	}
+}
+
+func TestBPTreeDuplicateKeys(t *testing.T) {
+	tr := newBPTree()
+	for i := 0; i < 50; i++ {
+		tr.Insert(Key{NewText("same")}, int64(i))
+	}
+	got := collectRange(tr, Key{NewText("same")}, Key{NewText("same")})
+	if len(got) != 50 {
+		t.Fatalf("expected 50 duplicates, got %d", len(got))
+	}
+	// rowID tiebreak means duplicates come back in rowID order.
+	for i, id := range got {
+		if id != int64(i) {
+			t.Fatalf("duplicate order broken at %d: %d", i, id)
+		}
+	}
+	if !tr.Delete(Key{NewText("same")}, 25) {
+		t.Fatal("delete of existing duplicate failed")
+	}
+	got = collectRange(tr, Key{NewText("same")}, Key{NewText("same")})
+	if len(got) != 49 {
+		t.Fatalf("expected 49 after delete, got %d", len(got))
+	}
+	for _, id := range got {
+		if id == 25 {
+			t.Fatal("deleted entry still present")
+		}
+	}
+}
+
+func TestBPTreeDeleteMissing(t *testing.T) {
+	tr := newBPTree()
+	tr.Insert(Key{NewInt(1)}, 1)
+	if tr.Delete(Key{NewInt(1)}, 2) {
+		t.Error("delete with wrong rowID should fail")
+	}
+	if tr.Delete(Key{NewInt(2)}, 1) {
+		t.Error("delete of absent key should fail")
+	}
+	if !tr.Delete(Key{NewInt(1)}, 1) {
+		t.Error("delete of present entry should succeed")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after delete", tr.Len())
+	}
+}
+
+func TestBPTreeCompositeKeyPrefixScan(t *testing.T) {
+	tr := newBPTree()
+	// Key = (class, property); 10 classes x 10 properties.
+	for c := 0; c < 10; c++ {
+		for p := 0; p < 10; p++ {
+			tr.Insert(Key{NewInt(int64(c)), NewInt(int64(p))}, int64(c*10+p))
+		}
+	}
+	// Prefix scan on class 3 only (short bounds).
+	got := collectRange(tr, Key{NewInt(3)}, Key{NewInt(3)})
+	if len(got) != 10 {
+		t.Fatalf("prefix scan returned %d entries, want 10", len(got))
+	}
+	for i, id := range got {
+		if id != int64(30+i) {
+			t.Fatalf("prefix scan wrong entry %d: %d", i, id)
+		}
+	}
+	// Full composite point.
+	got = collectRange(tr, Key{NewInt(3), NewInt(4)}, Key{NewInt(3), NewInt(4)})
+	if len(got) != 1 || got[0] != 34 {
+		t.Fatalf("point scan got %v", got)
+	}
+}
+
+func TestBPTreeScanEarlyStop(t *testing.T) {
+	tr := newBPTree()
+	for i := 0; i < 500; i++ {
+		tr.Insert(Key{NewInt(int64(i))}, int64(i))
+	}
+	n := 0
+	tr.ScanAll(func(Key, int64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// Property: the tree agrees with a sorted reference under random
+// insert/delete interleavings.
+func TestBPTreeMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := newBPTree()
+	ref := map[int64]int64{} // rowID -> key value
+	nextID := int64(0)
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(3) != 0 || len(ref) == 0 {
+			k := int64(rng.Intn(2000))
+			tr.Insert(Key{NewInt(k)}, nextID)
+			ref[nextID] = k
+			nextID++
+		} else {
+			// Delete a random live entry.
+			for id, k := range ref {
+				if !tr.Delete(Key{NewInt(k)}, id) {
+					t.Fatalf("delete of live entry (%d,%d) failed", k, id)
+				}
+				delete(ref, id)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	// Full scan must return all reference entries in key order.
+	type pair struct{ k, id int64 }
+	var want []pair
+	for id, k := range ref {
+		want = append(want, pair{k, id})
+	}
+	sort.Slice(want, func(a, b int) bool {
+		if want[a].k != want[b].k {
+			return want[a].k < want[b].k
+		}
+		return want[a].id < want[b].id
+	})
+	var got []pair
+	tr.ScanAll(func(k Key, id int64) bool {
+		got = append(got, pair{k[0].Int, id})
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property (quick): every inserted batch is fully retrievable by range scan
+// over its span.
+func TestBPTreeRangeProperty(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := newBPTree()
+		counts := map[int64]int{}
+		for i, k := range keys {
+			tr.Insert(Key{NewInt(int64(k))}, int64(i))
+			counts[int64(k)]++
+		}
+		for k, want := range counts {
+			got := collectRange(tr, Key{NewInt(k)}, Key{NewInt(k)})
+			if len(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

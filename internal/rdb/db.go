@@ -1,0 +1,276 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+func lowerName(s string) string { return strings.ToLower(s) }
+
+// Database is a catalog of tables. All catalog operations (create/drop) and
+// table lookups are safe for concurrent use; row-level operations are
+// synchronized per table.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	// writeMu serializes transactions (single-writer model). Auto-committed
+	// single statements do not take it.
+	writeMu sync.Mutex
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a new table. Primary key columns automatically receive a
+// unique B+tree index named <table>_pk.
+func (db *Database) CreateTable(def TableDef) (*Table, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if _, exists := db.tables[lowerName(def.Name)]; exists {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("rdb: %w: %s", ErrTableExists, def.Name)
+	}
+	t := newTable(def)
+	db.tables[lowerName(def.Name)] = t
+	db.mu.Unlock()
+
+	if pk := def.PrimaryKeyColumns(); len(pk) > 0 {
+		cols := make([]string, len(pk))
+		for i, p := range pk {
+			cols[i] = def.Columns[p].Name
+		}
+		_, err := t.createIndex(IndexDef{
+			Name:    def.Name + "_pk",
+			Table:   def.Name,
+			Columns: cols,
+			Unique:  true,
+			Kind:    IndexBTree,
+		})
+		if err != nil {
+			db.mu.Lock()
+			delete(db.tables, lowerName(def.Name))
+			db.mu.Unlock()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// DropTable removes a table and all of its indexes.
+func (db *Database) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[lowerName(name)]; !ok {
+		return fmt.Errorf("rdb: %w: %s", ErrNoSuchTable, name)
+	}
+	delete(db.tables, lowerName(name))
+	return nil
+}
+
+// Table returns the named table.
+func (db *Database) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[lowerName(name)]
+	if !ok {
+		return nil, fmt.Errorf("rdb: %w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (db *Database) HasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.tables[lowerName(name)]
+	return ok
+}
+
+// TableNames returns the names of all tables, sorted.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.def.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateIndex builds a secondary index over an existing table, indexing the
+// rows already present.
+func (db *Database) CreateIndex(def IndexDef) (*Index, error) {
+	if def.Name == "" || len(def.Columns) == 0 {
+		return nil, fmt.Errorf("rdb: invalid index definition %q", def.Name)
+	}
+	t, err := db.Table(def.Table)
+	if err != nil {
+		return nil, err
+	}
+	return t.createIndex(def)
+}
+
+// DropIndex removes an index from a table.
+func (db *Database) DropIndex(table, name string) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.dropIndex(name)
+}
+
+// Begin starts a transaction. Transactions follow a single-writer model:
+// Begin blocks until any other open transaction finishes. Reads outside a
+// transaction remain concurrent.
+func (db *Database) Begin() *Txn {
+	db.writeMu.Lock()
+	return &Txn{db: db}
+}
+
+// Txn is an undo-log transaction. All mutations performed through the
+// transaction are rolled back in reverse order on Rollback.
+type Txn struct {
+	db   *Database
+	undo []undoEntry
+	done bool
+}
+
+type undoOp uint8
+
+const (
+	undoInsert undoOp = iota // compensate with delete
+	undoUpdate               // compensate with update to old row
+	undoDelete               // compensate by re-inserting old row at its slot
+)
+
+type undoEntry struct {
+	op    undoOp
+	table *Table
+	rowID int64
+	old   Row
+}
+
+// Insert inserts a row within the transaction.
+func (tx *Txn) Insert(table string, row Row) (int64, error) {
+	if tx.done {
+		return 0, ErrTxnDone
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	id, err := t.Insert(row)
+	if err != nil {
+		return 0, err
+	}
+	tx.undo = append(tx.undo, undoEntry{op: undoInsert, table: t, rowID: id})
+	return id, nil
+}
+
+// Update updates a row within the transaction.
+func (tx *Txn) Update(table string, rowID int64, row Row) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	old, ok := t.Get(rowID)
+	if !ok {
+		return fmt.Errorf("rdb: table %s: update row %d: %w", table, rowID, ErrNoSuchRow)
+	}
+	if err := t.Update(rowID, row); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{op: undoUpdate, table: t, rowID: rowID, old: old})
+	return nil
+}
+
+// Delete deletes a row within the transaction.
+func (tx *Txn) Delete(table string, rowID int64) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	t, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	old, err := t.Delete(rowID)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{op: undoDelete, table: t, rowID: rowID, old: old})
+	return nil
+}
+
+// Commit makes the transaction's changes final.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.db.writeMu.Unlock()
+	return nil
+}
+
+// Rollback undoes every change made through the transaction, in reverse.
+func (tx *Txn) Rollback() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.done = true
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := tx.undo[i]
+		switch e.op {
+		case undoInsert:
+			if _, err := e.table.Delete(e.rowID); err != nil {
+				panic(fmt.Sprintf("rdb: rollback: undo insert: %v", err))
+			}
+		case undoUpdate:
+			if err := e.table.Update(e.rowID, e.old); err != nil {
+				panic(fmt.Sprintf("rdb: rollback: undo update: %v", err))
+			}
+		case undoDelete:
+			if err := e.table.reinsertAt(e.rowID, e.old); err != nil {
+				panic(fmt.Sprintf("rdb: rollback: undo delete: %v", err))
+			}
+		}
+	}
+	tx.undo = nil
+	tx.db.writeMu.Unlock()
+	return nil
+}
+
+// reinsertAt restores a previously deleted row at its original slot so that
+// row IDs recorded elsewhere in the undo log remain valid.
+func (t *Table) reinsertAt(rowID int64, row Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rowID < 0 || rowID >= int64(len(t.rows)) || t.rows[rowID] != nil {
+		return fmt.Errorf("rdb: table %s: slot %d not free", t.def.Name, rowID)
+	}
+	// Remove the slot from the free list.
+	for i, f := range t.free {
+		if f == rowID {
+			t.free = append(t.free[:i], t.free[i+1:]...)
+			break
+		}
+	}
+	t.rows[rowID] = row.Clone()
+	t.live++
+	for _, ix := range t.indexes {
+		if err := ix.insert(t.rows[rowID], rowID); err != nil {
+			return err
+		}
+	}
+	return nil
+}

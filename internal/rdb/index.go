@@ -1,0 +1,139 @@
+package rdb
+
+import "fmt"
+
+// Index is a secondary index over a table. It maps composite keys, extracted
+// from the indexed columns of each row, to row IDs.
+type Index struct {
+	Def     IndexDef
+	colPos  []int // positions of indexed columns in the table row
+	btree   *bptree
+	hash    map[string][]int64
+	hashLen int
+}
+
+func newIndex(def IndexDef, colPos []int) *Index {
+	idx := &Index{Def: def, colPos: colPos}
+	if def.Kind == IndexHash {
+		idx.hash = make(map[string][]int64)
+	} else {
+		idx.btree = newBPTree()
+	}
+	return idx
+}
+
+// keyOf extracts the index key from a full table row.
+func (ix *Index) keyOf(row Row) Key {
+	k := make(Key, len(ix.colPos))
+	for i, p := range ix.colPos {
+		k[i] = row[p]
+	}
+	return k
+}
+
+// insert adds the row to the index, enforcing uniqueness if required.
+// Rows containing NULL in any key column are exempt from the uniqueness
+// check, matching the usual SQL treatment of NULLs in unique indexes.
+func (ix *Index) insert(row Row, rowID int64) error {
+	key := ix.keyOf(row)
+	if ix.Def.Unique && !keyHasNull(key) {
+		if ids := ix.lookup(key); len(ids) > 0 {
+			return fmt.Errorf("rdb: unique index %s: duplicate key (%s)", ix.Def.Name, keyString(key))
+		}
+	}
+	if ix.hash != nil {
+		s := encodeKeyString(key)
+		ix.hash[s] = append(ix.hash[s], rowID)
+		ix.hashLen++
+	} else {
+		ix.btree.Insert(key, rowID)
+	}
+	return nil
+}
+
+// remove deletes the (row, rowID) entry from the index.
+func (ix *Index) remove(row Row, rowID int64) {
+	key := ix.keyOf(row)
+	if ix.hash != nil {
+		s := encodeKeyString(key)
+		ids := ix.hash[s]
+		for i, id := range ids {
+			if id == rowID {
+				ids = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(ix.hash, s)
+		} else {
+			ix.hash[s] = ids
+		}
+		ix.hashLen--
+	} else {
+		ix.btree.Delete(key, rowID)
+	}
+}
+
+// lookup returns the row IDs whose key equals the given key exactly.
+func (ix *Index) lookup(key Key) []int64 {
+	if ix.hash != nil {
+		return ix.hash[encodeKeyString(key)]
+	}
+	var out []int64
+	ix.btree.ScanRange(key, key, func(k Key, rowID int64) bool {
+		// ScanRange treats a short high bound as a prefix bound; require an
+		// exact full-key match for point lookups.
+		if len(k) == len(key) && CompareKeys(k, key) == 0 {
+			out = append(out, rowID)
+		}
+		return true
+	})
+	return out
+}
+
+// Lookup returns the row IDs matching the key. Exported for the SQL planner.
+func (ix *Index) Lookup(key Key) []int64 { return ix.lookup(key) }
+
+// ScanRange visits index entries with low <= key <= high in order. Only
+// valid for B+tree indexes; hash indexes return ErrUnordered.
+func (ix *Index) ScanRange(low, high Key, visit func(key Key, rowID int64) bool) error {
+	if ix.btree == nil {
+		return fmt.Errorf("rdb: index %s: %w", ix.Def.Name, ErrUnordered)
+	}
+	ix.btree.ScanRange(low, high, visit)
+	return nil
+}
+
+// Len returns the number of entries in the index.
+func (ix *Index) Len() int {
+	if ix.hash != nil {
+		return ix.hashLen
+	}
+	return ix.btree.Len()
+}
+
+// Ordered reports whether the index supports range scans.
+func (ix *Index) Ordered() bool { return ix.btree != nil }
+
+// ColumnPositions returns the table-row positions of the indexed columns.
+func (ix *Index) ColumnPositions() []int { return ix.colPos }
+
+func keyHasNull(k Key) bool {
+	for _, v := range k {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func keyString(k Key) string {
+	s := ""
+	for i, v := range k {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s
+}

@@ -1,0 +1,614 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+
+	"mdv/internal/rdb"
+)
+
+// scope describes the flat row environment a compiled expression runs in:
+// the concatenated columns of all bound relations, in binding order.
+type scope struct {
+	rels []relBinding
+}
+
+type relBinding struct {
+	alias string
+	def   rdb.TableDef
+	start int // offset of this relation's first column in the env row
+}
+
+func (sc *scope) width() int {
+	if len(sc.rels) == 0 {
+		return 0
+	}
+	last := sc.rels[len(sc.rels)-1]
+	return last.start + len(last.def.Columns)
+}
+
+// resolve finds the env position of a column reference.
+func (sc *scope) resolve(ref *ColumnRef) (int, error) {
+	if ref.Table != "" {
+		for _, rb := range sc.rels {
+			if strings.EqualFold(rb.alias, ref.Table) {
+				ci := rb.def.ColumnIndex(ref.Column)
+				if ci < 0 {
+					return 0, fmt.Errorf("sql: %w: %s.%s", rdb.ErrNoSuchColumn, ref.Table, ref.Column)
+				}
+				return rb.start + ci, nil
+			}
+		}
+		return 0, fmt.Errorf("sql: unknown table or alias %q", ref.Table)
+	}
+	found := -1
+	for _, rb := range sc.rels {
+		if ci := rb.def.ColumnIndex(ref.Column); ci >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("sql: ambiguous column %q", ref.Column)
+			}
+			found = rb.start + ci
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: %w: %s", rdb.ErrNoSuchColumn, ref.Column)
+	}
+	return found, nil
+}
+
+// cexpr is a compiled expression: evaluated against a row environment and
+// the statement parameters.
+type cexpr func(env []rdb.Value, params []rdb.Value) (rdb.Value, error)
+
+// compileExpr compiles an AST expression against a scope. Aggregate nodes
+// are resolved through aggPos, which maps them to positions in the extended
+// environment built by the grouping operator; outside grouped queries
+// aggPos is nil and aggregates are rejected.
+func compileExpr(e Expr, sc *scope, aggPos map[*AggExpr]int) (cexpr, error) {
+	switch ex := e.(type) {
+	case *Literal:
+		v := ex.Value
+		return func([]rdb.Value, []rdb.Value) (rdb.Value, error) { return v, nil }, nil
+
+	case *Param:
+		ord := ex.Ordinal
+		return func(_ []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			if ord >= len(params) {
+				return rdb.Null(), fmt.Errorf("sql: missing parameter %d", ord+1)
+			}
+			return params[ord], nil
+		}, nil
+
+	case *ColumnRef:
+		pos, err := sc.resolve(ex)
+		if err != nil {
+			return nil, err
+		}
+		return func(env []rdb.Value, _ []rdb.Value) (rdb.Value, error) {
+			return env[pos], nil
+		}, nil
+
+	case *AggExpr:
+		if aggPos == nil {
+			return nil, fmt.Errorf("sql: aggregate %s used outside GROUP BY context", ex.Name)
+		}
+		pos, ok := aggPos[ex]
+		if !ok {
+			return nil, fmt.Errorf("sql: internal: unregistered aggregate %s", ex.Name)
+		}
+		return func(env []rdb.Value, _ []rdb.Value) (rdb.Value, error) {
+			return env[pos], nil
+		}, nil
+
+	case *UnaryExpr:
+		x, err := compileExpr(ex.X, sc, aggPos)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case "NOT":
+			return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+				v, err := x(env, params)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				if v.IsNull() {
+					return rdb.Null(), nil
+				}
+				b, err := truthy(v)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				return rdb.NewBool(!b), nil
+			}, nil
+		case "-":
+			return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+				v, err := x(env, params)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				switch v.Kind {
+				case rdb.KindNull:
+					return rdb.Null(), nil
+				case rdb.KindInt:
+					return rdb.NewInt(-v.Int), nil
+				case rdb.KindFloat:
+					return rdb.NewFloat(-v.Float), nil
+				}
+				return rdb.Null(), fmt.Errorf("sql: cannot negate %s", v.Kind)
+			}, nil
+		}
+		return nil, fmt.Errorf("sql: unknown unary operator %q", ex.Op)
+
+	case *IsNullExpr:
+		x, err := compileExpr(ex.X, sc, aggPos)
+		if err != nil {
+			return nil, err
+		}
+		not := ex.Not
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			v, err := x(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			return rdb.NewBool(v.IsNull() != not), nil
+		}, nil
+
+	case *InExpr:
+		x, err := compileExpr(ex.X, sc, aggPos)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]cexpr, len(ex.List))
+		for i, le := range ex.List {
+			ce, err := compileExpr(le, sc, aggPos)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = ce
+		}
+		not := ex.Not
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			v, err := x(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if v.IsNull() {
+				return rdb.Null(), nil
+			}
+			sawNull := false
+			for _, ce := range list {
+				lv, err := ce(env, params)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				if lv.IsNull() {
+					sawNull = true
+					continue
+				}
+				if rdb.Equal(v, lv) {
+					return rdb.NewBool(!not), nil
+				}
+			}
+			if sawNull {
+				return rdb.Null(), nil
+			}
+			return rdb.NewBool(not), nil
+		}, nil
+
+	case *CastExpr:
+		x, err := compileExpr(ex.X, sc, aggPos)
+		if err != nil {
+			return nil, err
+		}
+		kind := ex.Type
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			v, err := x(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			return v.CoerceTo(kind)
+		}, nil
+
+	case *FuncExpr:
+		args := make([]cexpr, len(ex.Args))
+		for i, a := range ex.Args {
+			ce, err := compileExpr(a, sc, aggPos)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ce
+		}
+		return compileFunc(ex.Name, args)
+
+	case *BinaryExpr:
+		return compileBinary(ex, sc, aggPos)
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T", e)
+}
+
+func compileFunc(name string, args []cexpr) (cexpr, error) {
+	argc := map[string][2]int{
+		"LOWER": {1, 1}, "UPPER": {1, 1}, "LENGTH": {1, 1}, "ABS": {1, 1},
+		"COALESCE": {1, 64},
+	}
+	rng, ok := argc[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown function %q", name)
+	}
+	if len(args) < rng[0] || len(args) > rng[1] {
+		return nil, fmt.Errorf("sql: function %s: wrong argument count %d", name, len(args))
+	}
+	switch name {
+	case "LOWER", "UPPER":
+		upper := name == "UPPER"
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			v, err := args[0](env, params)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			s, err := v.CoerceTo(rdb.KindText)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if upper {
+				return rdb.NewText(strings.ToUpper(s.Str)), nil
+			}
+			return rdb.NewText(strings.ToLower(s.Str)), nil
+		}, nil
+	case "LENGTH":
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			v, err := args[0](env, params)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			s, err := v.CoerceTo(rdb.KindText)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			return rdb.NewInt(int64(len(s.Str))), nil
+		}, nil
+	case "ABS":
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			v, err := args[0](env, params)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			switch v.Kind {
+			case rdb.KindInt:
+				if v.Int < 0 {
+					return rdb.NewInt(-v.Int), nil
+				}
+				return v, nil
+			case rdb.KindFloat:
+				return rdb.NewFloat(math.Abs(v.Float)), nil
+			}
+			return rdb.Null(), fmt.Errorf("sql: ABS of non-numeric %s", v.Kind)
+		}, nil
+	case "COALESCE":
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			for _, a := range args {
+				v, err := a(env, params)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return rdb.Null(), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown function %q", name)
+}
+
+func compileBinary(ex *BinaryExpr, sc *scope, aggPos map[*AggExpr]int) (cexpr, error) {
+	left, err := compileExpr(ex.Left, sc, aggPos)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compileExpr(ex.Right, sc, aggPos)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.Op {
+	case "AND":
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			lv, err := left(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			// Kleene three-valued AND with short-circuit on FALSE.
+			if !lv.IsNull() {
+				lb, err := truthy(lv)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				if !lb {
+					return rdb.NewBool(false), nil
+				}
+			}
+			rv, err := right(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if rv.IsNull() || lv.IsNull() {
+				if !rv.IsNull() {
+					if rb, err := truthy(rv); err != nil {
+						return rdb.Null(), err
+					} else if !rb {
+						return rdb.NewBool(false), nil
+					}
+				}
+				return rdb.Null(), nil
+			}
+			rb, err := truthy(rv)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			return rdb.NewBool(rb), nil
+		}, nil
+	case "OR":
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			lv, err := left(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if !lv.IsNull() {
+				lb, err := truthy(lv)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				if lb {
+					return rdb.NewBool(true), nil
+				}
+			}
+			rv, err := right(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if rv.IsNull() || lv.IsNull() {
+				if !rv.IsNull() {
+					if rb, err := truthy(rv); err != nil {
+						return rdb.Null(), err
+					} else if rb {
+						return rdb.NewBool(true), nil
+					}
+				}
+				return rdb.Null(), nil
+			}
+			rb, err := truthy(rv)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			return rdb.NewBool(rb), nil
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		op := ex.Op
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			lv, err := left(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			rv, err := right(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return rdb.Null(), nil
+			}
+			c := rdb.Compare(lv, rv)
+			var b bool
+			switch op {
+			case "=":
+				b = c == 0
+			case "!=":
+				b = c != 0
+			case "<":
+				b = c < 0
+			case "<=":
+				b = c <= 0
+			case ">":
+				b = c > 0
+			case ">=":
+				b = c >= 0
+			}
+			return rdb.NewBool(b), nil
+		}, nil
+	case "CONTAINS":
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			lv, err := left(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			rv, err := right(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return rdb.Null(), nil
+			}
+			ls, err := lv.CoerceTo(rdb.KindText)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			rs, err := rv.CoerceTo(rdb.KindText)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			return rdb.NewBool(strings.Contains(ls.Str, rs.Str)), nil
+		}, nil
+	case "LIKE":
+		// Fast path: literal pattern compiled once.
+		if lit, ok := ex.Right.(*Literal); ok && lit.Value.Kind == rdb.KindText {
+			re, err := likeToRegexp(lit.Value.Str)
+			if err != nil {
+				return nil, err
+			}
+			return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+				lv, err := left(env, params)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				if lv.IsNull() {
+					return rdb.Null(), nil
+				}
+				ls, err := lv.CoerceTo(rdb.KindText)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				return rdb.NewBool(re.MatchString(ls.Str)), nil
+			}, nil
+		}
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			lv, err := left(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			rv, err := right(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return rdb.Null(), nil
+			}
+			ls, err := lv.CoerceTo(rdb.KindText)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			rs, err := rv.CoerceTo(rdb.KindText)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			re, err := likeRegexpCached(rs.Str)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			return rdb.NewBool(re.MatchString(ls.Str)), nil
+		}, nil
+	case "+", "-", "*", "/", "%":
+		op := ex.Op
+		return func(env []rdb.Value, params []rdb.Value) (rdb.Value, error) {
+			lv, err := left(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			rv, err := right(env, params)
+			if err != nil {
+				return rdb.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return rdb.Null(), nil
+			}
+			// String concatenation via +.
+			if op == "+" && (lv.Kind == rdb.KindText || rv.Kind == rdb.KindText) {
+				ls, err := lv.CoerceTo(rdb.KindText)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				rs, err := rv.CoerceTo(rdb.KindText)
+				if err != nil {
+					return rdb.Null(), err
+				}
+				return rdb.NewText(ls.Str + rs.Str), nil
+			}
+			if !lv.IsNumeric() || !rv.IsNumeric() {
+				return rdb.Null(), fmt.Errorf("sql: arithmetic on non-numeric values (%s %s %s)", lv.Kind, op, rv.Kind)
+			}
+			if lv.Kind == rdb.KindInt && rv.Kind == rdb.KindInt {
+				a, b := lv.Int, rv.Int
+				switch op {
+				case "+":
+					return rdb.NewInt(a + b), nil
+				case "-":
+					return rdb.NewInt(a - b), nil
+				case "*":
+					return rdb.NewInt(a * b), nil
+				case "/":
+					if b == 0 {
+						return rdb.Null(), fmt.Errorf("sql: division by zero")
+					}
+					return rdb.NewInt(a / b), nil
+				case "%":
+					if b == 0 {
+						return rdb.Null(), fmt.Errorf("sql: division by zero")
+					}
+					return rdb.NewInt(a % b), nil
+				}
+			}
+			a, b := lv.AsFloat(), rv.AsFloat()
+			switch op {
+			case "+":
+				return rdb.NewFloat(a + b), nil
+			case "-":
+				return rdb.NewFloat(a - b), nil
+			case "*":
+				return rdb.NewFloat(a * b), nil
+			case "/":
+				if b == 0 {
+					return rdb.Null(), fmt.Errorf("sql: division by zero")
+				}
+				return rdb.NewFloat(a / b), nil
+			case "%":
+				if b == 0 {
+					return rdb.Null(), fmt.Errorf("sql: division by zero")
+				}
+				return rdb.NewFloat(math.Mod(a, b)), nil
+			}
+			return rdb.Null(), fmt.Errorf("sql: unknown arithmetic operator %q", op)
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown binary operator %q", ex.Op)
+}
+
+// truthy converts a value to a boolean for WHERE/HAVING evaluation.
+func truthy(v rdb.Value) (bool, error) {
+	switch v.Kind {
+	case rdb.KindBool:
+		return v.Bool, nil
+	case rdb.KindInt:
+		return v.Int != 0, nil
+	case rdb.KindFloat:
+		return v.Float != 0, nil
+	case rdb.KindNull:
+		return false, nil
+	default:
+		return false, fmt.Errorf("sql: %s value used as condition", v.Kind)
+	}
+}
+
+// likeToRegexp translates a SQL LIKE pattern (% and _ wildcards) into an
+// anchored regular expression.
+func likeToRegexp(pattern string) (*regexp.Regexp, error) {
+	var sb strings.Builder
+	sb.WriteString("(?s)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	return regexp.Compile(sb.String())
+}
+
+var likeCache sync.Map // pattern string -> *regexp.Regexp
+
+func likeRegexpCached(pattern string) (*regexp.Regexp, error) {
+	if re, ok := likeCache.Load(pattern); ok {
+		return re.(*regexp.Regexp), nil
+	}
+	re, err := likeToRegexp(pattern)
+	if err != nil {
+		return nil, err
+	}
+	likeCache.Store(pattern, re)
+	return re, nil
+}

@@ -1,0 +1,560 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdv/internal/rdb"
+)
+
+// The planner turns a SelectStmt into a left-deep join plan. Relations are
+// joined in FROM order (the dialect is used by code we control — the MDV
+// filter — which lists tables in a good order); the planner's job is access
+// path selection: for each relation it picks a point index lookup, an index
+// prefix/range scan, or a full scan, based on the conjuncts available once
+// the preceding relations are bound.
+
+// selectPlan is a fully compiled SELECT.
+type selectPlan struct {
+	sc   *scope
+	rels []*relPlan
+
+	// Projection.
+	projExprs []cexpr
+	projNames []string
+
+	// Grouping.
+	grouped  bool
+	groupBy  []cexpr
+	aggs     []*aggSpec
+	having   cexpr
+	aggWidth int // env width + len(aggs)
+
+	distinct bool
+	orderBy  []orderPlan
+	limit    int
+	offset   int
+}
+
+type orderPlan struct {
+	expr    cexpr
+	desc    bool
+	ordinal int // >0: sort by projected column (1-based); expr is nil then
+}
+
+type aggSpec struct {
+	name string // COUNT, SUM, AVG, MIN, MAX
+	arg  cexpr  // nil for COUNT(*)
+	node *AggExpr
+}
+
+// relPlan is one relation in join order with its access path and the filter
+// conjuncts that become evaluable once it is bound.
+type relPlan struct {
+	binding relBinding
+	table   *rdb.Table
+
+	access accessPath
+	filter []cexpr
+}
+
+type accessKind uint8
+
+const (
+	accessFullScan accessKind = iota
+	accessIndexPoint
+	accessIndexPrefix
+	accessIndexRange
+)
+
+type accessPath struct {
+	kind  accessKind
+	index *rdb.Index
+	// keyExprs computes the lookup key (point/prefix) from the already-bound
+	// environment and parameters.
+	keyExprs []cexpr
+	// Range bounds on the first index column (range access only); nil bound
+	// means open. Exclusive bounds are enforced by the residual filter.
+	lowExpr, highExpr cexpr
+}
+
+// conjunct is one AND-term of the WHERE clause with its relation footprint.
+type conjunct struct {
+	expr    Expr
+	maxRel  int          // highest relation index referenced (-1: constants only)
+	relSet  map[int]bool // all referenced relation indexes
+	usedKey bool         // consumed as an index key equality; skip as filter
+}
+
+// buildSelectPlan compiles a SELECT against the database catalog.
+func buildSelectPlan(db *rdb.Database, st *SelectStmt) (*selectPlan, error) {
+	if len(st.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
+	}
+	p := &selectPlan{sc: &scope{}, limit: st.Limit, offset: st.Offset, distinct: st.Distinct}
+
+	// Bind relations in FROM order.
+	seen := map[string]bool{}
+	for _, ref := range st.From {
+		t, err := db.Table(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		alias := strings.ToLower(ref.Alias)
+		if seen[alias] {
+			return nil, fmt.Errorf("sql: duplicate table alias %q", ref.Alias)
+		}
+		seen[alias] = true
+		rb := relBinding{alias: ref.Alias, def: t.Def(), start: p.sc.width()}
+		p.sc.rels = append(p.sc.rels, rb)
+		p.rels = append(p.rels, &relPlan{binding: rb, table: t})
+	}
+
+	// Collect conjuncts from WHERE and JOIN ... ON conditions.
+	var conjuncts []*conjunct
+	addConjuncts := func(e Expr) error {
+		for _, c := range splitAnd(e) {
+			cj := &conjunct{expr: c, relSet: map[int]bool{}, maxRel: -1}
+			if err := p.footprint(c, cj); err != nil {
+				return err
+			}
+			conjuncts = append(conjuncts, cj)
+		}
+		return nil
+	}
+	if st.Where != nil {
+		if err := addConjuncts(st.Where); err != nil {
+			return nil, err
+		}
+	}
+	for _, ref := range st.From {
+		if ref.On != nil {
+			if err := addConjuncts(ref.On); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pick access paths and assign filters, relation by relation.
+	for i, rel := range p.rels {
+		if err := p.planAccess(i, rel, conjuncts); err != nil {
+			return nil, err
+		}
+		for _, cj := range conjuncts {
+			if cj.usedKey || cj.maxRel > i {
+				continue
+			}
+			if cj.maxRel == i || (cj.maxRel < 0 && i == 0) {
+				ce, err := compileExpr(cj.expr, p.sc, nil)
+				if err != nil {
+					return nil, err
+				}
+				rel.filter = append(rel.filter, ce)
+				cj.maxRel = -2 // consumed
+			}
+		}
+	}
+
+	// Grouping: collect aggregates from the projection, HAVING, and ORDER BY.
+	var aggNodes []*AggExpr
+	for _, item := range st.Items {
+		if !item.Star {
+			collectAggs(item.Expr, &aggNodes)
+		}
+	}
+	if st.Having != nil {
+		collectAggs(st.Having, &aggNodes)
+	}
+	for _, o := range st.OrderBy {
+		collectAggs(o.Expr, &aggNodes)
+	}
+	p.grouped = len(st.GroupBy) > 0 || len(aggNodes) > 0
+	var aggPos map[*AggExpr]int
+	if p.grouped {
+		aggPos = make(map[*AggExpr]int, len(aggNodes))
+		base := p.sc.width()
+		for _, a := range aggNodes {
+			var argExpr cexpr
+			if a.Arg != nil {
+				ce, err := compileExpr(a.Arg, p.sc, nil)
+				if err != nil {
+					return nil, err
+				}
+				argExpr = ce
+			}
+			aggPos[a] = base + len(p.aggs)
+			p.aggs = append(p.aggs, &aggSpec{name: a.Name, arg: argExpr, node: a})
+		}
+		p.aggWidth = base + len(p.aggs)
+		for _, g := range st.GroupBy {
+			ce, err := compileExpr(g, p.sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			p.groupBy = append(p.groupBy, ce)
+		}
+		if st.Having != nil {
+			ce, err := compileExpr(st.Having, p.sc, aggPos)
+			if err != nil {
+				return nil, err
+			}
+			p.having = ce
+		}
+	} else if st.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+	}
+
+	// Projection.
+	if err := p.buildProjection(st.Items, aggPos); err != nil {
+		return nil, err
+	}
+
+	// ORDER BY.
+	for _, o := range st.OrderBy {
+		op := orderPlan{desc: o.Desc}
+		if lit, ok := o.Expr.(*Literal); ok && lit.Value.Kind == rdb.KindInt {
+			n := int(lit.Value.Int)
+			if n < 1 || n > len(p.projExprs) {
+				return nil, fmt.Errorf("sql: ORDER BY position %d out of range", n)
+			}
+			op.ordinal = n
+		} else {
+			ce, err := compileExpr(o.Expr, p.sc, aggPos)
+			if err != nil {
+				return nil, err
+			}
+			op.expr = ce
+		}
+		p.orderBy = append(p.orderBy, op)
+	}
+	return p, nil
+}
+
+// buildProjection compiles the select list, expanding * items.
+func (p *selectPlan) buildProjection(items []SelectItem, aggPos map[*AggExpr]int) error {
+	expand := func(rb relBinding) {
+		for ci := range rb.def.Columns {
+			pos := rb.start + ci
+			p.projExprs = append(p.projExprs, func(env []rdb.Value, _ []rdb.Value) (rdb.Value, error) {
+				return env[pos], nil
+			})
+			p.projNames = append(p.projNames, rb.def.Columns[ci].Name)
+		}
+	}
+	for _, item := range items {
+		if item.Star {
+			if item.StarTable == "" {
+				for _, rb := range p.sc.rels {
+					expand(rb)
+				}
+				continue
+			}
+			found := false
+			for _, rb := range p.sc.rels {
+				if strings.EqualFold(rb.alias, item.StarTable) {
+					expand(rb)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("sql: unknown table %q in %s.*", item.StarTable, item.StarTable)
+			}
+			continue
+		}
+		ce, err := compileExpr(item.Expr, p.sc, aggPos)
+		if err != nil {
+			return err
+		}
+		p.projExprs = append(p.projExprs, ce)
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = fmt.Sprintf("col%d", len(p.projNames)+1)
+			}
+		}
+		p.projNames = append(p.projNames, name)
+	}
+	return nil
+}
+
+// footprint records which relations an expression references.
+func (p *selectPlan) footprint(e Expr, cj *conjunct) error {
+	switch ex := e.(type) {
+	case nil:
+		return nil
+	case *Literal, *Param:
+		return nil
+	case *ColumnRef:
+		pos, err := p.sc.resolve(ex)
+		if err != nil {
+			return err
+		}
+		ri := p.relIndexOf(pos)
+		cj.relSet[ri] = true
+		if ri > cj.maxRel {
+			cj.maxRel = ri
+		}
+		return nil
+	case *BinaryExpr:
+		if err := p.footprint(ex.Left, cj); err != nil {
+			return err
+		}
+		return p.footprint(ex.Right, cj)
+	case *UnaryExpr:
+		return p.footprint(ex.X, cj)
+	case *IsNullExpr:
+		return p.footprint(ex.X, cj)
+	case *InExpr:
+		if err := p.footprint(ex.X, cj); err != nil {
+			return err
+		}
+		for _, le := range ex.List {
+			if err := p.footprint(le, cj); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *CastExpr:
+		return p.footprint(ex.X, cj)
+	case *FuncExpr:
+		for _, a := range ex.Args {
+			if err := p.footprint(a, cj); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AggExpr:
+		return fmt.Errorf("sql: aggregate not allowed in WHERE clause")
+	}
+	return fmt.Errorf("sql: unsupported expression %T", e)
+}
+
+func (p *selectPlan) relIndexOf(pos int) int {
+	for i := len(p.sc.rels) - 1; i >= 0; i-- {
+		if pos >= p.sc.rels[i].start {
+			return i
+		}
+	}
+	return 0
+}
+
+// eqCandidate is an equality conjunct usable as an index key component for
+// relation i: column of relation i on one side, an expression over earlier
+// relations/constants on the other.
+type eqCandidate struct {
+	colIdx int // column index within the relation
+	value  Expr
+	cj     *conjunct
+}
+
+type rangeCandidate struct {
+	colIdx int
+	op     string // < <= > >=
+	value  Expr
+	cj     *conjunct
+}
+
+// planAccess selects the access path for relation i given the conjuncts.
+func (p *selectPlan) planAccess(i int, rel *relPlan, conjuncts []*conjunct) error {
+	var eqs []eqCandidate
+	var ranges []rangeCandidate
+	for _, cj := range conjuncts {
+		if cj.maxRel != i {
+			continue
+		}
+		be, ok := cj.expr.(*BinaryExpr)
+		if !ok {
+			continue
+		}
+		extract := func(colSide, valSide Expr, op string) {
+			cr, ok := colSide.(*ColumnRef)
+			if !ok {
+				return
+			}
+			pos, err := p.sc.resolve(cr)
+			if err != nil || p.relIndexOf(pos) != i {
+				return
+			}
+			// The other side must reference only earlier relations.
+			probe := &conjunct{relSet: map[int]bool{}, maxRel: -1}
+			if err := p.footprint(valSide, probe); err != nil || probe.maxRel >= i {
+				return
+			}
+			colIdx := pos - rel.binding.start
+			switch op {
+			case "=":
+				eqs = append(eqs, eqCandidate{colIdx: colIdx, value: valSide, cj: cj})
+			case "<", "<=", ">", ">=":
+				ranges = append(ranges, rangeCandidate{colIdx: colIdx, op: op, value: valSide, cj: cj})
+			}
+		}
+		switch be.Op {
+		case "=":
+			extract(be.Left, be.Right, "=")
+			extract(be.Right, be.Left, "=")
+		case "<", "<=", ">", ">=":
+			extract(be.Left, be.Right, be.Op)
+			extract(be.Right, be.Left, flipOp(be.Op))
+		}
+	}
+
+	// Choose the index covering the longest equality prefix.
+	type choice struct {
+		index   *rdb.Index
+		covered []eqCandidate // one per covered prefix column
+		point   bool
+	}
+	var best *choice
+	indexes := rel.table.Indexes()
+	// Deterministic order: by name.
+	sort.Slice(indexes, func(a, b int) bool { return indexes[a].Def.Name < indexes[b].Def.Name })
+	for _, ix := range indexes {
+		cols := ix.ColumnPositions()
+		var covered []eqCandidate
+		for _, cp := range cols {
+			found := false
+			for _, eq := range eqs {
+				if eq.colIdx == cp {
+					covered = append(covered, eq)
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+		}
+		if len(covered) == 0 {
+			continue
+		}
+		point := len(covered) == len(cols)
+		if !point && !ix.Ordered() {
+			continue // hash index needs the full key
+		}
+		c := &choice{index: ix, covered: covered, point: point}
+		if best == nil ||
+			len(c.covered) > len(best.covered) ||
+			(len(c.covered) == len(best.covered) && c.point && !best.point) ||
+			(len(c.covered) == len(best.covered) && c.point == best.point && c.index.Def.Unique && !best.index.Def.Unique) {
+			best = c
+		}
+	}
+	if best != nil {
+		keyExprs := make([]cexpr, len(best.covered))
+		for k, eq := range best.covered {
+			ce, err := compileExpr(eq.value, p.sc, nil)
+			if err != nil {
+				return err
+			}
+			keyExprs[k] = ce
+			eq.cj.usedKey = true
+		}
+		kind := accessIndexPoint
+		if !best.point {
+			kind = accessIndexPrefix
+		}
+		rel.access = accessPath{kind: kind, index: best.index, keyExprs: keyExprs}
+		return nil
+	}
+
+	// Fall back to a range scan on a B+tree index whose first column has a
+	// range conjunct. The conjunct stays in the filter list (bounds are
+	// applied inclusively; exclusivity and NULL semantics are re-checked).
+	for _, ix := range indexes {
+		if !ix.Ordered() {
+			continue
+		}
+		first := ix.ColumnPositions()[0]
+		var low, high Expr
+		for _, rc := range ranges {
+			if rc.colIdx != first {
+				continue
+			}
+			switch rc.op {
+			case ">", ">=":
+				if low == nil {
+					low = rc.value
+				}
+			case "<", "<=":
+				if high == nil {
+					high = rc.value
+				}
+			}
+		}
+		if low == nil && high == nil {
+			continue
+		}
+		ap := accessPath{kind: accessIndexRange, index: ix}
+		if low != nil {
+			ce, err := compileExpr(low, p.sc, nil)
+			if err != nil {
+				return err
+			}
+			ap.lowExpr = ce
+		}
+		if high != nil {
+			ce, err := compileExpr(high, p.sc, nil)
+			if err != nil {
+				return err
+			}
+			ap.highExpr = ce
+		}
+		rel.access = ap
+		return nil
+	}
+
+	rel.access = accessPath{kind: accessFullScan}
+	return nil
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// splitAnd flattens nested AND expressions into a conjunct list.
+func splitAnd(e Expr) []Expr {
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		return append(splitAnd(be.Left), splitAnd(be.Right)...)
+	}
+	return []Expr{e}
+}
+
+// collectAggs gathers aggregate nodes in evaluation order.
+func collectAggs(e Expr, out *[]*AggExpr) {
+	switch ex := e.(type) {
+	case *AggExpr:
+		*out = append(*out, ex)
+	case *BinaryExpr:
+		collectAggs(ex.Left, out)
+		collectAggs(ex.Right, out)
+	case *UnaryExpr:
+		collectAggs(ex.X, out)
+	case *IsNullExpr:
+		collectAggs(ex.X, out)
+	case *InExpr:
+		collectAggs(ex.X, out)
+		for _, le := range ex.List {
+			collectAggs(le, out)
+		}
+	case *CastExpr:
+		collectAggs(ex.X, out)
+	case *FuncExpr:
+		for _, a := range ex.Args {
+			collectAggs(a, out)
+		}
+	}
+}

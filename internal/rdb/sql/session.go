@@ -1,0 +1,587 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mdv/internal/rdb"
+)
+
+// DB wraps an rdb.Database with a SQL interface. Statements are serialized
+// at statement granularity: reader statements (SELECT) run concurrently,
+// writer statements (DDL and DML) run exclusively. This, together with the
+// materialize-before-mutate execution of DML, makes every statement
+// deadlock-free and atomic with respect to other statements.
+type DB struct {
+	raw *rdb.Database
+	// stmtMu gives readers shared and writers exclusive access per statement.
+	stmtMu sync.RWMutex
+	// planMu guards the prepared-plan cache of Stmt values handed out.
+	planVersion uint64
+	planVerMu   sync.Mutex
+}
+
+// NewDB wraps an existing engine database.
+func NewDB(raw *rdb.Database) *DB { return &DB{raw: raw} }
+
+// Open creates a new, empty SQL database.
+func Open() *DB { return NewDB(rdb.NewDatabase()) }
+
+// Raw exposes the underlying engine database (for persistence and direct
+// table access in tests).
+func (d *DB) Raw() *rdb.Database { return d.raw }
+
+// bumpPlanVersion invalidates cached plans after DDL.
+func (d *DB) bumpPlanVersion() {
+	d.planVerMu.Lock()
+	d.planVersion++
+	d.planVerMu.Unlock()
+}
+
+func (d *DB) currentPlanVersion() uint64 {
+	d.planVerMu.Lock()
+	v := d.planVersion
+	d.planVerMu.Unlock()
+	return v
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]rdb.Value
+}
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// Empty reports whether the result has no rows.
+func (r *Rows) Empty() bool { return len(r.Data) == 0 }
+
+// Scalar returns the single value of a 1x1 result.
+func (r *Rows) Scalar() (rdb.Value, error) {
+	if len(r.Data) != 1 || len(r.Data[0]) != 1 {
+		return rdb.Null(), fmt.Errorf("sql: result is not scalar (%dx%d)", len(r.Data), len(r.Columns))
+	}
+	return r.Data[0][0], nil
+}
+
+// Col returns the position of the named column, or -1.
+func (r *Rows) Col(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Exec parses and executes a statement, returning the number of affected
+// rows (for DML; DDL returns 0).
+func (d *DB) Exec(query string, params ...rdb.Value) (int, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	return d.ExecStmt(st, params)
+}
+
+// Query parses and executes a SELECT, materializing all rows.
+func (d *DB) Query(query string, params ...rdb.Value) (*Rows, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
+	}
+	return d.querySelect(sel, params)
+}
+
+// QueryFunc executes a SELECT, streaming each row to visit. The row slice is
+// owned by the callback (a fresh slice per row).
+func (d *DB) QueryFunc(query string, params []rdb.Value, visit func(row []rdb.Value) error) error {
+	st, err := Parse(query)
+	if err != nil {
+		return err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return fmt.Errorf("sql: QueryFunc requires a SELECT statement")
+	}
+	plan, err := buildSelectPlan(d.raw, sel)
+	if err != nil {
+		return err
+	}
+	d.stmtMu.RLock()
+	defer d.stmtMu.RUnlock()
+	return plan.run(params, visit)
+}
+
+func (d *DB) querySelect(sel *SelectStmt, params []rdb.Value) (*Rows, error) {
+	plan, err := buildSelectPlan(d.raw, sel)
+	if err != nil {
+		return nil, err
+	}
+	d.stmtMu.RLock()
+	defer d.stmtMu.RUnlock()
+	return runPlan(plan, params)
+}
+
+func runPlan(plan *selectPlan, params []rdb.Value) (*Rows, error) {
+	rows := &Rows{Columns: plan.projNames}
+	err := plan.run(params, func(row []rdb.Value) error {
+		rows.Data = append(rows.Data, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// ExecStmt executes an already parsed statement.
+func (d *DB) ExecStmt(st Statement, params []rdb.Value) (int, error) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		rows, err := d.querySelect(s, params)
+		if err != nil {
+			return 0, err
+		}
+		return rows.Len(), nil
+	case *CreateTableStmt:
+		d.stmtMu.Lock()
+		defer d.stmtMu.Unlock()
+		defer d.bumpPlanVersion()
+		_, err := d.raw.CreateTable(s.Def)
+		if err != nil && s.IfNotExists && errors.Is(err, rdb.ErrTableExists) {
+			return 0, nil
+		}
+		return 0, err
+	case *CreateIndexStmt:
+		d.stmtMu.Lock()
+		defer d.stmtMu.Unlock()
+		defer d.bumpPlanVersion()
+		_, err := d.raw.CreateIndex(s.Def)
+		if err != nil && s.IfNotExists && errors.Is(err, rdb.ErrIndexExists) {
+			return 0, nil
+		}
+		return 0, err
+	case *DropTableStmt:
+		d.stmtMu.Lock()
+		defer d.stmtMu.Unlock()
+		defer d.bumpPlanVersion()
+		err := d.raw.DropTable(s.Name)
+		if err != nil && s.IfExists && errors.Is(err, rdb.ErrNoSuchTable) {
+			return 0, nil
+		}
+		return 0, err
+	case *DropIndexStmt:
+		d.stmtMu.Lock()
+		defer d.stmtMu.Unlock()
+		defer d.bumpPlanVersion()
+		return 0, d.raw.DropIndex(s.Table, s.Name)
+	case *InsertStmt:
+		d.stmtMu.Lock()
+		defer d.stmtMu.Unlock()
+		return d.execInsert(s, params)
+	case *UpdateStmt:
+		d.stmtMu.Lock()
+		defer d.stmtMu.Unlock()
+		return d.execUpdate(s, params)
+	case *DeleteStmt:
+		d.stmtMu.Lock()
+		defer d.stmtMu.Unlock()
+		return d.execDelete(s, params)
+	default:
+		return 0, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+// execInsert handles INSERT ... VALUES and INSERT ... SELECT. The SELECT
+// source is fully materialized before the first row is inserted, so
+// inserting into a table read by the SELECT is well defined.
+func (d *DB) execInsert(s *InsertStmt, params []rdb.Value) (int, error) {
+	t, err := d.raw.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	def := t.Def()
+	// Map the statement's column list to row positions.
+	colPos := make([]int, 0, len(def.Columns))
+	if s.Columns == nil {
+		for i := range def.Columns {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, c := range s.Columns {
+			ci := def.ColumnIndex(c)
+			if ci < 0 {
+				return 0, fmt.Errorf("sql: %w: %s.%s", rdb.ErrNoSuchColumn, s.Table, c)
+			}
+			colPos = append(colPos, ci)
+		}
+	}
+
+	buildRow := func(vals []rdb.Value) (rdb.Row, error) {
+		if len(vals) != len(colPos) {
+			return nil, fmt.Errorf("sql: INSERT into %s: %d values for %d columns", s.Table, len(vals), len(colPos))
+		}
+		row := make(rdb.Row, len(def.Columns))
+		for i := range row {
+			row[i] = rdb.Null()
+		}
+		for i, p := range colPos {
+			row[p] = vals[i]
+		}
+		return row, nil
+	}
+
+	var source [][]rdb.Value
+	if s.Select != nil {
+		plan, err := buildSelectPlan(d.raw, s.Select)
+		if err != nil {
+			return 0, err
+		}
+		if err := plan.run(params, func(row []rdb.Value) error {
+			source = append(source, row)
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	} else {
+		emptySc := &scope{}
+		for _, exprRow := range s.Rows {
+			vals := make([]rdb.Value, len(exprRow))
+			for i, e := range exprRow {
+				ce, err := compileExpr(e, emptySc, nil)
+				if err != nil {
+					return 0, err
+				}
+				v, err := ce(nil, params)
+				if err != nil {
+					return 0, err
+				}
+				vals[i] = v
+			}
+			source = append(source, vals)
+		}
+	}
+
+	n := 0
+	for _, vals := range source {
+		row, err := buildRow(vals)
+		if err != nil {
+			return n, err
+		}
+		if _, err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// scanCandidates visits the rows a WHERE clause could match, using an index
+// point lookup when the clause contains an equality between an indexed
+// column and a constant/parameter, and falling back to a full scan
+// otherwise. The WHERE clause itself is always re-evaluated by the caller,
+// so the index is purely an access-path optimization — without it, UPDATE
+// and DELETE on large catalog tables (e.g. the per-rule refcount updates
+// during rule-base registration) degrade to O(table) per statement.
+func scanCandidates(t *rdb.Table, def rdb.TableDef, where Expr, params []rdb.Value,
+	visit func(id int64, row rdb.Row) bool) {
+	if where != nil {
+		for _, conj := range splitAnd(where) {
+			be, ok := conj.(*BinaryExpr)
+			if !ok || be.Op != "=" {
+				continue
+			}
+			colSide, valSide := be.Left, be.Right
+			if _, ok := colSide.(*ColumnRef); !ok {
+				colSide, valSide = be.Right, be.Left
+			}
+			cr, ok := colSide.(*ColumnRef)
+			if !ok {
+				continue
+			}
+			ci := def.ColumnIndex(cr.Column)
+			if ci < 0 {
+				continue
+			}
+			var val rdb.Value
+			switch v := valSide.(type) {
+			case *Literal:
+				val = v.Value
+			case *Param:
+				if v.Ordinal >= len(params) {
+					continue
+				}
+				val = params[v.Ordinal]
+			default:
+				continue
+			}
+			for _, ix := range t.Indexes() {
+				cols := ix.ColumnPositions()
+				if len(cols) == 0 || cols[0] != ci {
+					continue
+				}
+				if len(cols) == 1 {
+					for _, id := range ix.Lookup(rdb.Key{val}) {
+						if row, ok := t.Get(id); ok {
+							if !visit(id, row) {
+								return
+							}
+						}
+					}
+					return
+				}
+				if ix.Ordered() {
+					key := rdb.Key{val}
+					stop := false
+					ix.ScanRange(key, key, func(_ rdb.Key, id int64) bool {
+						row, ok := t.Get(id)
+						if !ok {
+							return true
+						}
+						if !visit(id, row) {
+							stop = true
+							return false
+						}
+						return true
+					})
+					_ = stop
+					return
+				}
+			}
+		}
+	}
+	t.Scan(visit)
+}
+
+// execUpdate evaluates the WHERE clause over the table, materializes the
+// matching row IDs and their new contents, then applies the updates.
+func (d *DB) execUpdate(s *UpdateStmt, params []rdb.Value) (int, error) {
+	t, err := d.raw.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	def := t.Def()
+	sc := &scope{rels: []relBinding{{alias: s.Table, def: def, start: 0}}}
+
+	type setOp struct {
+		col int
+		val cexpr
+	}
+	sets := make([]setOp, len(s.Set))
+	for i, sc2 := range s.Set {
+		ci := def.ColumnIndex(sc2.Column)
+		if ci < 0 {
+			return 0, fmt.Errorf("sql: %w: %s.%s", rdb.ErrNoSuchColumn, s.Table, sc2.Column)
+		}
+		ce, err := compileExpr(sc2.Value, sc, nil)
+		if err != nil {
+			return 0, err
+		}
+		sets[i] = setOp{col: ci, val: ce}
+	}
+	var where cexpr
+	if s.Where != nil {
+		ce, err := compileExpr(s.Where, sc, nil)
+		if err != nil {
+			return 0, err
+		}
+		where = ce
+	}
+
+	type pending struct {
+		id  int64
+		row rdb.Row
+	}
+	var updates []pending
+	var evalErr error
+	scanCandidates(t, def, s.Where, params, func(id int64, row rdb.Row) bool {
+		env := []rdb.Value(row)
+		if where != nil {
+			v, err := where(env, params)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			b, _ := truthy(v)
+			if v.IsNull() || !b {
+				return true
+			}
+		}
+		newRow := row.Clone()
+		for _, op := range sets {
+			v, err := op.val(env, params)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			newRow[op.col] = v
+		}
+		updates = append(updates, pending{id: id, row: newRow})
+		return true
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	for _, u := range updates {
+		if err := t.Update(u.id, u.row); err != nil {
+			return 0, err
+		}
+	}
+	return len(updates), nil
+}
+
+// execDelete materializes matching row IDs, then deletes them.
+func (d *DB) execDelete(s *DeleteStmt, params []rdb.Value) (int, error) {
+	t, err := d.raw.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	def := t.Def()
+	sc := &scope{rels: []relBinding{{alias: s.Table, def: def, start: 0}}}
+	var where cexpr
+	if s.Where != nil {
+		ce, err := compileExpr(s.Where, sc, nil)
+		if err != nil {
+			return 0, err
+		}
+		where = ce
+	}
+	var ids []int64
+	var evalErr error
+	scanCandidates(t, def, s.Where, params, func(id int64, row rdb.Row) bool {
+		if where != nil {
+			v, err := where([]rdb.Value(row), params)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			b, _ := truthy(v)
+			if v.IsNull() || !b {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	for _, id := range ids {
+		if _, err := t.Delete(id); err != nil {
+			return 0, err
+		}
+	}
+	return len(ids), nil
+}
+
+// Stmt is a prepared statement: the parse tree is cached, and for SELECTs
+// the compiled plan is cached too and re-validated against catalog changes.
+type Stmt struct {
+	db  *DB
+	ast Statement
+
+	mu      sync.Mutex
+	plan    *selectPlan
+	planVer uint64
+}
+
+// Prepare parses a statement for repeated execution.
+func (d *DB) Prepare(query string) (*Stmt, error) {
+	ast, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: d, ast: ast}, nil
+}
+
+// MustPrepare is Prepare, panicking on parse errors. Intended for statically
+// known statements (the MDV filter's fixed query set).
+func (d *DB) MustPrepare(query string) *Stmt {
+	st, err := d.Prepare(query)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// selectPlanFor returns a cached plan for the prepared SELECT, rebuilding it
+// if DDL has run since it was compiled.
+func (s *Stmt) selectPlanFor(sel *SelectStmt) (*selectPlan, error) {
+	ver := s.db.currentPlanVersion()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plan != nil && s.planVer == ver {
+		return s.plan, nil
+	}
+	plan, err := buildSelectPlan(s.db.raw, sel)
+	if err != nil {
+		return nil, err
+	}
+	s.plan = plan
+	s.planVer = ver
+	return plan, nil
+}
+
+// Query executes a prepared SELECT.
+func (s *Stmt) Query(params ...rdb.Value) (*Rows, error) {
+	sel, ok := s.ast.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: prepared statement is not a SELECT")
+	}
+	plan, err := s.selectPlanFor(sel)
+	if err != nil {
+		return nil, err
+	}
+	s.db.stmtMu.RLock()
+	defer s.db.stmtMu.RUnlock()
+	return runPlan(plan, params)
+}
+
+// QueryFunc executes a prepared SELECT, streaming rows to visit.
+func (s *Stmt) QueryFunc(params []rdb.Value, visit func(row []rdb.Value) error) error {
+	sel, ok := s.ast.(*SelectStmt)
+	if !ok {
+		return fmt.Errorf("sql: prepared statement is not a SELECT")
+	}
+	plan, err := s.selectPlanFor(sel)
+	if err != nil {
+		return err
+	}
+	s.db.stmtMu.RLock()
+	defer s.db.stmtMu.RUnlock()
+	return plan.run(params, visit)
+}
+
+// Exec executes a prepared statement of any kind.
+func (s *Stmt) Exec(params ...rdb.Value) (int, error) {
+	if sel, ok := s.ast.(*SelectStmt); ok {
+		plan, err := s.selectPlanFor(sel)
+		if err != nil {
+			return 0, err
+		}
+		s.db.stmtMu.RLock()
+		defer s.db.stmtMu.RUnlock()
+		rows, err := runPlan(plan, params)
+		if err != nil {
+			return 0, err
+		}
+		return rows.Len(), nil
+	}
+	return s.db.ExecStmt(s.ast, params)
+}
+
+// MustExec runs Exec and panics on error. For schema bootstrap code.
+func (d *DB) MustExec(query string, params ...rdb.Value) int {
+	n, err := d.Exec(query, params...)
+	if err != nil {
+		panic(fmt.Sprintf("sql: MustExec(%q): %v", query, err))
+	}
+	return n
+}

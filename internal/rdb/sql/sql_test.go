@@ -1,0 +1,648 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mdv/internal/rdb"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	stmts := []string{
+		`CREATE TABLE providers (
+			id INT PRIMARY KEY,
+			host TEXT NOT NULL,
+			memory INT,
+			cpu INT,
+			domain TEXT
+		)`,
+		`CREATE INDEX idx_providers_memory ON providers (memory)`,
+		`CREATE INDEX idx_providers_domain ON providers (domain) USING HASH`,
+		`CREATE TABLE services (
+			sid INT PRIMARY KEY,
+			pid INT NOT NULL,
+			name TEXT,
+			price FLOAT
+		)`,
+		`CREATE INDEX idx_services_pid ON services (pid)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	for i := 1; i <= 20; i++ {
+		dom := "uni-passau.de"
+		if i%2 == 0 {
+			dom = "tum.de"
+		}
+		if _, err := db.Exec(`INSERT INTO providers (id, host, memory, cpu, domain) VALUES (?, ?, ?, ?, ?)`,
+			rdb.NewInt(int64(i)), rdb.NewText(fmt.Sprintf("host%02d.%s", i, dom)),
+			rdb.NewInt(int64(i*16)), rdb.NewInt(int64(200+i*50)), rdb.NewText(dom)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 40; i++ {
+		if _, err := db.Exec(`INSERT INTO services (sid, pid, name, price) VALUES (?, ?, ?, ?)`,
+			rdb.NewInt(int64(i)), rdb.NewInt(int64(i%20+1)),
+			rdb.NewText(fmt.Sprintf("svc%d", i)), rdb.NewFloat(float64(i)*1.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func queryInts(t *testing.T, db *DB, q string, params ...rdb.Value) []int64 {
+	t.Helper()
+	rows, err := db.Query(q, params...)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	out := make([]int64, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, r[0].AsInt())
+	}
+	return out
+}
+
+func TestCreateInsertSelectBasic(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`SELECT id, host FROM providers WHERE id = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Data[0][0].Int != 7 {
+		t.Fatalf("got %+v", rows.Data)
+	}
+	if rows.Columns[0] != "id" || rows.Columns[1] != "host" {
+		t.Errorf("columns = %v", rows.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`SELECT * FROM providers WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns) != 5 {
+		t.Errorf("* expanded to %v", rows.Columns)
+	}
+	rows, err = db.Query(`SELECT p.* FROM providers p WHERE p.id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns) != 5 {
+		t.Errorf("p.* expanded to %v", rows.Columns)
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"memory > 288", 2},   // 304, 320
+		{"memory >= 288", 3},  // 288, 304, 320
+		{"memory < 32", 1},    // 16
+		{"memory <= 32", 2},   // 16, 32
+		{"memory = 160", 1},   // id 10
+		{"memory != 160", 19}, //
+		{"id > 5 AND id <= 8", 3},
+		{"id = 1 OR id = 2", 2},
+		{"NOT id = 1", 19},
+		{"id IN (1, 3, 5)", 3},
+		{"id NOT IN (1, 3, 5)", 17},
+		{"domain contains 'passau'", 10},
+		{"host LIKE 'host0%'", 9},
+		{"host LIKE 'host__.tum.de'", 10},
+		{"memory IS NULL", 0},
+		{"memory IS NOT NULL", 20},
+	}
+	for _, c := range cases {
+		got := len(queryInts(t, db, "SELECT id FROM providers WHERE "+c.where))
+		if got != c.want {
+			t.Errorf("WHERE %s: got %d rows, want %d", c.where, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticAndFunctions(t *testing.T) {
+	db := testDB(t)
+	check := func(expr string, want rdb.Value) {
+		t.Helper()
+		rows, err := db.Query(`SELECT ` + expr + ` FROM providers WHERE id = 2`)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		got, err := rows.Scalar()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rdb.Equal(got, want) {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+	check(`memory + 1`, rdb.NewInt(33))
+	check(`memory - 2`, rdb.NewInt(30))
+	check(`memory * 2`, rdb.NewInt(64))
+	check(`memory / 4`, rdb.NewInt(8))
+	check(`memory % 5`, rdb.NewInt(2))
+	check(`memory + 0.5`, rdb.NewFloat(32.5))
+	check(`-memory`, rdb.NewInt(-32))
+	check(`LOWER('ABC')`, rdb.NewText("abc"))
+	check(`UPPER('abc')`, rdb.NewText("ABC"))
+	check(`LENGTH(domain)`, rdb.NewInt(6))
+	check(`ABS(0 - 5)`, rdb.NewInt(5))
+	check(`COALESCE(NULL, NULL, 7)`, rdb.NewInt(7))
+	check(`CAST('42' AS INT)`, rdb.NewInt(42))
+	check(`CAST(memory AS TEXT)`, rdb.NewText("32"))
+	check(`CAST('3.5' AS FLOAT)`, rdb.NewFloat(3.5))
+	check(`'a' + 'b'`, rdb.NewText("ab"))
+}
+
+func TestDivisionByZero(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Query(`SELECT 1/0 FROM providers WHERE id = 1`); err == nil {
+		t.Error("division by zero not reported")
+	}
+	if _, err := db.Query(`SELECT 1%0 FROM providers WHERE id = 1`); err == nil {
+		t.Error("modulo by zero not reported")
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a INT, b INT)`)
+	db.MustExec(`INSERT INTO t (a, b) VALUES (1, NULL), (NULL, 2), (3, 3)`)
+	// NULL comparisons are never true.
+	if n := len(queryInts(t, db, `SELECT a FROM t WHERE b = NULL`)); n != 0 {
+		t.Errorf("b = NULL matched %d rows", n)
+	}
+	if n := len(queryInts(t, db, `SELECT a FROM t WHERE b != NULL`)); n != 0 {
+		t.Errorf("b != NULL matched %d rows", n)
+	}
+	if n := len(queryInts(t, db, `SELECT b FROM t WHERE a IS NULL`)); n != 1 {
+		t.Errorf("IS NULL matched %d rows", n)
+	}
+	// NOT(NULL) stays NULL (filtered out).
+	if n := len(queryInts(t, db, `SELECT a FROM t WHERE NOT (b = 2)`)); n != 1 {
+		t.Errorf("NOT over NULL matched %d rows", n)
+	}
+	// Three-valued OR: NULL OR TRUE = TRUE.
+	if n := len(queryInts(t, db, `SELECT a FROM t WHERE b = 99 OR a = 1`)); n != 1 {
+		t.Errorf("OR with NULL matched %d rows", n)
+	}
+	// x IN (...) with NULL in list: no match is NULL, not FALSE.
+	if n := len(queryInts(t, db, `SELECT a FROM t WHERE a IN (99, NULL)`)); n != 0 {
+		t.Errorf("IN with NULL matched %d rows", n)
+	}
+}
+
+func TestJoinImplicit(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`
+		SELECT p.id, s.sid FROM providers p, services s
+		WHERE s.pid = p.id AND p.memory > 288`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Providers 19 and 20 each have 2 services.
+	if rows.Len() != 4 {
+		t.Fatalf("join returned %d rows", rows.Len())
+	}
+}
+
+func TestJoinExplicit(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`
+		SELECT p.id, s.name FROM providers p JOIN services s ON s.pid = p.id
+		WHERE p.id = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("got %d rows", rows.Len())
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := testDB(t)
+	db.MustExec(`CREATE TABLE tags (sid INT, tag TEXT)`)
+	db.MustExec(`INSERT INTO tags (sid, tag) VALUES (1, 'fast'), (1, 'cheap'), (2, 'fast')`)
+	rows, err := db.Query(`
+		SELECT p.id, s.sid, g.tag
+		FROM providers p, services s, tags g
+		WHERE s.pid = p.id AND g.sid = s.sid AND g.tag = 'fast'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("got %d rows", rows.Len())
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`
+		SELECT a.id, b.id FROM providers a, providers b
+		WHERE a.memory = b.memory AND a.id != b.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Fatalf("distinct memories, expected empty join, got %d", rows.Len())
+	}
+	rows, err = db.Query(`
+		SELECT a.id, b.id FROM providers a, providers b
+		WHERE b.id = a.id AND a.id <= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("self equi-join got %d rows", rows.Len())
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	db := testDB(t)
+	ids := queryInts(t, db, `SELECT id FROM providers ORDER BY memory DESC LIMIT 3`)
+	if len(ids) != 3 || ids[0] != 20 || ids[1] != 19 || ids[2] != 18 {
+		t.Errorf("ORDER BY DESC LIMIT: %v", ids)
+	}
+	ids = queryInts(t, db, `SELECT id FROM providers ORDER BY id LIMIT 5 OFFSET 10`)
+	if len(ids) != 5 || ids[0] != 11 {
+		t.Errorf("OFFSET: %v", ids)
+	}
+	// ORDER BY ordinal.
+	ids = queryInts(t, db, `SELECT id FROM providers ORDER BY 1 DESC LIMIT 2`)
+	if len(ids) != 2 || ids[0] != 20 {
+		t.Errorf("ORDER BY ordinal: %v", ids)
+	}
+	// ORDER BY expression.
+	ids = queryInts(t, db, `SELECT id FROM providers ORDER BY 0 - id LIMIT 1`)
+	if len(ids) != 1 || ids[0] != 20 {
+		t.Errorf("ORDER BY expr: %v", ids)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`SELECT DISTINCT domain FROM providers`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Errorf("DISTINCT got %d rows", rows.Len())
+	}
+	rows, err = db.Query(`SELECT DISTINCT domain FROM providers ORDER BY domain`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 || rows.Data[0][0].Str != "tum.de" {
+		t.Errorf("DISTINCT+ORDER: %+v", rows.Data)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := testDB(t)
+	check := func(q string, want rdb.Value) {
+		t.Helper()
+		rows, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := rows.Scalar()
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !rdb.Equal(got, want) {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+	check(`SELECT COUNT(*) FROM providers`, rdb.NewInt(20))
+	check(`SELECT COUNT(*) FROM providers WHERE memory > 288`, rdb.NewInt(2))
+	check(`SELECT MIN(memory) FROM providers`, rdb.NewInt(16))
+	check(`SELECT MAX(memory) FROM providers`, rdb.NewInt(320))
+	check(`SELECT SUM(memory) FROM providers WHERE id <= 3`, rdb.NewInt(96))
+	check(`SELECT AVG(memory) FROM providers WHERE id <= 3`, rdb.NewFloat(32))
+	check(`SELECT COUNT(*) FROM providers WHERE id > 999`, rdb.NewInt(0))
+	// COUNT skips NULLs, COUNT(*) does not.
+	db.MustExec(`INSERT INTO providers (id, host, memory, cpu, domain) VALUES (21, 'x', NULL, NULL, NULL)`)
+	check(`SELECT COUNT(memory) FROM providers`, rdb.NewInt(20))
+	check(`SELECT COUNT(*) FROM providers`, rdb.NewInt(21))
+	// SUM over empty set is NULL.
+	rows, _ := db.Query(`SELECT SUM(memory) FROM providers WHERE id > 999`)
+	if v, _ := rows.Scalar(); !v.IsNull() {
+		t.Errorf("SUM over empty = %v, want NULL", v)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`
+		SELECT domain, COUNT(*) AS n, MAX(memory) AS maxmem
+		FROM providers GROUP BY domain ORDER BY domain`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("groups: %d", rows.Len())
+	}
+	if rows.Data[0][0].Str != "tum.de" || rows.Data[0][1].Int != 10 || rows.Data[0][2].Int != 320 {
+		t.Errorf("group 0: %v", rows.Data[0])
+	}
+	if rows.Data[1][0].Str != "uni-passau.de" || rows.Data[1][2].Int != 304 {
+		t.Errorf("group 1: %v", rows.Data[1])
+	}
+	rows, err = db.Query(`
+		SELECT pid, COUNT(*) AS n FROM services GROUP BY pid HAVING COUNT(*) > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 20 {
+		t.Errorf("HAVING groups: %d, want 20", rows.Len())
+	}
+	rows, err = db.Query(`
+		SELECT pid, COUNT(*) FROM services GROUP BY pid HAVING COUNT(*) > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Errorf("HAVING>2 groups: %d, want 0", rows.Len())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := testDB(t)
+	n, err := db.Exec(`UPDATE providers SET memory = memory * 2 WHERE domain = 'tum.de'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("updated %d rows", n)
+	}
+	rows, _ := db.Query(`SELECT memory FROM providers WHERE id = 2`)
+	if v, _ := rows.Scalar(); v.Int != 64 {
+		t.Errorf("memory = %v", v)
+	}
+	// Index reflects new values.
+	ids := queryInts(t, db, `SELECT id FROM providers WHERE memory = 64`)
+	if len(ids) != 2 { // id 2 (32*2) and id 4 original 64? id4 is tum.de -> 128. id 2->64, id 4->128; original 64 was id4 (doubled). So memory=64: id 2 only... and id 4 no. Wait.
+		// Recompute: tum.de ids are even. id2:32->64, id4:64->128. uni-passau odd: id unchanged. 64 original: id 4 (changed) => only id 2 has 64.
+		if len(ids) != 1 || ids[0] != 2 {
+			t.Errorf("post-update index lookup: %v", ids)
+		}
+	}
+	// UPDATE without WHERE hits everything.
+	n, err = db.Exec(`UPDATE providers SET cpu = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Errorf("unconditional update: %d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := testDB(t)
+	n, err := db.Exec(`DELETE FROM services WHERE pid = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("deleted %d", n)
+	}
+	n, err = db.Exec(`DELETE FROM services`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 38 {
+		t.Errorf("deleted %d", n)
+	}
+	rows, _ := db.Query(`SELECT COUNT(*) FROM services`)
+	if v, _ := rows.Scalar(); v.Int != 0 {
+		t.Errorf("count after delete = %v", v)
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	db := testDB(t)
+	db.MustExec(`CREATE TABLE rich (id INT, memory INT)`)
+	n, err := db.Exec(`INSERT INTO rich (id, memory) SELECT id, memory FROM providers WHERE memory >= 288`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("inserted %d", n)
+	}
+	// INSERT ... SELECT from the target table itself must not deadlock.
+	n, err = db.Exec(`INSERT INTO rich (id, memory) SELECT id, memory FROM rich`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("self-insert %d", n)
+	}
+	rows, _ := db.Query(`SELECT COUNT(*) FROM rich`)
+	if v, _ := rows.Scalar(); v.Int != 6 {
+		t.Errorf("total = %v", v)
+	}
+}
+
+func TestInsertColumnSubset(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec(`INSERT INTO providers (id, host) VALUES (99, 'partial')`); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.Query(`SELECT memory FROM providers WHERE id = 99`)
+	if v, _ := rows.Scalar(); !v.IsNull() {
+		t.Errorf("unlisted column = %v, want NULL", v)
+	}
+	// Omitting a NOT NULL column fails.
+	if _, err := db.Exec(`INSERT INTO providers (id) VALUES (100)`); err == nil {
+		t.Error("NOT NULL violation accepted")
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	db := testDB(t)
+	st, err := db.Prepare(`SELECT id FROM providers WHERE memory = ? AND domain = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		dom := "uni-passau.de"
+		if i%2 == 0 {
+			dom = "tum.de"
+		}
+		rows, err := st.Query(rdb.NewInt(int64(i*16)), rdb.NewText(dom))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Len() != 1 || rows.Data[0][0].Int != int64(i) {
+			t.Fatalf("i=%d: %+v", i, rows.Data)
+		}
+	}
+	// Prepared DML.
+	ins, err := db.Prepare(`INSERT INTO services (sid, pid, name, price) VALUES (?, ?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Exec(rdb.NewInt(100), rdb.NewInt(1), rdb.NewText("x"), rdb.NewFloat(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Plan survives DDL via re-validation.
+	db.MustExec(`CREATE TABLE unrelated (x INT)`)
+	rows, err := st.Query(rdb.NewInt(16), rdb.NewText("uni-passau.de"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Errorf("after DDL: %d rows", rows.Len())
+	}
+}
+
+func TestQueryFuncStreaming(t *testing.T) {
+	db := testDB(t)
+	var got []int64
+	err := db.QueryFunc(`SELECT id FROM providers WHERE id <= 5`, nil, func(row []rdb.Value) error {
+		got = append(got, row[0].Int)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("streamed %d rows", len(got))
+	}
+	// Early abort via error.
+	n := 0
+	sentinel := fmt.Errorf("stop")
+	err = db.QueryFunc(`SELECT id FROM providers`, nil, func([]rdb.Value) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || n != 3 {
+		t.Errorf("abort: err=%v n=%d", err, n)
+	}
+}
+
+func TestIfNotExistsAndIfExists(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec(`CREATE TABLE providers (id INT)`); err == nil {
+		t.Error("duplicate CREATE TABLE accepted")
+	}
+	if _, err := db.Exec(`CREATE TABLE IF NOT EXISTS providers (id INT)`); err != nil {
+		t.Errorf("IF NOT EXISTS: %v", err)
+	}
+	if _, err := db.Exec(`CREATE INDEX IF NOT EXISTS idx_providers_memory ON providers (memory)`); err != nil {
+		t.Errorf("index IF NOT EXISTS: %v", err)
+	}
+	if _, err := db.Exec(`DROP TABLE IF EXISTS nonexistent`); err != nil {
+		t.Errorf("DROP IF EXISTS: %v", err)
+	}
+	if _, err := db.Exec(`DROP TABLE nonexistent`); err == nil {
+		t.Error("DROP of missing table accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELEC id FROM t`,
+		`SELECT FROM t`,
+		`SELECT id FROM`,
+		`SELECT id FROM t WHERE`,
+		`INSERT INTO`,
+		`INSERT INTO t VALUES`,
+		`CREATE TABLE`,
+		`CREATE TABLE t`,
+		`CREATE TABLE t ()`,
+		`CREATE TABLE t (a UNKNOWNTYPE)`,
+		`SELECT 'unterminated FROM t`,
+		`SELECT id FROM t; SELECT 2`,
+		`SELECT id id2 id3 FROM t`,
+		`UPDATE t`,
+		`DELETE t`,
+		`SELECT a FROM t WHERE a @ 3`,
+		`CREATE TABLE t (a INT UNIQUE)`,
+		`CREATE UNIQUE TABLE t (a INT)`,
+		`SELECT COUNT(*) FROM t GROUP BY`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted bad statement: %q", q)
+		}
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		`SELECT nope FROM providers`,
+		`SELECT id FROM nonexistent`,
+		`SELECT x.id FROM providers p`,
+		`SELECT id FROM providers p, services s`, // ambiguous? no: id unique. use name
+		`SELECT sid FROM providers`,
+		`INSERT INTO providers (nope) VALUES (1)`,
+		`UPDATE providers SET nope = 1`,
+		`SELECT id FROM providers WHERE COUNT(*) > 1`,
+		`SELECT id FROM providers p, providers p`,
+	}
+	for _, q := range bad {
+		if q == `SELECT id FROM providers p, services s` {
+			continue
+		}
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("accepted bad query: %q", q)
+		}
+	}
+	// Ambiguity check with genuinely ambiguous column.
+	db.MustExec(`CREATE TABLE dup1 (v INT)`)
+	db.MustExec(`CREATE TABLE dup2 (v INT)`)
+	if _, err := db.Query(`SELECT v FROM dup1, dup2`); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous column: %v", err)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query(`select ID, HOST from PROVIDERS where MEMORY = 16`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Errorf("case-insensitive query: %d rows", rows.Len())
+	}
+}
+
+func TestContainsOperator(t *testing.T) {
+	db := testDB(t)
+	ids := queryInts(t, db, `SELECT id FROM providers WHERE host CONTAINS 'host07'`)
+	if len(ids) != 1 || ids[0] != 7 {
+		t.Errorf("CONTAINS: %v", ids)
+	}
+	ids = queryInts(t, db, `SELECT id FROM providers WHERE host NOT CONTAINS 'tum'`)
+	if len(ids) != 10 {
+		t.Errorf("NOT CONTAINS: %d", len(ids))
+	}
+}
+
+func TestComments(t *testing.T) {
+	db := testDB(t)
+	rows, err := db.Query("SELECT id -- trailing comment\nFROM providers -- another\nWHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Errorf("comment query: %d rows", rows.Len())
+	}
+}

@@ -1,0 +1,259 @@
+package rdb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Table is a heap table: rows live in a slice and are addressed by stable
+// row IDs (slot positions). Deleted slots are tombstoned (nil row) and
+// reused by later inserts. Secondary indexes map keys to row IDs.
+type Table struct {
+	mu      sync.RWMutex
+	def     TableDef
+	rows    []Row
+	free    []int64
+	live    int
+	indexes map[string]*Index // keyed by lower-cased index name
+}
+
+func newTable(def TableDef) *Table {
+	return &Table{def: def, indexes: make(map[string]*Index)}
+}
+
+// Def returns a copy of the table definition.
+func (t *Table) Def() TableDef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d := t.def
+	d.Columns = append([]ColumnDef(nil), t.def.Columns...)
+	return d
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.def.Name }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Insert validates and stores a row, maintaining all indexes. It returns the
+// new row's ID.
+func (t *Table) Insert(row Row) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(row)
+}
+
+func (t *Table) insertLocked(row Row) (int64, error) {
+	checked, err := t.def.checkRow(row)
+	if err != nil {
+		return 0, err
+	}
+	checked = checked.Clone()
+	// Check every unique index before touching any of them, so a violation
+	// leaves the table unchanged.
+	for _, ix := range t.indexes {
+		if ix.Def.Unique {
+			key := ix.keyOf(checked)
+			if !keyHasNull(key) && len(ix.lookup(key)) > 0 {
+				return 0, fmt.Errorf("rdb: table %s: unique index %s: duplicate key (%s)",
+					t.def.Name, ix.Def.Name, keyString(key))
+			}
+		}
+	}
+	var id int64
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[id] = checked
+	} else {
+		id = int64(len(t.rows))
+		t.rows = append(t.rows, checked)
+	}
+	t.live++
+	for _, ix := range t.indexes {
+		// Cannot fail: uniqueness was pre-checked above.
+		if err := ix.insert(checked, id); err != nil {
+			panic(fmt.Sprintf("rdb: internal: index insert failed after pre-check: %v", err))
+		}
+	}
+	return id, nil
+}
+
+// Get returns a copy of the row with the given ID, if it is live.
+func (t *Table) Get(rowID int64) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if rowID < 0 || rowID >= int64(len(t.rows)) || t.rows[rowID] == nil {
+		return nil, false
+	}
+	return t.rows[rowID].Clone(), true
+}
+
+// Update replaces the row with the given ID, maintaining all indexes.
+// On a uniqueness violation the row is left unchanged.
+func (t *Table) Update(rowID int64, row Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.updateLocked(rowID, row)
+}
+
+func (t *Table) updateLocked(rowID int64, row Row) error {
+	if rowID < 0 || rowID >= int64(len(t.rows)) || t.rows[rowID] == nil {
+		return fmt.Errorf("rdb: table %s: update row %d: %w", t.def.Name, rowID, ErrNoSuchRow)
+	}
+	checked, err := t.def.checkRow(row)
+	if err != nil {
+		return err
+	}
+	checked = checked.Clone()
+	old := t.rows[rowID]
+	// Remove the old entries first so an update that keeps the key does not
+	// collide with itself, then insert the new entries; on violation restore.
+	for _, ix := range t.indexes {
+		ix.remove(old, rowID)
+	}
+	var failed error
+	done := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		if err := ix.insert(checked, rowID); err != nil {
+			failed = err
+			break
+		}
+		done = append(done, ix)
+	}
+	if failed != nil {
+		for _, ix := range done {
+			ix.remove(checked, rowID)
+		}
+		for _, ix := range t.indexes {
+			if err := ix.insert(old, rowID); err != nil {
+				panic(fmt.Sprintf("rdb: internal: index restore failed: %v", err))
+			}
+		}
+		return failed
+	}
+	t.rows[rowID] = checked
+	return nil
+}
+
+// Delete removes the row with the given ID and returns its former contents.
+func (t *Table) Delete(rowID int64) (Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteLocked(rowID)
+}
+
+func (t *Table) deleteLocked(rowID int64) (Row, error) {
+	if rowID < 0 || rowID >= int64(len(t.rows)) || t.rows[rowID] == nil {
+		return nil, fmt.Errorf("rdb: table %s: delete row %d: %w", t.def.Name, rowID, ErrNoSuchRow)
+	}
+	old := t.rows[rowID]
+	for _, ix := range t.indexes {
+		ix.remove(old, rowID)
+	}
+	t.rows[rowID] = nil
+	t.free = append(t.free, rowID)
+	t.live--
+	return old, nil
+}
+
+// Scan visits every live row in row-ID order. The visited row must not be
+// modified; the visit function returns false to stop early. Scan holds the
+// table read lock for its duration; the visit function must not call
+// mutating methods of the same table.
+func (t *Table) Scan(visit func(rowID int64, row Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !visit(int64(id), row) {
+			return
+		}
+	}
+}
+
+// ScanSnapshot visits a point-in-time copy of every live row without holding
+// the lock during visits, so the visit function may mutate the table.
+func (t *Table) ScanSnapshot(visit func(rowID int64, row Row) bool) {
+	type entry struct {
+		id  int64
+		row Row
+	}
+	t.mu.RLock()
+	snap := make([]entry, 0, t.live)
+	for id, row := range t.rows {
+		if row != nil {
+			snap = append(snap, entry{int64(id), row.Clone()})
+		}
+	}
+	t.mu.RUnlock()
+	for _, e := range snap {
+		if !visit(e.id, e.row) {
+			return
+		}
+	}
+}
+
+// Index returns the named index, if it exists.
+func (t *Table) Index(name string) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[lowerName(name)]
+	return ix, ok
+}
+
+// Indexes returns all indexes of the table.
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix)
+	}
+	return out
+}
+
+// createIndex builds an index over the existing rows.
+func (t *Table) createIndex(def IndexDef) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.indexes[lowerName(def.Name)]; exists {
+		return nil, fmt.Errorf("rdb: %w: %s", ErrIndexExists, def.Name)
+	}
+	colPos := make([]int, len(def.Columns))
+	for i, c := range def.Columns {
+		p := t.def.ColumnIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("rdb: index %s: %w: %s.%s", def.Name, ErrNoSuchColumn, t.def.Name, c)
+		}
+		colPos[i] = p
+	}
+	ix := newIndex(def, colPos)
+	for id, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if err := ix.insert(row, int64(id)); err != nil {
+			return nil, err
+		}
+	}
+	t.indexes[lowerName(def.Name)] = ix
+	return ix, nil
+}
+
+func (t *Table) dropIndex(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[lowerName(name)]; !ok {
+		return fmt.Errorf("rdb: %w: %s", ErrNoSuchIndex, name)
+	}
+	delete(t.indexes, lowerName(name))
+	return nil
+}

@@ -1,0 +1,439 @@
+package rdb
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testDef() TableDef {
+	return TableDef{
+		Name: "providers",
+		Columns: []ColumnDef{
+			{Name: "id", Type: KindInt, PrimaryKey: true},
+			{Name: "host", Type: KindText, NotNull: true},
+			{Name: "memory", Type: KindInt},
+			{Name: "load", Type: KindFloat},
+		},
+	}
+}
+
+func mustTable(t *testing.T, db *Database, def TableDef) *Table {
+	t.Helper()
+	tbl, err := db.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTableDefValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		def  TableDef
+		ok   bool
+	}{
+		{"valid", testDef(), true},
+		{"empty name", TableDef{Columns: []ColumnDef{{Name: "a", Type: KindInt}}}, false},
+		{"no columns", TableDef{Name: "t"}, false},
+		{"dup columns", TableDef{Name: "t", Columns: []ColumnDef{
+			{Name: "a", Type: KindInt}, {Name: "A", Type: KindText}}}, false},
+		{"bad type", TableDef{Name: "t", Columns: []ColumnDef{{Name: "a", Type: KindNull}}}, false},
+		{"empty column name", TableDef{Name: "t", Columns: []ColumnDef{{Name: "", Type: KindInt}}}, false},
+	}
+	for _, c := range cases {
+		err := c.def.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	id, err := tbl.Insert(Row{NewInt(1), NewText("a.example.org"), NewInt(64), NewFloat(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := tbl.Get(id)
+	if !ok {
+		t.Fatal("row not found")
+	}
+	if row[1].Str != "a.example.org" {
+		t.Errorf("got %v", row)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	old, err := tbl.Delete(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0].Int != 1 {
+		t.Errorf("Delete returned %v", old)
+	}
+	if _, ok := tbl.Get(id); ok {
+		t.Error("deleted row still visible")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if _, err := tbl.Delete(id); !errors.Is(err, ErrNoSuchRow) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	// Wrong arity.
+	if _, err := tbl.Insert(Row{NewInt(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// NOT NULL violation.
+	if _, err := tbl.Insert(Row{NewInt(1), Null(), NewInt(1), Null()}); err == nil {
+		t.Error("NOT NULL violation accepted")
+	}
+	// Primary key implicitly NOT NULL.
+	if _, err := tbl.Insert(Row{Null(), NewText("h"), Null(), Null()}); err == nil {
+		t.Error("NULL primary key accepted")
+	}
+	// Type mismatch.
+	if _, err := tbl.Insert(Row{NewText("x"), NewText("h"), Null(), Null()}); err == nil {
+		t.Error("TEXT into INT accepted")
+	}
+	// INT widens into FLOAT column.
+	id, err := tbl.Insert(Row{NewInt(1), NewText("h"), Null(), NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ := tbl.Get(id)
+	if row[3].Kind != KindFloat || row[3].Float != 3.0 {
+		t.Errorf("INT not widened: %v", row[3])
+	}
+}
+
+func TestPrimaryKeyUniqueness(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	if _, err := tbl.Insert(Row{NewInt(1), NewText("a"), Null(), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tbl.Insert(Row{NewInt(1), NewText("b"), Null(), Null()})
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Errorf("duplicate PK: %v", err)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("failed insert changed table: Len=%d", tbl.Len())
+	}
+}
+
+func TestUpdateMaintainsIndexes(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	if _, err := db.CreateIndex(IndexDef{Name: "idx_host", Table: "providers", Columns: []string{"host"}, Kind: IndexHash}); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := tbl.Insert(Row{NewInt(1), NewText("old"), Null(), Null()})
+	if err := tbl.Update(id, Row{NewInt(1), NewText("new"), NewInt(128), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := tbl.Index("idx_host")
+	if ids := ix.Lookup(Key{NewText("old")}); len(ids) != 0 {
+		t.Error("stale index entry for old value")
+	}
+	if ids := ix.Lookup(Key{NewText("new")}); len(ids) != 1 || ids[0] != id {
+		t.Errorf("index not updated: %v", ids)
+	}
+}
+
+func TestUpdateUniquenessRollback(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	id1, _ := tbl.Insert(Row{NewInt(1), NewText("a"), Null(), Null()})
+	tbl.Insert(Row{NewInt(2), NewText("b"), Null(), Null()})
+	// Updating row 1 to PK 2 must fail and leave everything intact.
+	if err := tbl.Update(id1, Row{NewInt(2), NewText("a"), Null(), Null()}); err == nil {
+		t.Fatal("conflicting update accepted")
+	}
+	row, ok := tbl.Get(id1)
+	if !ok || row[0].Int != 1 {
+		t.Errorf("row changed after failed update: %v", row)
+	}
+	// Index entries must still find both rows.
+	ix, _ := tbl.Index("providers_pk")
+	if len(ix.Lookup(Key{NewInt(1)})) != 1 || len(ix.Lookup(Key{NewInt(2)})) != 1 {
+		t.Error("index entries lost after failed update")
+	}
+	// Self-keeping update (same PK) must succeed.
+	if err := tbl.Update(id1, Row{NewInt(1), NewText("changed"), Null(), Null()}); err != nil {
+		t.Errorf("same-key update rejected: %v", err)
+	}
+}
+
+func TestSlotReuse(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	id1, _ := tbl.Insert(Row{NewInt(1), NewText("a"), Null(), Null()})
+	tbl.Delete(id1)
+	id2, _ := tbl.Insert(Row{NewInt(2), NewText("b"), Null(), Null()})
+	if id2 != id1 {
+		t.Errorf("slot not reused: %d vs %d", id2, id1)
+	}
+}
+
+func TestScanAndEarlyStop(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	for i := 0; i < 10; i++ {
+		tbl.Insert(Row{NewInt(int64(i)), NewText("h"), Null(), Null()})
+	}
+	tbl.Delete(3)
+	n := 0
+	tbl.Scan(func(id int64, row Row) bool {
+		if id == 3 {
+			t.Error("deleted row visited")
+		}
+		n++
+		return true
+	})
+	if n != 9 {
+		t.Errorf("visited %d rows", n)
+	}
+	n = 0
+	tbl.Scan(func(int64, Row) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestScanSnapshotAllowsMutation(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	for i := 0; i < 5; i++ {
+		tbl.Insert(Row{NewInt(int64(i)), NewText("h"), Null(), Null()})
+	}
+	// Deleting while iterating a snapshot must not deadlock or skip.
+	n := 0
+	tbl.ScanSnapshot(func(id int64, row Row) bool {
+		if _, err := tbl.Delete(id); err != nil {
+			t.Errorf("delete during snapshot scan: %v", err)
+		}
+		n++
+		return true
+	})
+	if n != 5 || tbl.Len() != 0 {
+		t.Errorf("n=%d Len=%d", n, tbl.Len())
+	}
+}
+
+func TestCreateIndexOnPopulatedTable(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	for i := 0; i < 20; i++ {
+		tbl.Insert(Row{NewInt(int64(i)), NewText("h"), NewInt(int64(i % 4)), Null()})
+	}
+	ix, err := db.CreateIndex(IndexDef{Name: "idx_mem", Table: "providers", Columns: []string{"memory"}, Kind: IndexBTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 20 {
+		t.Errorf("index Len = %d", ix.Len())
+	}
+	if ids := ix.Lookup(Key{NewInt(2)}); len(ids) != 5 {
+		t.Errorf("lookup found %d rows, want 5", len(ids))
+	}
+}
+
+func TestUniqueIndexNullExemption(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	if _, err := db.CreateIndex(IndexDef{Name: "u_mem", Table: "providers", Columns: []string{"memory"}, Unique: true, Kind: IndexBTree}); err != nil {
+		t.Fatal(err)
+	}
+	// Multiple NULLs allowed in a unique index.
+	if _, err := tbl.Insert(Row{NewInt(1), NewText("a"), Null(), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Row{NewInt(2), NewText("b"), Null(), Null()}); err != nil {
+		t.Errorf("second NULL rejected: %v", err)
+	}
+	if _, err := tbl.Insert(Row{NewInt(3), NewText("c"), NewInt(64), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Row{NewInt(4), NewText("d"), NewInt(64), Null()}); err == nil {
+		t.Error("duplicate non-NULL accepted in unique index")
+	}
+}
+
+func TestDatabaseCatalog(t *testing.T) {
+	db := NewDatabase()
+	mustTable(t, db, testDef())
+	if _, err := db.CreateTable(testDef()); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate table: %v", err)
+	}
+	if !db.HasTable("PROVIDERS") {
+		t.Error("table lookup should be case-insensitive")
+	}
+	if _, err := db.Table("absent"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "providers" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if err := db.DropTable("providers"); err != nil {
+		t.Fatal(err)
+	}
+	if db.HasTable("providers") {
+		t.Error("dropped table still present")
+	}
+	if err := db.DropTable("providers"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("double drop: %v", err)
+	}
+}
+
+func TestIndexCatalogErrors(t *testing.T) {
+	db := NewDatabase()
+	mustTable(t, db, testDef())
+	if _, err := db.CreateIndex(IndexDef{Name: "i", Table: "absent", Columns: []string{"x"}}); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("index on missing table: %v", err)
+	}
+	if _, err := db.CreateIndex(IndexDef{Name: "i", Table: "providers", Columns: []string{"nope"}}); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("index on missing column: %v", err)
+	}
+	if _, err := db.CreateIndex(IndexDef{Name: "i", Table: "providers", Columns: []string{"host"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex(IndexDef{Name: "i", Table: "providers", Columns: []string{"host"}}); !errors.Is(err, ErrIndexExists) {
+		t.Errorf("duplicate index: %v", err)
+	}
+	if err := db.DropIndex("providers", "i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropIndex("providers", "i"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Errorf("double index drop: %v", err)
+	}
+}
+
+func TestHashIndexRangeScanRejected(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	db.CreateIndex(IndexDef{Name: "h", Table: "providers", Columns: []string{"host"}, Kind: IndexHash})
+	ix, _ := tbl.Index("h")
+	err := ix.ScanRange(Key{MinSentinel()}, Key{MaxSentinel()}, func(Key, int64) bool { return true })
+	if !errors.Is(err, ErrUnordered) {
+		t.Errorf("range scan on hash index: %v", err)
+	}
+	if ix.Ordered() {
+		t.Error("hash index reports Ordered")
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	for i := 0; i < 100; i++ {
+		tbl.Insert(Row{NewInt(int64(i)), NewText("h"), NewInt(int64(i)), Null()})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				tbl.ScanSnapshot(func(_ int64, row Row) bool { return true })
+				tbl.Get(int64(k % 100))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 100; i < 300; i++ {
+			tbl.Insert(Row{NewInt(int64(i)), NewText("w"), Null(), Null()})
+		}
+	}()
+	wg.Wait()
+	if tbl.Len() != 300 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTransactionCommitAndRollback(t *testing.T) {
+	db := NewDatabase()
+	tbl := mustTable(t, db, testDef())
+	base, _ := tbl.Insert(Row{NewInt(1), NewText("keep"), Null(), Null()})
+
+	// Commit path.
+	tx := db.Begin()
+	id2, err := tx.Insert("providers", Row{NewInt(2), NewText("b"), Null(), Null()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Get(id2); !ok {
+		t.Error("committed insert lost")
+	}
+
+	// Rollback path: insert + update + delete all undone.
+	tx = db.Begin()
+	tx.Insert("providers", Row{NewInt(3), NewText("c"), Null(), Null()})
+	tx.Update("providers", base, Row{NewInt(1), NewText("changed"), Null(), Null()})
+	tx.Delete("providers", id2)
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d after rollback", tbl.Len())
+	}
+	row, _ := tbl.Get(base)
+	if row[1].Str != "keep" {
+		t.Errorf("update not rolled back: %v", row)
+	}
+	if _, ok := tbl.Get(id2); !ok {
+		t.Error("delete not rolled back")
+	}
+	// Index consistency after rollback.
+	ix, _ := tbl.Index("providers_pk")
+	if len(ix.Lookup(Key{NewInt(3)})) != 0 {
+		t.Error("rolled-back insert left index entry")
+	}
+	if len(ix.Lookup(Key{NewInt(1)})) != 1 {
+		t.Error("rolled-back update lost index entry")
+	}
+
+	// Finished transactions reject reuse.
+	if _, err := tx.Insert("providers", Row{}); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("reuse after rollback: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("commit after rollback: %v", err)
+	}
+}
+
+func TestTransactionSingleWriter(t *testing.T) {
+	db := NewDatabase()
+	mustTable(t, db, testDef())
+	tx1 := db.Begin()
+	started := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		close(started)
+		tx2 := db.Begin() // must block until tx1 commits
+		tx2.Commit()
+		close(finished)
+	}()
+	<-started
+	select {
+	case <-finished:
+		t.Fatal("second transaction started before first committed")
+	default:
+	}
+	tx1.Commit()
+	<-finished
+}

@@ -1,0 +1,259 @@
+package rdb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() should be null")
+	}
+	if v := NewInt(42); v.Kind != KindInt || v.Int != 42 || v.AsFloat() != 42.0 {
+		t.Errorf("NewInt: got %+v", v)
+	}
+	if v := NewFloat(2.5); v.Kind != KindFloat || v.Float != 2.5 || v.AsInt() != 2 {
+		t.Errorf("NewFloat: got %+v", v)
+	}
+	if v := NewText("hi"); v.Kind != KindText || v.Str != "hi" {
+		t.Errorf("NewText: got %+v", v)
+	}
+	if v := NewBool(true); v.Kind != KindBool || !v.Bool {
+		t.Errorf("NewBool: got %+v", v)
+	}
+	if !NewInt(1).IsNumeric() || !NewFloat(1).IsNumeric() || NewText("1").IsNumeric() {
+		t.Error("IsNumeric misclassifies")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewText("abc"), "abc"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{MinSentinel(), "-inf"},
+		{MaxSentinel(), "+inf"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+}
+
+func TestSQLLiteralEscaping(t *testing.T) {
+	if got := NewText("o'brien").SQLLiteral(); got != "'o''brien'" {
+		t.Errorf("SQLLiteral = %q", got)
+	}
+	if got := NewInt(3).SQLLiteral(); got != "3" {
+		t.Errorf("SQLLiteral = %q", got)
+	}
+}
+
+func TestCompareOrderingAcrossKinds(t *testing.T) {
+	// Total order: min < null < bool < numeric < text < max.
+	ordered := []Value{
+		MinSentinel(), Null(), NewBool(false), NewBool(true),
+		NewInt(-5), NewFloat(-1.5), NewInt(0), NewFloat(0.5), NewInt(1),
+		NewText(""), NewText("a"), NewText("b"), MaxSentinel(),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNumericCoercion(t *testing.T) {
+	if Compare(NewInt(1), NewFloat(1.0)) != 0 {
+		t.Error("1 should equal 1.0")
+	}
+	if Compare(NewInt(2), NewFloat(1.5)) != 1 {
+		t.Error("2 > 1.5")
+	}
+	if Compare(NewFloat(1.5), NewInt(2)) != -1 {
+		t.Error("1.5 < 2")
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if Compare(nan, nan) != 0 {
+		t.Error("NaN should compare equal to itself for index stability")
+	}
+	if Compare(nan, NewFloat(0)) != -1 {
+		t.Error("NaN sorts below numbers")
+	}
+	if Compare(NewFloat(0), nan) != 1 {
+		t.Error("numbers sort above NaN")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(1), NewFloat(1.0)},
+		{NewText("x"), NewText("x")},
+		{Null(), Null()},
+		{NewBool(true), NewBool(true)},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("expected %v == %v", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values %v, %v have different hashes", p[0], p[1])
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and Equal values hash identically.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return Compare(va, vb) == -Compare(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		va, vb := NewText(a), NewText(b)
+		if Compare(va, vb) != -Compare(vb, va) {
+			return false
+		}
+		if Equal(va, vb) && va.Hash() != vb.Hash() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: int/float coercion equality implies hash equality.
+func TestIntFloatHashProperty(t *testing.T) {
+	f := func(n int32) bool {
+		i := NewInt(int64(n))
+		fl := NewFloat(float64(n))
+		return Equal(i, fl) && i.Hash() == fl.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	cases := []struct {
+		in      Value
+		to      Kind
+		want    Value
+		wantErr bool
+	}{
+		{NewInt(5), KindFloat, NewFloat(5), false},
+		{NewFloat(5.9), KindInt, NewInt(5), false},
+		{NewText("42"), KindInt, NewInt(42), false},
+		{NewText(" 42 "), KindInt, NewInt(42), false},
+		{NewText("3.5"), KindFloat, NewFloat(3.5), false},
+		{NewText("3.5"), KindInt, NewInt(3), false},
+		{NewText("abc"), KindInt, Null(), true},
+		{NewInt(42), KindText, NewText("42"), false},
+		{NewBool(true), KindInt, NewInt(1), false},
+		{NewBool(false), KindFloat, NewFloat(0), false},
+		{NewText("true"), KindBool, NewBool(true), false},
+		{NewText("0"), KindBool, NewBool(false), false},
+		{NewText("maybe"), KindBool, Null(), true},
+		{NewInt(0), KindBool, NewBool(false), false},
+		{Null(), KindInt, Null(), false},
+		{NewInt(7), KindInt, NewInt(7), false},
+	}
+	for _, c := range cases {
+		got, err := c.in.CoerceTo(c.to)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("CoerceTo(%v, %v): want error, got %v", c.in, c.to, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("CoerceTo(%v, %v): %v", c.in, c.to, err)
+			continue
+		}
+		if !Equal(got, c.want) || got.Kind != c.want.Kind {
+			t.Errorf("CoerceTo(%v, %v) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewText("a")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].Int != 1 {
+		t.Error("Clone should not alias")
+	}
+	if Row(nil).Clone() != nil {
+		t.Error("nil row clones to nil")
+	}
+}
+
+func TestCompareKeysPrefixSemantics(t *testing.T) {
+	a := Key{NewInt(1)}
+	b := Key{NewInt(1), NewInt(2)}
+	if CompareKeys(a, b) != -1 {
+		t.Error("prefix sorts first")
+	}
+	if CompareKeys(b, a) != 1 {
+		t.Error("longer sorts after prefix")
+	}
+	if CompareKeys(b, b) != 0 {
+		t.Error("equal keys")
+	}
+	if CompareKeys(Key{NewInt(2)}, b) != 1 {
+		t.Error("element comparison dominates length")
+	}
+}
+
+func TestEncodeKeyStringInjective(t *testing.T) {
+	// Keys that must not collide: text boundary ambiguity.
+	k1 := Key{NewText("ab"), NewText("c")}
+	k2 := Key{NewText("a"), NewText("bc")}
+	if encodeKeyString(k1) == encodeKeyString(k2) {
+		t.Error("length prefixing failed: composite text keys collide")
+	}
+	// Numeric coercion must collide intentionally.
+	k3 := Key{NewInt(1)}
+	k4 := Key{NewFloat(1.0)}
+	if encodeKeyString(k3) != encodeKeyString(k4) {
+		t.Error("1 and 1.0 should encode identically")
+	}
+}
+
+// Property: key encoding equality matches CompareKeys equality for text keys.
+func TestEncodeKeyStringProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 string) bool {
+		ka := Key{NewText(a1), NewText(a2)}
+		kb := Key{NewText(b1), NewText(b2)}
+		enc := encodeKeyString(ka) == encodeKeyString(kb)
+		cmp := CompareKeys(ka, kb) == 0
+		return enc == cmp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

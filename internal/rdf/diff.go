@@ -1,0 +1,62 @@
+package rdf
+
+// Diff captures the resource-level difference between the previously
+// registered version of a document and its re-registered version
+// (paper §3.5): a resource is updated if it appears in both versions with
+// different content, deleted if it disappeared, and added if it is new.
+type Diff struct {
+	// Added resources exist only in the new version.
+	Added []*Resource
+	// Updated resources exist in both versions with changed content;
+	// OldUpdated holds their previous versions, index-aligned.
+	Updated    []*Resource
+	OldUpdated []*Resource
+	// Deleted resources exist only in the old version.
+	Deleted []*Resource
+	// Unchanged resources exist in both versions with identical content.
+	Unchanged []*Resource
+}
+
+// Empty reports whether nothing changed.
+func (d *Diff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Updated) == 0 && len(d.Deleted) == 0
+}
+
+// DiffDocuments compares two versions of a document by URI reference and
+// content fingerprint. Either argument may be nil: a nil old document makes
+// every resource added; a nil new document makes every resource deleted
+// (whole-document deletion, paper §3.5).
+func DiffDocuments(old, new *Document) *Diff {
+	d := &Diff{}
+	oldByRef := map[string]*Resource{}
+	if old != nil {
+		for _, r := range old.Resources {
+			oldByRef[r.URIRef] = r
+		}
+	}
+	if new != nil {
+		for _, r := range new.Resources {
+			prev, existed := oldByRef[r.URIRef]
+			if !existed {
+				d.Added = append(d.Added, r)
+				continue
+			}
+			delete(oldByRef, r.URIRef)
+			if prev.Fingerprint() == r.Fingerprint() {
+				d.Unchanged = append(d.Unchanged, r)
+			} else {
+				d.Updated = append(d.Updated, r)
+				d.OldUpdated = append(d.OldUpdated, prev)
+			}
+		}
+	}
+	// Whatever remains in oldByRef disappeared. Preserve document order.
+	if old != nil {
+		for _, r := range old.Resources {
+			if _, gone := oldByRef[r.URIRef]; gone {
+				d.Deleted = append(d.Deleted, r)
+			}
+		}
+	}
+	return d
+}

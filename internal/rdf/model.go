@@ -1,0 +1,238 @@
+// Package rdf implements the data model of the MDV system: RDF resources
+// and statements (triples), an RDF/XML parser and serializer for the subset
+// MDV uses, RDF Schema with the MDV strong/weak reference extension, and
+// document diffing for update/delete detection (paper §3.5).
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ValueKind distinguishes literal property values from resource references.
+type ValueKind uint8
+
+const (
+	// Literal is a text/number/boolean literal value.
+	Literal ValueKind = iota
+	// ResourceRef is a reference to another resource by URI reference.
+	ResourceRef
+)
+
+// Value is a property value: either a literal or a resource reference.
+type Value struct {
+	Kind    ValueKind
+	Literal string // literal lexical form (Kind == Literal)
+	Ref     string // target URI reference (Kind == ResourceRef)
+}
+
+// Lit makes a literal value.
+func Lit(s string) Value { return Value{Kind: Literal, Literal: s} }
+
+// Ref makes a resource reference value.
+func Ref(uriRef string) Value { return Value{Kind: ResourceRef, Ref: uriRef} }
+
+// String returns the lexical form: the literal text, or the target URI
+// reference. This is the form stored in the FilterData table.
+func (v Value) String() string {
+	if v.Kind == ResourceRef {
+		return v.Ref
+	}
+	return v.Literal
+}
+
+// Property is one (name, value) pair of a resource. Set-valued properties
+// appear as multiple Property entries with the same name.
+type Property struct {
+	Name  string
+	Value Value
+}
+
+// Resource is an RDF resource: a unique URI reference, the class it is an
+// instance of, and its properties.
+type Resource struct {
+	// URIRef is the globally unique URI reference, formed from the document
+	// URI and the local rdf:ID (e.g. "doc.rdf#host"), or taken verbatim from
+	// rdf:about.
+	URIRef string
+	// Class is the schema class the resource instantiates (the RDF typed
+	// node element name, e.g. "CycleProvider").
+	Class string
+	// Props holds the properties in document order.
+	Props []Property
+}
+
+// Get returns the first value of the named property.
+func (r *Resource) Get(name string) (Value, bool) {
+	for _, p := range r.Props {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return Value{}, false
+}
+
+// GetAll returns every value of the named property (set-valued access).
+func (r *Resource) GetAll(name string) []Value {
+	var out []Value
+	for _, p := range r.Props {
+		if p.Name == name {
+			out = append(out, p.Value)
+		}
+	}
+	return out
+}
+
+// Set replaces all values of the named property with a single value.
+func (r *Resource) Set(name string, v Value) {
+	out := r.Props[:0]
+	for _, p := range r.Props {
+		if p.Name != name {
+			out = append(out, p)
+		}
+	}
+	r.Props = append(out, Property{Name: name, Value: v})
+}
+
+// Add appends a property value (for set-valued properties).
+func (r *Resource) Add(name string, v Value) {
+	r.Props = append(r.Props, Property{Name: name, Value: v})
+}
+
+// References returns the URI references of all resources this resource
+// points to.
+func (r *Resource) References() []string {
+	var out []string
+	for _, p := range r.Props {
+		if p.Value.Kind == ResourceRef {
+			out = append(out, p.Value.Ref)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the resource.
+func (r *Resource) Clone() *Resource {
+	cp := &Resource{URIRef: r.URIRef, Class: r.Class}
+	cp.Props = append([]Property(nil), r.Props...)
+	return cp
+}
+
+// Fingerprint returns a canonical string of the resource's content: class
+// and sorted properties. Two resources are equal (for update detection) iff
+// their fingerprints are equal.
+func (r *Resource) Fingerprint() string {
+	props := make([]string, len(r.Props))
+	for i, p := range r.Props {
+		kind := "L"
+		if p.Value.Kind == ResourceRef {
+			kind = "R"
+		}
+		props[i] = p.Name + "\x00" + kind + "\x00" + p.Value.String()
+	}
+	sort.Strings(props)
+	return r.Class + "\x01" + strings.Join(props, "\x01")
+}
+
+// Document is an RDF document: a URI and its resources.
+type Document struct {
+	// URI is the document's globally unique URI (e.g. "doc.rdf"). Local
+	// rdf:ID identifiers are qualified against it.
+	URI       string
+	Resources []*Resource
+}
+
+// NewDocument creates an empty document with the given URI.
+func NewDocument(uri string) *Document { return &Document{URI: uri} }
+
+// QualifyID turns a local rdf:ID into a URI reference within this document.
+func (d *Document) QualifyID(localID string) string { return d.URI + "#" + localID }
+
+// NewResource creates a resource with a local ID, appends it, and returns it.
+func (d *Document) NewResource(localID, class string) *Resource {
+	r := &Resource{URIRef: d.QualifyID(localID), Class: class}
+	d.Resources = append(d.Resources, r)
+	return r
+}
+
+// Find returns the resource with the given URI reference.
+func (d *Document) Find(uriRef string) (*Resource, bool) {
+	for _, r := range d.Resources {
+		if r.URIRef == uriRef {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Clone returns a deep copy of the document.
+func (d *Document) Clone() *Document {
+	cp := &Document{URI: d.URI, Resources: make([]*Resource, len(d.Resources))}
+	for i, r := range d.Resources {
+		cp.Resources[i] = r.Clone()
+	}
+	return cp
+}
+
+// Validate checks document-level invariants: unique URI references and no
+// empty classes.
+func (d *Document) Validate() error {
+	if d.URI == "" {
+		return fmt.Errorf("rdf: document has no URI")
+	}
+	seen := make(map[string]bool, len(d.Resources))
+	for _, r := range d.Resources {
+		if r.URIRef == "" {
+			return fmt.Errorf("rdf: document %s: resource with empty URI reference", d.URI)
+		}
+		if r.Class == "" {
+			return fmt.Errorf("rdf: document %s: resource %s has no class", d.URI, r.URIRef)
+		}
+		if seen[r.URIRef] {
+			return fmt.Errorf("rdf: document %s: duplicate URI reference %s", d.URI, r.URIRef)
+		}
+		seen[r.URIRef] = true
+	}
+	return nil
+}
+
+// SubjectProperty is the pseudo-property name under which each resource's
+// own URI reference is recorded as a statement, so that rules can register a
+// single resource by its URI reference (paper §3.2, Figure 4).
+const SubjectProperty = "rdf#subject"
+
+// Statement is an RDF triple augmented with the subject's class, matching
+// one row of the FilterData table (paper Figure 4).
+type Statement struct {
+	URIRef   string // subject
+	Class    string // subject's class
+	Property string // predicate
+	Value    string // object lexical form
+	IsRef    bool   // object is a resource reference
+}
+
+// Statements decomposes the document into its atoms: one statement per
+// property, plus one rdf#subject statement per resource (paper §3.2).
+func (d *Document) Statements() []Statement {
+	var out []Statement
+	for _, r := range d.Resources {
+		out = append(out, Statement{
+			URIRef:   r.URIRef,
+			Class:    r.Class,
+			Property: SubjectProperty,
+			Value:    r.URIRef,
+			IsRef:    true,
+		})
+		for _, p := range r.Props {
+			out = append(out, Statement{
+				URIRef:   r.URIRef,
+				Class:    r.Class,
+				Property: p.Name,
+				Value:    p.Value.String(),
+				IsRef:    p.Value.Kind == ResourceRef,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomResource draws a resource with arbitrary printable property values.
+func randomResource(rng *rand.Rand, doc *Document, id int) *Resource {
+	r := doc.NewResource(fmt.Sprintf("r%d", id), fmt.Sprintf("Class%d", rng.Intn(3)))
+	n := rng.Intn(5)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%d", rng.Intn(4))
+		if rng.Intn(4) == 0 {
+			r.Add(name, Ref(fmt.Sprintf("other.rdf#x%d", rng.Intn(10))))
+		} else {
+			// Include XML-hostile characters.
+			r.Add(name, Lit(randomLiteral(rng)))
+		}
+	}
+	return r
+}
+
+func randomLiteral(rng *rand.Rand) string {
+	// Leading/trailing whitespace is not preserved by the RDF/XML mapping
+	// (property text is trimmed on parse, as the serializer pretty-prints),
+	// so generated literals are trimmed; interior whitespace is fair game.
+	alphabet := []rune("abc<>&\"' \tÄλ0129")
+	n := rng.Intn(12)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// TestSerializeParseRoundTripProperty: any document we can build survives
+// WriteDocument -> ParseDocument with identical fingerprints.
+func TestSerializeParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		doc := NewDocument(fmt.Sprintf("rt%d.rdf", iter))
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			randomResource(rng, doc, i)
+		}
+		out := DocumentString(doc)
+		back, err := ParseDocumentString(doc.URI, out)
+		if err != nil {
+			t.Fatalf("iter %d: reparse: %v\n%s", iter, err, out)
+		}
+		if len(back.Resources) != len(doc.Resources) {
+			t.Fatalf("iter %d: resource count %d vs %d", iter, len(back.Resources), len(doc.Resources))
+		}
+		for _, orig := range doc.Resources {
+			got, ok := back.Find(orig.URIRef)
+			if !ok {
+				t.Fatalf("iter %d: lost %s", iter, orig.URIRef)
+			}
+			if got.Fingerprint() != orig.Fingerprint() {
+				t.Fatalf("iter %d: %s changed:\n %q\n %q", iter, orig.URIRef,
+					orig.Fingerprint(), got.Fingerprint())
+			}
+		}
+	}
+}
+
+// Property: a diff applied conceptually to the old document accounts for
+// every resource exactly once.
+func TestDiffPartitionProperty(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		rngB := rand.New(rand.NewSource(seedB))
+		old := NewDocument("d.rdf")
+		new := NewDocument("d.rdf")
+		for i := 0; i < 6; i++ {
+			if rngA.Intn(3) != 0 {
+				randomResource(rngA, old, i)
+			}
+			if rngB.Intn(3) != 0 {
+				randomResource(rngB, new, i)
+			}
+		}
+		d := DiffDocuments(old, new)
+		// Partition of new: added + updated + unchanged.
+		if len(d.Added)+len(d.Updated)+len(d.Unchanged) != len(new.Resources) {
+			return false
+		}
+		// Partition of old: deleted + updated + unchanged.
+		if len(d.Deleted)+len(d.OldUpdated)+len(d.Unchanged) != len(old.Resources) {
+			return false
+		}
+		// Updated and OldUpdated are aligned by URI.
+		for i := range d.Updated {
+			if d.Updated[i].URIRef != d.OldUpdated[i].URIRef {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Statements() emits exactly one rdf#subject atom per resource
+// plus one atom per property.
+func TestStatementsCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 100; iter++ {
+		doc := NewDocument("d.rdf")
+		props := 0
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			r := randomResource(rng, doc, i)
+			props += len(r.Props)
+		}
+		stmts := doc.Statements()
+		if len(stmts) != n+props {
+			t.Fatalf("iter %d: %d statements for %d resources with %d properties",
+				iter, len(stmts), n, props)
+		}
+		subj := 0
+		for _, s := range stmts {
+			if s.Property == SubjectProperty {
+				subj++
+				if !s.IsRef || s.Value != s.URIRef {
+					t.Fatalf("malformed subject atom: %+v", s)
+				}
+			}
+		}
+		if subj != n {
+			t.Fatalf("iter %d: %d subject atoms for %d resources", iter, subj, n)
+		}
+	}
+}

@@ -1,0 +1,545 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1XML is the RDF document excerpt of paper Figure 1.
+const figure1XML = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+  <CycleProvider rdf:ID="host">
+    <serverHost>pirates.uni-passau.de</serverHost>
+    <serverPort>5874</serverPort>
+    <serverInformation>
+      <ServerInformation rdf:ID="info">
+        <memory>92</memory>
+        <cpu>600</cpu>
+      </ServerInformation>
+    </serverInformation>
+  </CycleProvider>
+</rdf:RDF>`
+
+// Figure1Doc parses the paper's Figure 1 document (shared by core tests).
+func Figure1Doc(t *testing.T) *Document {
+	t.Helper()
+	doc, err := ParseDocumentString("doc.rdf", figure1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseFigure1(t *testing.T) {
+	doc := Figure1Doc(t)
+	if len(doc.Resources) != 2 {
+		t.Fatalf("resources = %d, want 2", len(doc.Resources))
+	}
+	host, ok := doc.Find("doc.rdf#host")
+	if !ok {
+		t.Fatal("doc.rdf#host not found")
+	}
+	if host.Class != "CycleProvider" {
+		t.Errorf("class = %s", host.Class)
+	}
+	if v, _ := host.Get("serverHost"); v.String() != "pirates.uni-passau.de" {
+		t.Errorf("serverHost = %q", v.String())
+	}
+	if v, _ := host.Get("serverPort"); v.String() != "5874" {
+		t.Errorf("serverPort = %q", v.String())
+	}
+	// The nested ServerInformation is hoisted and referenced.
+	ref, ok := host.Get("serverInformation")
+	if !ok || ref.Kind != ResourceRef || ref.Ref != "doc.rdf#info" {
+		t.Errorf("serverInformation = %+v", ref)
+	}
+	info, ok := doc.Find("doc.rdf#info")
+	if !ok {
+		t.Fatal("doc.rdf#info not found")
+	}
+	if v, _ := info.Get("memory"); v.String() != "92" {
+		t.Errorf("memory = %q", v.String())
+	}
+	if v, _ := info.Get("cpu"); v.String() != "600" {
+		t.Errorf("cpu = %q", v.String())
+	}
+}
+
+// TestStatementsMatchFigure4 checks the decomposition of Figure 1 into
+// atoms against the FilterData contents shown in paper Figure 4.
+func TestStatementsMatchFigure4(t *testing.T) {
+	doc := Figure1Doc(t)
+	stmts := doc.Statements()
+	type row struct{ uri, class, prop, value string }
+	want := []row{
+		{"doc.rdf#host", "CycleProvider", "rdf#subject", "doc.rdf#host"},
+		{"doc.rdf#host", "CycleProvider", "serverHost", "pirates.uni-passau.de"},
+		{"doc.rdf#host", "CycleProvider", "serverPort", "5874"},
+		{"doc.rdf#host", "CycleProvider", "serverInformation", "doc.rdf#info"},
+		{"doc.rdf#info", "ServerInformation", "rdf#subject", "doc.rdf#info"},
+		{"doc.rdf#info", "ServerInformation", "memory", "92"},
+		{"doc.rdf#info", "ServerInformation", "cpu", "600"},
+	}
+	if len(stmts) != len(want) {
+		t.Fatalf("got %d statements, want %d", len(stmts), len(want))
+	}
+	got := map[row]bool{}
+	for _, s := range stmts {
+		got[row{s.URIRef, s.Class, s.Property, s.Value}] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing Figure 4 row: %+v", w)
+		}
+	}
+}
+
+func TestParseRDFResourceAttribute(t *testing.T) {
+	src := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+	  <CycleProvider rdf:ID="a">
+	    <serverInformation rdf:resource="#b"/>
+	    <peer rdf:resource="other.rdf#x"/>
+	  </CycleProvider>
+	  <ServerInformation rdf:ID="b"><memory>64</memory></ServerInformation>
+	</rdf:RDF>`
+	doc, err := ParseDocumentString("d.rdf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := doc.Find("d.rdf#a")
+	if v, _ := a.Get("serverInformation"); v.Ref != "d.rdf#b" {
+		t.Errorf("local reference = %q", v.Ref)
+	}
+	if v, _ := a.Get("peer"); v.Ref != "other.rdf#x" {
+		t.Errorf("cross-document reference = %q", v.Ref)
+	}
+}
+
+func TestParseRDFAbout(t *testing.T) {
+	src := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+	  <CycleProvider rdf:about="http://x.org/res#1"><serverPort>1</serverPort></CycleProvider>
+	</rdf:RDF>`
+	doc, err := ParseDocumentString("d.rdf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.Find("http://x.org/res#1"); !ok {
+		t.Error("rdf:about URI not used verbatim")
+	}
+}
+
+func TestParseSetValuedProperty(t *testing.T) {
+	src := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+	  <FunctionProvider rdf:ID="f">
+	    <operator>join</operator>
+	    <operator>scan</operator>
+	    <operator>sort</operator>
+	  </FunctionProvider>
+	</rdf:RDF>`
+	doc, err := ParseDocumentString("d.rdf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := doc.Find("d.rdf#f")
+	vals := f.GetAll("operator")
+	if len(vals) != 3 {
+		t.Fatalf("set-valued property has %d values", len(vals))
+	}
+}
+
+func TestParseErrorsRDF(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"not rdf root", `<html></html>`},
+		{"no id", `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"><C><p>1</p></C></rdf:RDF>`},
+		{"duplicate id", `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+			<C rdf:ID="a"/><D rdf:ID="a"/></rdf:RDF>`},
+		{"mixed content", `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+			<C rdf:ID="a"><p>text<D rdf:ID="b"/></p></C></rdf:RDF>`},
+		{"text in resource", `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+			<C rdf:ID="a">stray</C></rdf:RDF>`},
+		{"malformed xml", `<rdf:RDF><C rdf:ID="a">`},
+		{"empty", ``},
+	}
+	for _, c := range cases {
+		if _, err := ParseDocumentString("d.rdf", c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	doc := Figure1Doc(t)
+	out := DocumentString(doc)
+	doc2, err := ParseDocumentString("doc.rdf", out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if len(doc2.Resources) != len(doc.Resources) {
+		t.Fatalf("round trip lost resources: %d vs %d", len(doc2.Resources), len(doc.Resources))
+	}
+	for _, r := range doc.Resources {
+		r2, ok := doc2.Find(r.URIRef)
+		if !ok {
+			t.Fatalf("round trip lost %s", r.URIRef)
+		}
+		if r2.Fingerprint() != r.Fingerprint() {
+			t.Errorf("round trip changed %s:\n old %q\n new %q", r.URIRef, r.Fingerprint(), r2.Fingerprint())
+		}
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	doc := NewDocument("d.rdf")
+	r := doc.NewResource("x", "C")
+	r.Add("p", Lit(`<&>"special'`))
+	out := DocumentString(doc)
+	doc2, err := ParseDocumentString("d.rdf", out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	r2, _ := doc2.Find("d.rdf#x")
+	if v, _ := r2.Get("p"); v.Literal != `<&>"special'` {
+		t.Errorf("escaping broken: %q", v.Literal)
+	}
+}
+
+func TestResourceAccessors(t *testing.T) {
+	r := &Resource{URIRef: "d#x", Class: "C"}
+	r.Add("p", Lit("1"))
+	r.Add("p", Lit("2"))
+	r.Add("q", Ref("d#y"))
+	if v, ok := r.Get("p"); !ok || v.Literal != "1" {
+		t.Errorf("Get returns first value: %+v", v)
+	}
+	if got := len(r.GetAll("p")); got != 2 {
+		t.Errorf("GetAll: %d", got)
+	}
+	if _, ok := r.Get("absent"); ok {
+		t.Error("Get of absent property")
+	}
+	refs := r.References()
+	if len(refs) != 1 || refs[0] != "d#y" {
+		t.Errorf("References = %v", refs)
+	}
+	r.Set("p", Lit("9"))
+	if got := r.GetAll("p"); len(got) != 1 || got[0].Literal != "9" {
+		t.Errorf("Set: %v", got)
+	}
+	c := r.Clone()
+	c.Set("p", Lit("0"))
+	if v, _ := r.Get("p"); v.Literal != "9" {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestFingerprintOrderIndependence(t *testing.T) {
+	a := &Resource{URIRef: "d#x", Class: "C"}
+	a.Add("p", Lit("1"))
+	a.Add("q", Lit("2"))
+	b := &Resource{URIRef: "d#x", Class: "C"}
+	b.Add("q", Lit("2"))
+	b.Add("p", Lit("1"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("property order should not affect fingerprint")
+	}
+	// Literal vs reference with the same lexical form must differ.
+	c := &Resource{URIRef: "d#x", Class: "C"}
+	c.Add("p", Lit("d#y"))
+	d := &Resource{URIRef: "d#x", Class: "C"}
+	d.Add("p", Ref("d#y"))
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Error("literal and reference with equal text must not collide")
+	}
+}
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	s.AddClass("CycleProvider")
+	s.AddClass("ServerInformation")
+	s.MustAddProperty("CycleProvider", PropertyDef{Name: "serverHost", Type: TypeString})
+	s.MustAddProperty("CycleProvider", PropertyDef{Name: "serverPort", Type: TypeInteger})
+	s.MustAddProperty("CycleProvider", PropertyDef{
+		Name: "serverInformation", Type: TypeResource, RefClass: "ServerInformation", RefKind: StrongRef})
+	s.MustAddProperty("ServerInformation", PropertyDef{Name: "memory", Type: TypeInteger})
+	s.MustAddProperty("ServerInformation", PropertyDef{Name: "cpu", Type: TypeInteger})
+	return s
+}
+
+func TestSchemaValidateDocument(t *testing.T) {
+	s := testSchema(t)
+	doc := Figure1Doc(t)
+	if err := s.ValidateDocument(doc); err != nil {
+		t.Fatalf("Figure 1 should validate: %v", err)
+	}
+	// Unknown class.
+	bad := NewDocument("d.rdf")
+	bad.NewResource("x", "Mystery")
+	if err := s.ValidateDocument(bad); err == nil {
+		t.Error("unknown class accepted")
+	}
+	// Unknown property.
+	bad = NewDocument("d.rdf")
+	bad.NewResource("x", "CycleProvider").Add("nope", Lit("1"))
+	if err := s.ValidateDocument(bad); err == nil {
+		t.Error("unknown property accepted")
+	}
+	// Bad literal type.
+	bad = NewDocument("d.rdf")
+	bad.NewResource("x", "CycleProvider").Add("serverPort", Lit("not-a-number"))
+	if err := s.ValidateDocument(bad); err == nil {
+		t.Error("non-integer serverPort accepted")
+	}
+	// Reference where literal expected.
+	bad = NewDocument("d.rdf")
+	bad.NewResource("x", "CycleProvider").Add("serverHost", Ref("d.rdf#y"))
+	if err := s.ValidateDocument(bad); err == nil {
+		t.Error("reference into literal property accepted")
+	}
+	// Literal where reference expected.
+	bad = NewDocument("d.rdf")
+	bad.NewResource("x", "CycleProvider").Add("serverInformation", Lit("text"))
+	if err := s.ValidateDocument(bad); err == nil {
+		t.Error("literal into reference property accepted")
+	}
+	// Wrong range class (resolvable within document).
+	bad = NewDocument("d.rdf")
+	bad.NewResource("y", "CycleProvider")
+	bad.NewResource("x", "CycleProvider").Add("serverInformation", Ref("d.rdf#y"))
+	if err := s.ValidateDocument(bad); err == nil {
+		t.Error("wrong range class accepted")
+	}
+	// Multiple values on single-valued property.
+	bad = NewDocument("d.rdf")
+	r := bad.NewResource("x", "ServerInformation")
+	r.Add("memory", Lit("1"))
+	r.Add("memory", Lit("2"))
+	if err := s.ValidateDocument(bad); err == nil {
+		t.Error("multi-valued single property accepted")
+	}
+}
+
+func TestSchemaStrongWeakReferences(t *testing.T) {
+	s := testSchema(t)
+	if !s.IsStrongReference("CycleProvider", "serverInformation") {
+		t.Error("serverInformation should be strong")
+	}
+	if s.IsStrongReference("CycleProvider", "serverHost") {
+		t.Error("literal property cannot be a strong reference")
+	}
+	if s.IsStrongReference("Unknown", "x") {
+		t.Error("unknown class")
+	}
+	s.MustAddProperty("CycleProvider", PropertyDef{
+		Name: "peer", Type: TypeResource, RefClass: "CycleProvider", RefKind: WeakRef})
+	if s.IsStrongReference("CycleProvider", "peer") {
+		t.Error("weak reference misreported")
+	}
+}
+
+func TestSchemaDuplicateProperty(t *testing.T) {
+	s := NewSchema()
+	s.MustAddProperty("C", PropertyDef{Name: "p", Type: TypeString})
+	if err := s.AddProperty("C", PropertyDef{Name: "p", Type: TypeInteger}); err == nil {
+		t.Error("duplicate property accepted")
+	}
+	if err := s.AddProperty("C", PropertyDef{Name: "r", Type: TypeResource}); err == nil {
+		t.Error("resource property without range accepted")
+	}
+	if err := s.AddProperty("C", PropertyDef{Name: ""}); err == nil {
+		t.Error("empty property name accepted")
+	}
+}
+
+func TestSchemaSerializationRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	s.MustAddProperty("CycleProvider", PropertyDef{Name: "operator", Type: TypeString, SetValued: true})
+	out := SchemaString(s)
+	s2, err := ParseSchemaString(out)
+	if err != nil {
+		t.Fatalf("reparse schema: %v\n%s", err, out)
+	}
+	if len(s2.Classes()) != len(s.Classes()) {
+		t.Fatalf("classes: %v vs %v", s2.Classes(), s.Classes())
+	}
+	for _, cname := range s.Classes() {
+		c1, _ := s.Class(cname)
+		c2, ok := s2.Class(cname)
+		if !ok {
+			t.Fatalf("class %s lost", cname)
+		}
+		p1, p2 := c1.Properties(), c2.Properties()
+		if len(p1) != len(p2) {
+			t.Fatalf("class %s: %d vs %d properties", cname, len(p1), len(p2))
+		}
+		for i := range p1 {
+			if *p1[i] != *p2[i] {
+				t.Errorf("class %s property %d: %+v vs %+v", cname, i, p1[i], p2[i])
+			}
+		}
+	}
+	// Strong reference survives the round trip.
+	if !s2.IsStrongReference("CycleProvider", "serverInformation") {
+		t.Error("strong reference lost in round trip")
+	}
+}
+
+func TestDiffDocuments(t *testing.T) {
+	old := NewDocument("d.rdf")
+	old.NewResource("a", "C").Add("p", Lit("1"))
+	old.NewResource("b", "C").Add("p", Lit("2"))
+	old.NewResource("c", "C").Add("p", Lit("3"))
+
+	new := NewDocument("d.rdf")
+	new.NewResource("a", "C").Add("p", Lit("1"))  // unchanged
+	new.NewResource("b", "C").Add("p", Lit("99")) // updated
+	new.NewResource("d", "C").Add("p", Lit("4"))  // added
+
+	diff := DiffDocuments(old, new)
+	if len(diff.Unchanged) != 1 || diff.Unchanged[0].URIRef != "d.rdf#a" {
+		t.Errorf("Unchanged = %v", refs(diff.Unchanged))
+	}
+	if len(diff.Updated) != 1 || diff.Updated[0].URIRef != "d.rdf#b" {
+		t.Errorf("Updated = %v", refs(diff.Updated))
+	}
+	if len(diff.OldUpdated) != 1 || diff.OldUpdated[0].Props[0].Value.Literal != "2" {
+		t.Errorf("OldUpdated wrong")
+	}
+	if len(diff.Deleted) != 1 || diff.Deleted[0].URIRef != "d.rdf#c" {
+		t.Errorf("Deleted = %v", refs(diff.Deleted))
+	}
+	if len(diff.Added) != 1 || diff.Added[0].URIRef != "d.rdf#d" {
+		t.Errorf("Added = %v", refs(diff.Added))
+	}
+	if diff.Empty() {
+		t.Error("diff should not be empty")
+	}
+}
+
+func TestDiffNilCases(t *testing.T) {
+	doc := NewDocument("d.rdf")
+	doc.NewResource("a", "C")
+	d := DiffDocuments(nil, doc)
+	if len(d.Added) != 1 || len(d.Deleted) != 0 {
+		t.Errorf("nil old: %+v", d)
+	}
+	d = DiffDocuments(doc, nil)
+	if len(d.Deleted) != 1 || len(d.Added) != 0 {
+		t.Errorf("nil new: %+v", d)
+	}
+	d = DiffDocuments(doc, doc.Clone())
+	if !d.Empty() || len(d.Unchanged) != 1 {
+		t.Errorf("identical docs: %+v", d)
+	}
+}
+
+// Update cases from §3.5: property changed, added, removed all count as
+// updates.
+func TestDiffDetectsPropertyChanges(t *testing.T) {
+	base := func() *Document {
+		d := NewDocument("d.rdf")
+		r := d.NewResource("x", "C")
+		r.Add("p", Lit("1"))
+		r.Add("q", Lit("2"))
+		return d
+	}
+	// Changed value.
+	mod := base()
+	mod.Resources[0].Set("p", Lit("9"))
+	if d := DiffDocuments(base(), mod); len(d.Updated) != 1 {
+		t.Error("changed property not detected")
+	}
+	// Added property.
+	mod = base()
+	mod.Resources[0].Add("r", Lit("3"))
+	if d := DiffDocuments(base(), mod); len(d.Updated) != 1 {
+		t.Error("added property not detected")
+	}
+	// Removed property.
+	mod = base()
+	mod.Resources[0].Props = mod.Resources[0].Props[:1]
+	if d := DiffDocuments(base(), mod); len(d.Updated) != 1 {
+		t.Error("removed property not detected")
+	}
+	// Class change also counts.
+	mod = base()
+	mod.Resources[0].Class = "D"
+	if d := DiffDocuments(base(), mod); len(d.Updated) != 1 {
+		t.Error("class change not detected")
+	}
+}
+
+func refs(rs []*Resource) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.URIRef
+	}
+	return out
+}
+
+func TestDocumentHelpers(t *testing.T) {
+	d := NewDocument("doc.rdf")
+	if d.QualifyID("x") != "doc.rdf#x" {
+		t.Error("QualifyID")
+	}
+	r := d.NewResource("x", "C")
+	if r.URIRef != "doc.rdf#x" {
+		t.Error("NewResource URIRef")
+	}
+	if _, ok := d.Find("doc.rdf#x"); !ok {
+		t.Error("Find")
+	}
+	if _, ok := d.Find("doc.rdf#y"); ok {
+		t.Error("Find absent")
+	}
+	d.NewResource("a", "C")
+	d.SortResources()
+	if d.Resources[0].URIRef != "doc.rdf#a" {
+		t.Error("SortResources")
+	}
+	if err := NewDocument("").Validate(); err == nil {
+		t.Error("empty URI accepted")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if Lit("a").String() != "a" || Ref("d#x").String() != "d#x" {
+		t.Error("Value.String")
+	}
+	if Lit("a").Kind != Literal || Ref("x").Kind != ResourceRef {
+		t.Error("Value kinds")
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	src := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+	  <C rdf:ID="a">
+	    <p>
+	      padded value
+	    </p>
+	  </C>
+	</rdf:RDF>`
+	doc, err := ParseDocumentString("d.rdf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := doc.Find("d.rdf#a")
+	if v, _ := r.Get("p"); v.Literal != "padded value" {
+		t.Errorf("literal not trimmed: %q", v.Literal)
+	}
+}
+
+func TestDeepNestingLimit(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">`)
+	for i := 0; i < 100; i++ {
+		sb.WriteString(`<C rdf:ID="r` + strings.Repeat("x", i) + `"><p>`)
+	}
+	// Not closing properly; parser should fail either on depth or syntax.
+	if _, err := ParseDocumentString("d.rdf", sb.String()); err == nil {
+		t.Error("runaway nesting accepted")
+	}
+}

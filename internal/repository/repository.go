@@ -1,0 +1,489 @@
+// Package repository implements the Local Metadata Repository (LMR) tier of
+// MDV (paper §2.2): a cache of global metadata close to the applications,
+// fed by the publish & subscribe mechanism of an MDP, plus local (private)
+// metadata that is never forwarded to the backbone.
+//
+// The cache is itself a relational database (the same engine the MDP runs
+// on): resources live in Cache/CacheStatements tables so that the MDV query
+// language can be evaluated locally as SQL joins — the whole point of the
+// middle tier is that "queries can be evaluated locally, i.e., no expensive
+// communication across the Internet is necessary".
+//
+// Cache consistency bookkeeping follows §2.4/§3.5: every cached global
+// resource carries credits (the subscriptions it matches) and
+// strong-reference edges; a garbage collector removes resources with no
+// credits that are no longer reachable from credited or local resources
+// over strong references.
+package repository
+
+import (
+	"fmt"
+	"sync"
+
+	"mdv/internal/core"
+	"mdv/internal/rdb"
+	"mdv/internal/rdb/sql"
+	"mdv/internal/rdf"
+)
+
+// Repository is one LMR's cache and bookkeeping state.
+type Repository struct {
+	mu     sync.Mutex
+	name   string
+	schema *rdf.Schema
+	db     *sql.DB
+
+	// deadSubs tombstones unsubscribed subscription ids: a changeset
+	// published before the unsubscribe may still arrive afterwards, and
+	// its credits must not resurrect cache entries.
+	deadSubs map[int64]bool
+
+	stats Stats
+
+	prep struct {
+		insCache     *sql.Stmt
+		delCache     *sql.Stmt
+		getCache     *sql.Stmt
+		insStmt      *sql.Stmt
+		delStmts     *sql.Stmt
+		stmtsOf      *sql.Stmt
+		insCredit    *sql.Stmt
+		delCredit    *sql.Stmt
+		delCredits   *sql.Stmt
+		creditsOf    *sql.Stmt
+		insEdge      *sql.Stmt
+		delEdgesFrom *sql.Stmt
+	}
+}
+
+// Stats counts repository activity.
+type Stats struct {
+	UpsertsApplied   int
+	RemovalsApplied  int
+	ForcedDeletes    int
+	ClosureUpserts   int
+	ResourcesDropped int // by the garbage collector
+	GCRuns           int
+}
+
+var ddl = []string{
+	// Cached resources. local marks LMR-private metadata (§2.2).
+	`CREATE TABLE Cache (
+		uri_reference TEXT PRIMARY KEY,
+		class TEXT NOT NULL,
+		local BOOL NOT NULL
+	)`,
+	`CREATE INDEX idx_cache_class ON Cache (class)`,
+
+	// Property atoms of cached resources; the query language evaluates as
+	// SQL joins over this table.
+	`CREATE TABLE CacheStatements (
+		uri_reference TEXT NOT NULL,
+		class TEXT NOT NULL,
+		property TEXT NOT NULL,
+		value TEXT NOT NULL,
+		is_ref BOOL NOT NULL
+	)`,
+	`CREATE INDEX idx_cstmt_uri ON CacheStatements (uri_reference, property)`,
+	`CREATE INDEX idx_cstmt_cpv ON CacheStatements (class, property, value)`,
+
+	// Credits: which subscriptions a cached resource matches (the LMR-side
+	// view of §3.5's per-rule matching).
+	`CREATE TABLE CacheCredits (uri_reference TEXT NOT NULL, sub_id INT NOT NULL)`,
+	`CREATE UNIQUE INDEX idx_credit_pk ON CacheCredits (uri_reference, sub_id)`,
+	`CREATE INDEX idx_credit_uri ON CacheCredits (uri_reference)`,
+
+	// Strong-reference edges among cached resources, for the garbage
+	// collector (§2.4).
+	`CREATE TABLE CacheRefs (holder TEXT NOT NULL, target TEXT NOT NULL, property TEXT NOT NULL)`,
+	`CREATE INDEX idx_refs_holder ON CacheRefs (holder)`,
+	`CREATE INDEX idx_refs_target ON CacheRefs (target)`,
+}
+
+// New creates an empty repository.
+func New(name string, schema *rdf.Schema) (*Repository, error) {
+	r := &Repository{name: name, schema: schema, db: sql.Open(), deadSubs: map[int64]bool{}}
+	for _, stmt := range ddl {
+		if _, err := r.db.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("repository: bootstrap: %w", err)
+		}
+	}
+	p := &r.prep
+	p.insCache = r.db.MustPrepare(`INSERT INTO Cache (uri_reference, class, local) VALUES (?, ?, ?)`)
+	p.delCache = r.db.MustPrepare(`DELETE FROM Cache WHERE uri_reference = ?`)
+	p.getCache = r.db.MustPrepare(`SELECT class, local FROM Cache WHERE uri_reference = ?`)
+	p.insStmt = r.db.MustPrepare(
+		`INSERT INTO CacheStatements (uri_reference, class, property, value, is_ref) VALUES (?, ?, ?, ?, ?)`)
+	p.delStmts = r.db.MustPrepare(`DELETE FROM CacheStatements WHERE uri_reference = ?`)
+	p.stmtsOf = r.db.MustPrepare(
+		`SELECT property, value, is_ref FROM CacheStatements WHERE uri_reference = ?`)
+	p.insCredit = r.db.MustPrepare(`INSERT INTO CacheCredits (uri_reference, sub_id) VALUES (?, ?)`)
+	p.delCredit = r.db.MustPrepare(`DELETE FROM CacheCredits WHERE uri_reference = ? AND sub_id = ?`)
+	p.delCredits = r.db.MustPrepare(`DELETE FROM CacheCredits WHERE uri_reference = ?`)
+	p.creditsOf = r.db.MustPrepare(`SELECT sub_id FROM CacheCredits WHERE uri_reference = ?`)
+	p.insEdge = r.db.MustPrepare(`INSERT INTO CacheRefs (holder, target, property) VALUES (?, ?, ?)`)
+	p.delEdgesFrom = r.db.MustPrepare(`DELETE FROM CacheRefs WHERE holder = ?`)
+	return r, nil
+}
+
+// Name returns the repository's name (its subscriber identity at the MDP).
+func (r *Repository) Name() string { return r.name }
+
+// Schema returns the metadata schema.
+func (r *Repository) Schema() *rdf.Schema { return r.schema }
+
+// DB exposes the cache database for the query evaluator.
+func (r *Repository) DB() *sql.DB { return r.db }
+
+// Stats returns a copy of the counters.
+func (r *Repository) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Len returns the number of cached resources (global + local).
+func (r *Repository) Len() int {
+	rows, err := r.db.Query(`SELECT COUNT(*) FROM Cache`)
+	if err != nil {
+		return -1
+	}
+	v, _ := rows.Scalar()
+	return int(v.Int)
+}
+
+// Has reports whether a resource is cached.
+func (r *Repository) Has(uriRef string) bool {
+	rows, err := r.prep.getCache.Query(rdb.NewText(uriRef))
+	if err != nil {
+		return false
+	}
+	return !rows.Empty()
+}
+
+// Get reconstructs a cached resource.
+func (r *Repository) Get(uriRef string) (*rdf.Resource, bool, error) {
+	rows, err := r.prep.getCache.Query(rdb.NewText(uriRef))
+	if err != nil {
+		return nil, false, err
+	}
+	if rows.Empty() {
+		return nil, false, nil
+	}
+	res := &rdf.Resource{URIRef: uriRef, Class: rows.Data[0][0].Str}
+	stmts, err := r.prep.stmtsOf.Query(rdb.NewText(uriRef))
+	if err != nil {
+		return nil, false, err
+	}
+	for _, row := range stmts.Data {
+		prop, value, isRef := row[0].Str, row[1].Str, row[2].Bool
+		if prop == rdf.SubjectProperty {
+			continue
+		}
+		if isRef {
+			res.Add(prop, rdf.Ref(value))
+		} else {
+			res.Add(prop, rdf.Lit(value))
+		}
+	}
+	return res, true, nil
+}
+
+// CreditsOf returns the subscription ids crediting a cached resource.
+func (r *Repository) CreditsOf(uriRef string) ([]int64, error) {
+	rows, err := r.prep.creditsOf.Query(rdb.NewText(uriRef))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, rows.Len())
+	for _, row := range rows.Data {
+		out = append(out, row[0].Int)
+	}
+	return out, nil
+}
+
+// storeResource writes (or rewrites) a resource's cache entry, statements,
+// and strong-reference edges. Credits are managed by the caller.
+func (r *Repository) storeResource(res *rdf.Resource, local bool) error {
+	// Replace any previous version.
+	if _, err := r.prep.delStmts.Exec(rdb.NewText(res.URIRef)); err != nil {
+		return err
+	}
+	if _, err := r.prep.delEdgesFrom.Exec(rdb.NewText(res.URIRef)); err != nil {
+		return err
+	}
+	if _, err := r.prep.delCache.Exec(rdb.NewText(res.URIRef)); err != nil {
+		return err
+	}
+	if _, err := r.prep.insCache.Exec(
+		rdb.NewText(res.URIRef), rdb.NewText(res.Class), rdb.NewBool(local)); err != nil {
+		return err
+	}
+	doc := rdf.Document{Resources: []*rdf.Resource{res}}
+	for _, a := range doc.Statements() {
+		if _, err := r.prep.insStmt.Exec(
+			rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
+			rdb.NewText(a.Value), rdb.NewBool(a.IsRef)); err != nil {
+			return err
+		}
+	}
+	for _, p := range res.Props {
+		if p.Value.Kind != rdf.ResourceRef {
+			continue
+		}
+		if !r.schema.IsStrongReference(res.Class, p.Name) {
+			continue
+		}
+		if _, err := r.prep.insEdge.Exec(
+			rdb.NewText(res.URIRef), rdb.NewText(p.Value.Ref), rdb.NewText(p.Name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropResource removes a resource entirely from the cache.
+func (r *Repository) dropResource(uriRef string) error {
+	for _, st := range []*sql.Stmt{r.prep.delStmts, r.prep.delEdgesFrom, r.prep.delCredits, r.prep.delCache} {
+		if _, err := st.Exec(rdb.NewText(uriRef)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyChangeset applies a published changeset (paper §2.2: MDPs "publish
+// updates, insertions, or deletions in the metadata to LMRs") and then runs
+// the garbage collector.
+func (r *Repository) ApplyChangeset(cs *core.Changeset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, up := range cs.Upserts {
+		if err := r.applyUpsert(up); err != nil {
+			return err
+		}
+		r.stats.UpsertsApplied++
+	}
+	for _, res := range cs.ClosureUpserts {
+		// Refresh content only if actually cached; no credit changes.
+		if r.hasLocked(res.URIRef) {
+			if err := r.storeResource(res, false); err != nil {
+				return err
+			}
+			r.stats.ClosureUpserts++
+		}
+	}
+	for _, rm := range cs.Removals {
+		if _, err := r.prep.delCredit.Exec(rdb.NewText(rm.URIRef), rdb.NewInt(rm.SubID)); err != nil {
+			return err
+		}
+		r.stats.RemovalsApplied++
+	}
+	for _, uri := range cs.ForcedDeletes {
+		if r.hasLocked(uri) {
+			if err := r.dropResource(uri); err != nil {
+				return err
+			}
+			r.stats.ForcedDeletes++
+		}
+	}
+	return r.gcLocked()
+}
+
+func (r *Repository) hasLocked(uriRef string) bool {
+	rows, err := r.prep.getCache.Query(rdb.NewText(uriRef))
+	if err != nil {
+		return false
+	}
+	return !rows.Empty()
+}
+
+func (r *Repository) applyUpsert(up core.Upsert) error {
+	live := make([]int64, 0, len(up.SubIDs))
+	for _, subID := range up.SubIDs {
+		if !r.deadSubs[subID] {
+			live = append(live, subID)
+		}
+	}
+	if len(live) == 0 && !r.hasLocked(up.Resource.URIRef) {
+		// Every credit is tombstoned and the resource is not otherwise
+		// cached: do not admit it at all.
+		return nil
+	}
+	if err := r.storeResource(up.Resource, false); err != nil {
+		return err
+	}
+	for _, subID := range live {
+		// Idempotent credit insert.
+		rows, err := r.db.Query(
+			`SELECT sub_id FROM CacheCredits WHERE uri_reference = ? AND sub_id = ?`,
+			rdb.NewText(up.Resource.URIRef), rdb.NewInt(subID))
+		if err != nil {
+			return err
+		}
+		if rows.Empty() {
+			if _, err := r.prep.insCredit.Exec(rdb.NewText(up.Resource.URIRef), rdb.NewInt(subID)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range up.Closure {
+		if err := r.storeResource(c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropSubscriptionCredits removes every credit of a subscription (when the
+// LMR unsubscribes), tombstones the id against late-arriving changesets,
+// and garbage-collects.
+func (r *Repository) DropSubscriptionCredits(subID int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deadSubs[subID] = true
+	if _, err := r.db.Exec(`DELETE FROM CacheCredits WHERE sub_id = ?`, rdb.NewInt(subID)); err != nil {
+		return err
+	}
+	return r.gcLocked()
+}
+
+// RegisterLocalDocument stores LMR-private metadata (paper §2.2: "LMRs
+// store local metadata that should not be accessible to the public and
+// therefore is not forwarded to the backbone"). Local resources are GC
+// roots; re-registration replaces the previous resources of the document's
+// URI references.
+func (r *Repository) RegisterLocalDocument(doc *rdf.Document) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.schema.ValidateDocument(doc); err != nil {
+		return err
+	}
+	for _, res := range doc.Resources {
+		if err := r.storeResource(res, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteLocalResource removes a local resource.
+func (r *Repository) DeleteLocalResource(uriRef string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows, err := r.prep.getCache.Query(rdb.NewText(uriRef))
+	if err != nil {
+		return err
+	}
+	if rows.Empty() || !rows.Data[0][1].Bool {
+		return fmt.Errorf("repository: %s is not a local resource", uriRef)
+	}
+	if err := r.dropResource(uriRef); err != nil {
+		return err
+	}
+	return r.gcLocked()
+}
+
+// GC runs the garbage collector (paper §2.4): cached global resources stay
+// only while they have subscription credits or are reachable from credited
+// or local resources over strong references. The paper suggests reference
+// counting; this implementation marks from the roots and sweeps, which
+// additionally reclaims strong-reference cycles that pure reference
+// counting would leak.
+func (r *Repository) GC() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dropped := r.stats.ResourcesDropped
+	if err := r.gcLocked(); err != nil {
+		return 0, err
+	}
+	return r.stats.ResourcesDropped - dropped, nil
+}
+
+func (r *Repository) gcLocked() error {
+	r.stats.GCRuns++
+	// Roots: credited resources and local resources.
+	live := map[string]bool{}
+	var queue []string
+	addRoot := func(uri string) {
+		if !live[uri] {
+			live[uri] = true
+			queue = append(queue, uri)
+		}
+	}
+	rows, err := r.db.Query(`SELECT DISTINCT uri_reference FROM CacheCredits`)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows.Data {
+		addRoot(row[0].Str)
+	}
+	rows, err = r.db.Query(`SELECT uri_reference FROM Cache WHERE local = TRUE`)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows.Data {
+		addRoot(row[0].Str)
+	}
+	// Mark over strong-reference edges.
+	refsFrom, err := r.db.Prepare(`SELECT target FROM CacheRefs WHERE holder = ?`)
+	if err != nil {
+		return err
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		targets, err := refsFrom.Query(rdb.NewText(cur))
+		if err != nil {
+			return err
+		}
+		for _, row := range targets.Data {
+			t := row[0].Str
+			if !live[t] {
+				live[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	// Sweep.
+	all, err := r.db.Query(`SELECT uri_reference FROM Cache`)
+	if err != nil {
+		return err
+	}
+	for _, row := range all.Data {
+		uri := row[0].Str
+		if live[uri] {
+			continue
+		}
+		if err := r.dropResource(uri); err != nil {
+			return err
+		}
+		r.stats.ResourcesDropped++
+	}
+	return nil
+}
+
+// Resources lists all cached resources of a class (empty class = all).
+func (r *Repository) Resources(class string) ([]*rdf.Resource, error) {
+	q := `SELECT uri_reference FROM Cache ORDER BY uri_reference`
+	var params []rdb.Value
+	if class != "" {
+		q = `SELECT uri_reference FROM Cache WHERE class = ? ORDER BY uri_reference`
+		params = append(params, rdb.NewText(class))
+	}
+	rows, err := r.db.Query(q, params...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*rdf.Resource
+	for _, row := range rows.Data {
+		res, ok, err := r.Get(row[0].Str)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}

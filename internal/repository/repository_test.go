@@ -1,0 +1,494 @@
+package repository
+
+import (
+	"fmt"
+	"testing"
+
+	"mdv/internal/core"
+	"mdv/internal/query"
+	"mdv/internal/rdf"
+)
+
+func testSchema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverHost", Type: rdf.TypeString})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverPort", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{
+		Name: "serverInformation", Type: rdf.TypeResource, RefClass: "ServerInformation", RefKind: rdf.StrongRef})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "memory", Type: rdf.TypeInteger})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "cpu", Type: rdf.TypeInteger})
+	return s
+}
+
+func newRepo(t *testing.T) *Repository {
+	t.Helper()
+	r, err := New("lmr-test", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func hostResource(uri string, port int) *rdf.Resource {
+	r := &rdf.Resource{URIRef: uri, Class: "CycleProvider"}
+	r.Add("serverHost", rdf.Lit("pirates.uni-passau.de"))
+	r.Add("serverPort", rdf.Lit(fmt.Sprint(port)))
+	return r
+}
+
+func infoResource(uri string, memory int) *rdf.Resource {
+	r := &rdf.Resource{URIRef: uri, Class: "ServerInformation"}
+	r.Add("memory", rdf.Lit(fmt.Sprint(memory)))
+	r.Add("cpu", rdf.Lit("600"))
+	return r
+}
+
+func TestApplyUpsertAndGet(t *testing.T) {
+	r := newRepo(t)
+	host := hostResource("d#h", 80)
+	host.Add("serverInformation", rdf.Ref("d#i"))
+	cs := &core.Changeset{Upserts: []core.Upsert{{
+		Resource: host,
+		SubIDs:   []int64{1},
+		Closure:  []*rdf.Resource{infoResource("d#i", 92)},
+	}}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (resource + closure)", r.Len())
+	}
+	got, ok, err := r.Get("d#h")
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if v, _ := got.Get("serverHost"); v.String() != "pirates.uni-passau.de" {
+		t.Errorf("serverHost = %s", v.String())
+	}
+	credits, _ := r.CreditsOf("d#h")
+	if len(credits) != 1 || credits[0] != 1 {
+		t.Errorf("credits = %v", credits)
+	}
+	// Closure resource has no credits but is held by the strong reference.
+	credits, _ = r.CreditsOf("d#i")
+	if len(credits) != 0 {
+		t.Errorf("closure credits = %v", credits)
+	}
+	if !r.Has("d#i") {
+		t.Error("closure resource not cached")
+	}
+}
+
+func TestRemovalDropsWithLastCredit(t *testing.T) {
+	r := newRepo(t)
+	host := hostResource("d#h", 80)
+	cs := &core.Changeset{Upserts: []core.Upsert{{Resource: host, SubIDs: []int64{1, 2}}}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	// Remove one credit: stays cached.
+	if err := r.ApplyChangeset(&core.Changeset{Removals: []core.Removal{{URIRef: "d#h", SubID: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("d#h") {
+		t.Fatal("resource dropped while still credited")
+	}
+	// Remove the last credit: GC collects it.
+	if err := r.ApplyChangeset(&core.Changeset{Removals: []core.Removal{{URIRef: "d#h", SubID: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#h") {
+		t.Error("resource survived last credit removal")
+	}
+	st := r.Stats()
+	if st.ResourcesDropped != 1 {
+		t.Errorf("ResourcesDropped = %d", st.ResourcesDropped)
+	}
+}
+
+func TestGCClosureChain(t *testing.T) {
+	r := newRepo(t)
+	host := hostResource("d#h", 80)
+	host.Add("serverInformation", rdf.Ref("d#i"))
+	cs := &core.Changeset{Upserts: []core.Upsert{{
+		Resource: host, SubIDs: []int64{1},
+		Closure: []*rdf.Resource{infoResource("d#i", 92)},
+	}}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the holder's credit collects the closure resource too (§2.4:
+	// "deleting such resources if the resource that caused their
+	// transmission is deleted").
+	if err := r.ApplyChangeset(&core.Changeset{Removals: []core.Removal{{URIRef: "d#h", SubID: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#h") || r.Has("d#i") {
+		t.Error("closure chain not collected")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestGCSharedClosureSurvives(t *testing.T) {
+	r := newRepo(t)
+	info := infoResource("d#i", 92)
+	h1 := hostResource("d#h1", 80)
+	h1.Add("serverInformation", rdf.Ref("d#i"))
+	h2 := hostResource("d#h2", 81)
+	h2.Add("serverInformation", rdf.Ref("d#i"))
+	cs := &core.Changeset{Upserts: []core.Upsert{
+		{Resource: h1, SubIDs: []int64{1}, Closure: []*rdf.Resource{info}},
+		{Resource: h2, SubIDs: []int64{2}, Closure: []*rdf.Resource{info}},
+	}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping one holder keeps the shared target alive.
+	if err := r.ApplyChangeset(&core.Changeset{Removals: []core.Removal{{URIRef: "d#h1", SubID: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#h1") {
+		t.Error("h1 not collected")
+	}
+	if !r.Has("d#i") {
+		t.Error("shared closure resource collected while still referenced")
+	}
+	if err := r.ApplyChangeset(&core.Changeset{Removals: []core.Removal{{URIRef: "d#h2", SubID: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#i") {
+		t.Error("orphaned closure resource survived")
+	}
+}
+
+func TestGCCycleCollected(t *testing.T) {
+	s := testSchema()
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{
+		Name: "twin", Type: rdf.TypeResource, RefClass: "ServerInformation", RefKind: rdf.StrongRef})
+	r, err := New("lmr", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := infoResource("d#a", 1)
+	a.Add("twin", rdf.Ref("d#b"))
+	b := infoResource("d#b", 2)
+	b.Add("twin", rdf.Ref("d#a"))
+	cs := &core.Changeset{Upserts: []core.Upsert{{Resource: a, SubIDs: []int64{1}, Closure: []*rdf.Resource{b}}}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyChangeset(&core.Changeset{Removals: []core.Removal{{URIRef: "d#a", SubID: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#a") || r.Has("d#b") {
+		t.Error("strong-reference cycle leaked (mark-and-sweep should reclaim it)")
+	}
+}
+
+func TestForcedDelete(t *testing.T) {
+	r := newRepo(t)
+	cs := &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource("d#h", 80), SubIDs: []int64{1}}}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyChangeset(&core.Changeset{ForcedDeletes: []string{"d#h", "d#unknown"}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#h") {
+		t.Error("forced delete ignored")
+	}
+	if r.Stats().ForcedDeletes != 1 {
+		t.Errorf("ForcedDeletes = %d", r.Stats().ForcedDeletes)
+	}
+}
+
+func TestClosureUpsertRefreshesOnlyCached(t *testing.T) {
+	r := newRepo(t)
+	host := hostResource("d#h", 80)
+	host.Add("serverInformation", rdf.Ref("d#i"))
+	cs := &core.Changeset{Upserts: []core.Upsert{{
+		Resource: host, SubIDs: []int64{1},
+		Closure: []*rdf.Resource{infoResource("d#i", 92)},
+	}}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh the cached closure resource.
+	if err := r.ApplyChangeset(&core.Changeset{
+		ClosureUpserts: []*rdf.Resource{infoResource("d#i", 128)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := r.Get("d#i")
+	if v, _ := got.Get("memory"); v.String() != "128" {
+		t.Errorf("memory = %s after closure upsert", v.String())
+	}
+	// A closure upsert for an uncached resource is ignored (no phantom
+	// cache entries).
+	if err := r.ApplyChangeset(&core.Changeset{
+		ClosureUpserts: []*rdf.Resource{infoResource("d#other", 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#other") {
+		t.Error("uncached closure upsert created a cache entry")
+	}
+}
+
+func TestLocalMetadata(t *testing.T) {
+	r := newRepo(t)
+	doc := rdf.NewDocument("local.rdf")
+	res := doc.NewResource("svc", "CycleProvider")
+	res.Add("serverHost", rdf.Lit("intranet.local"))
+	if err := r.RegisterLocalDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("local.rdf#svc") {
+		t.Fatal("local resource not stored")
+	}
+	// Local resources are GC roots.
+	if _, err := r.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("local.rdf#svc") {
+		t.Error("GC collected a local resource")
+	}
+	// Schema violations rejected.
+	bad := rdf.NewDocument("bad.rdf")
+	bad.NewResource("x", "Mystery")
+	if err := r.RegisterLocalDocument(bad); err == nil {
+		t.Error("schema violation accepted for local metadata")
+	}
+	// Deletion.
+	if err := r.DeleteLocalResource("local.rdf#svc"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("local.rdf#svc") {
+		t.Error("local resource survived deletion")
+	}
+	if err := r.DeleteLocalResource("local.rdf#svc"); err == nil {
+		t.Error("double local delete accepted")
+	}
+	// Global resources cannot be deleted through the local path.
+	cs := &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource("d#h", 80), SubIDs: []int64{1}}}}
+	r.ApplyChangeset(cs)
+	if err := r.DeleteLocalResource("d#h"); err == nil {
+		t.Error("global resource deleted through local path")
+	}
+}
+
+func TestDropSubscriptionCredits(t *testing.T) {
+	r := newRepo(t)
+	cs := &core.Changeset{Upserts: []core.Upsert{
+		{Resource: hostResource("d#h1", 80), SubIDs: []int64{1}},
+		{Resource: hostResource("d#h2", 81), SubIDs: []int64{1, 2}},
+	}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DropSubscriptionCredits(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#h1") {
+		t.Error("h1 survived subscription drop")
+	}
+	if !r.Has("d#h2") {
+		t.Error("h2 dropped despite second subscription")
+	}
+}
+
+func TestUpsertIdempotent(t *testing.T) {
+	r := newRepo(t)
+	cs := &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource("d#h", 80), SubIDs: []int64{1}}}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	// Same upsert again (e.g. refreshed content) must not duplicate
+	// credits or statements.
+	cs2 := &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource("d#h", 90), SubIDs: []int64{1}}}}
+	if err := r.ApplyChangeset(cs2); err != nil {
+		t.Fatal(err)
+	}
+	credits, _ := r.CreditsOf("d#h")
+	if len(credits) != 1 {
+		t.Errorf("credits duplicated: %v", credits)
+	}
+	got, _, _ := r.Get("d#h")
+	if len(got.GetAll("serverPort")) != 1 {
+		t.Error("statements duplicated on re-upsert")
+	}
+	if v, _ := got.Get("serverPort"); v.String() != "90" {
+		t.Errorf("content not refreshed: %v", v)
+	}
+}
+
+func TestResourcesListing(t *testing.T) {
+	r := newRepo(t)
+	cs := &core.Changeset{Upserts: []core.Upsert{
+		{Resource: hostResource("d#h1", 80), SubIDs: []int64{1}},
+		{Resource: infoResource("d#i1", 92), SubIDs: []int64{2}},
+	}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	all, err := r.Resources("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Errorf("all resources = %d", len(all))
+	}
+	cps, err := r.Resources("CycleProvider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 1 || cps[0].URIRef != "d#h1" {
+		t.Errorf("class listing = %v", cps)
+	}
+}
+
+// TestQueryOverCache evaluates the MDV query language against the cache
+// (the LMR's whole purpose: local query processing, §2.2).
+func TestQueryOverCache(t *testing.T) {
+	r := newRepo(t)
+	var ups []core.Upsert
+	for i := 1; i <= 10; i++ {
+		h := hostResource(fmt.Sprintf("d#h%d", i), 8000+i)
+		h.Add("serverInformation", rdf.Ref(fmt.Sprintf("d#i%d", i)))
+		ups = append(ups, core.Upsert{
+			Resource: h,
+			SubIDs:   []int64{1},
+			Closure:  []*rdf.Resource{infoResource(fmt.Sprintf("d#i%d", i), i*32)},
+		})
+	}
+	if err := r.ApplyChangeset(&core.Changeset{Upserts: ups}); err != nil {
+		t.Fatal(err)
+	}
+	ev := query.NewEvaluator(r.DB(), r.Schema())
+
+	// Simple property comparison.
+	res, err := ev.Evaluate(`search CycleProvider c register c where c.serverPort = 8003`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].URIRef != "d#h3" {
+		t.Errorf("port query = %v", uriList(res))
+	}
+
+	// Path expression (join against the closure resources).
+	res, err = ev.Evaluate(`search CycleProvider c register c where c.serverInformation.memory > 256`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 { // i9 = 288, i10 = 320
+		t.Errorf("path query = %v", uriList(res))
+	}
+
+	// contains.
+	res, err = ev.Evaluate(`search CycleProvider c register c where c.serverHost contains 'uni-passau'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Errorf("contains query = %d results", len(res))
+	}
+
+	// Explicit join with register of the joined side.
+	res, err = ev.Evaluate(`search CycleProvider c, ServerInformation s register s
+		where c.serverInformation = s and c.serverPort <= 8002`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("join register-s query = %v", uriList(res))
+	}
+
+	// OR union.
+	res, err = ev.Evaluate(`search CycleProvider c register c
+		where c.serverPort = 8001 or c.serverPort = 8002`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("OR query = %v", uriList(res))
+	}
+
+	// Constant on the left.
+	res, err = ev.Evaluate(`search CycleProvider c register c where 8008 < c.serverPort`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("const-left query = %v", uriList(res))
+	}
+
+	// OID-style query.
+	res, err = ev.Evaluate(`search CycleProvider c register c where c = 'd#h7'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].URIRef != "d#h7" {
+		t.Errorf("OID query = %v", uriList(res))
+	}
+
+	// No matches.
+	res, err = ev.Evaluate(`search CycleProvider c register c where c.serverPort = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("empty query = %v", uriList(res))
+	}
+
+	// Unknown class is an error.
+	if _, err := ev.Evaluate(`search Mystery m register m`); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func uriList(rs []*rdf.Resource) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.URIRef
+	}
+	return out
+}
+
+// TestTombstonedSubscriptionCredits: a changeset published before an
+// unsubscribe but applied after it must not resurrect cache entries for
+// the dead subscription.
+func TestTombstonedSubscriptionCredits(t *testing.T) {
+	r := newRepo(t)
+	cs := &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource("d#h", 80), SubIDs: []int64{1}}}}
+	if err := r.ApplyChangeset(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DropSubscriptionCredits(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#h") {
+		t.Fatal("resource survived unsubscribe")
+	}
+	// Late-arriving changeset for the dead subscription.
+	late := &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource("d#h", 81), SubIDs: []int64{1}}}}
+	if err := r.ApplyChangeset(late); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#h") {
+		t.Error("dead subscription resurrected a cache entry")
+	}
+	// A live subscription sharing the upsert still works.
+	mixed := &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource("d#h2", 82), SubIDs: []int64{1, 2}}}}
+	if err := r.ApplyChangeset(mixed); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("d#h2") {
+		t.Fatal("live subscription's upsert dropped")
+	}
+	credits, _ := r.CreditsOf("d#h2")
+	if len(credits) != 1 || credits[0] != 2 {
+		t.Errorf("credits = %v, want only the live subscription", credits)
+	}
+}

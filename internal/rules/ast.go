@@ -1,0 +1,330 @@
+// Package rules implements the MDV subscription rule language (paper §2.3):
+//
+//	search Extension e [, Extension f ...]
+//	register e
+//	where Predicates(e, f, ...)
+//
+// Extensions are schema classes (or, internally, other rules); predicates
+// are conjunctions of comparisons between constants and path expressions
+// with operators =, !=, <, <=, >, >=, and contains. The special ? operator
+// applies to set-valued properties. The package also provides the
+// schema-aware normalizer of §3.3 that splits path expressions and, as an
+// extension, eliminates OR by splitting rules (the paper notes rules with
+// OR "can be split up easily").
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a comparison operator of the rule language.
+type Op uint8
+
+// The rule-language comparison operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpContains
+)
+
+// String returns the surface syntax of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpContains:
+		return "contains"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Negate returns the logical negation of the operator, used when
+// eliminating OR under NOT (De Morgan). Contains has no negation in the
+// language; callers must check Negatable first.
+func (o Op) Negate() (Op, bool) {
+	switch o {
+	case OpEq:
+		return OpNe, true
+	case OpNe:
+		return OpEq, true
+	case OpLt:
+		return OpGe, true
+	case OpLe:
+		return OpGt, true
+	case OpGt:
+		return OpLe, true
+	case OpGe:
+		return OpLt, true
+	default:
+		return o, false
+	}
+}
+
+// Numeric reports whether the operator requires numeric comparison in the
+// filter (the FilterRulesOP tables of §3.3.4 exist for these).
+func (o Op) Numeric() bool {
+	switch o {
+	case OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// ConstKind is the type of a constant operand.
+type ConstKind uint8
+
+const (
+	// ConstString is a quoted string constant.
+	ConstString ConstKind = iota
+	// ConstInt is an integer constant.
+	ConstInt
+	// ConstFloat is a floating-point constant.
+	ConstFloat
+)
+
+// Const is a constant operand.
+type Const struct {
+	Kind  ConstKind
+	Str   string
+	Int   int64
+	Float float64
+}
+
+// StringConst makes a string constant.
+func StringConst(s string) Const { return Const{Kind: ConstString, Str: s} }
+
+// IntConst makes an integer constant.
+func IntConst(i int64) Const { return Const{Kind: ConstInt, Int: i} }
+
+// FloatConst makes a float constant.
+func FloatConst(f float64) Const { return Const{Kind: ConstFloat, Float: f} }
+
+// Lexical returns the lexical form stored in filter tables (§3.3.4 stores
+// numeric constants as strings and reconverts at join time).
+func (c Const) Lexical() string {
+	switch c.Kind {
+	case ConstInt:
+		return strconv.FormatInt(c.Int, 10)
+	case ConstFloat:
+		return strconv.FormatFloat(c.Float, 'g', -1, 64)
+	default:
+		return c.Str
+	}
+}
+
+// Text returns the surface syntax (strings quoted).
+func (c Const) Text() string {
+	if c.Kind == ConstString {
+		return "'" + strings.ReplaceAll(c.Str, "'", "''") + "'"
+	}
+	return c.Lexical()
+}
+
+// PathStep is one property access in a path expression; Any marks the ?
+// operator (applies to set-valued properties).
+type PathStep struct {
+	Property string
+	Any      bool
+}
+
+func (s PathStep) text() string {
+	if s.Any {
+		return s.Property + "?"
+	}
+	return s.Property
+}
+
+// OperandKind distinguishes the operand forms.
+type OperandKind uint8
+
+const (
+	// OperandConst is a constant.
+	OperandConst OperandKind = iota
+	// OperandPath is a variable followed by zero or more property accesses.
+	// Zero steps means the bare variable (the resource itself).
+	OperandPath
+)
+
+// Operand is one side of a predicate.
+type Operand struct {
+	Kind  OperandKind
+	Const Const      // OperandConst
+	Var   string     // OperandPath
+	Path  []PathStep // OperandPath; may be empty
+}
+
+// ConstOperand wraps a constant as an operand.
+func ConstOperand(c Const) Operand { return Operand{Kind: OperandConst, Const: c} }
+
+// PathOperand builds a path operand.
+func PathOperand(v string, steps ...PathStep) Operand {
+	return Operand{Kind: OperandPath, Var: v, Path: steps}
+}
+
+// IsBareVar reports whether the operand is a variable with no property
+// accesses.
+func (o Operand) IsBareVar() bool { return o.Kind == OperandPath && len(o.Path) == 0 }
+
+// Text returns the surface syntax of the operand.
+func (o Operand) Text() string {
+	if o.Kind == OperandConst {
+		return o.Const.Text()
+	}
+	parts := make([]string, 0, 1+len(o.Path))
+	parts = append(parts, o.Var)
+	for _, s := range o.Path {
+		parts = append(parts, s.text())
+	}
+	return strings.Join(parts, ".")
+}
+
+// Predicate is an elementary comparison X op Y.
+type Predicate struct {
+	Left  Operand
+	Op    Op
+	Right Operand
+}
+
+// Text returns the surface syntax of the predicate.
+func (p Predicate) Text() string {
+	return p.Left.Text() + " " + p.Op.String() + " " + p.Right.Text()
+}
+
+// Cond is a boolean combination of predicates, produced by the parser.
+// The normalizer converts it to DNF and splits OR branches into separate
+// conjunctive rules.
+type Cond interface{ cond() }
+
+// PredCond is a leaf predicate.
+type PredCond struct{ Pred Predicate }
+
+// AndCond is a conjunction.
+type AndCond struct{ Left, Right Cond }
+
+// OrCond is a disjunction.
+type OrCond struct{ Left, Right Cond }
+
+// NotCond is a negation.
+type NotCond struct{ X Cond }
+
+func (*PredCond) cond() {}
+func (*AndCond) cond()  {}
+func (*OrCond) cond()   {}
+func (*NotCond) cond()  {}
+
+// Binding associates a variable with an extension (class or rule name).
+type Binding struct {
+	Var       string
+	Extension string
+}
+
+// Rule is a parsed subscription rule.
+type Rule struct {
+	// Search lists the variable bindings in declaration order.
+	Search []Binding
+	// Register is the variable whose matches the rule registers.
+	Register string
+	// Where is the condition; nil means the rule matches every instance of
+	// the registered variable's extension.
+	Where Cond
+}
+
+// Binding returns the binding of the named variable.
+func (r *Rule) Binding(v string) (Binding, bool) {
+	for _, b := range r.Search {
+		if b.Var == v {
+			return b, true
+		}
+	}
+	return Binding{}, false
+}
+
+// Text reconstructs the rule's surface syntax.
+func (r *Rule) Text() string {
+	var sb strings.Builder
+	sb.WriteString("search ")
+	for i, b := range r.Search {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(b.Extension + " " + b.Var)
+	}
+	sb.WriteString(" register " + r.Register)
+	if r.Where != nil {
+		sb.WriteString(" where " + condText(r.Where))
+	}
+	return sb.String()
+}
+
+func condText(c Cond) string {
+	switch x := c.(type) {
+	case *PredCond:
+		return x.Pred.Text()
+	case *AndCond:
+		return condText(x.Left) + " and " + condText(x.Right)
+	case *OrCond:
+		return "(" + condText(x.Left) + " or " + condText(x.Right) + ")"
+	case *NotCond:
+		return "not (" + condText(x.X) + ")"
+	default:
+		return "?"
+	}
+}
+
+// NormalRule is a rule in the normal form of §3.3: every class used in the
+// where part has a binding in the search part, and predicates contain only
+// single property accesses (no multi-step paths) or bare variables.
+type NormalRule struct {
+	Search   []Binding
+	Register string
+	// Where is a pure conjunction.
+	Where []Predicate
+}
+
+// Text reconstructs the normalized rule's surface syntax.
+func (r *NormalRule) Text() string {
+	var sb strings.Builder
+	sb.WriteString("search ")
+	for i, b := range r.Search {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(b.Extension + " " + b.Var)
+	}
+	sb.WriteString(" register " + r.Register)
+	if len(r.Where) > 0 {
+		parts := make([]string, len(r.Where))
+		for i, p := range r.Where {
+			parts[i] = p.Text()
+		}
+		sb.WriteString(" where " + strings.Join(parts, " and "))
+	}
+	return sb.String()
+}
+
+// Binding returns the binding of the named variable.
+func (r *NormalRule) Binding(v string) (Binding, bool) {
+	for _, b := range r.Search {
+		if b.Var == v {
+			return b, true
+		}
+	}
+	return Binding{}, false
+}

@@ -1,0 +1,479 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"mdv/internal/rdf"
+)
+
+// RuleResolver resolves a rule-name extension to its normalized definition
+// (the paper allows a rule's search extension to be "another subscription
+// rule", §2.3). A nil resolver disables rule-name extensions.
+type RuleResolver func(name string) (*NormalRule, bool)
+
+// Normalize rewrites a parsed rule into one or more normalized rules
+// (paper §3.3):
+//
+//   - OR and NOT are eliminated: the condition is converted to disjunctive
+//     normal form using De Morgan's laws and negated operators, and each
+//     disjunct becomes its own conjunctive rule (the paper's suggested
+//     splitting).
+//   - Path expressions are split: each multi-step path introduces bindings
+//     for the intermediate classes and join predicates, so predicates
+//     contain only bare variables or single property accesses. Identical
+//     path prefixes within one conjunction share the introduced variable
+//     (as in the paper's §3.3.1 example).
+//   - Rule-name extensions are inlined from the resolver.
+//
+// All bindings, properties, operators, and the ? any-operator are validated
+// against the schema.
+func Normalize(r *Rule, schema *rdf.Schema, resolve RuleResolver) ([]*NormalRule, error) {
+	// Resolve bindings: each variable gets a class, inlining rule-name
+	// extensions up front.
+	base := &NormalRule{Register: r.Register}
+	fresh := newFreshVars(r)
+	for _, b := range r.Search {
+		if _, ok := schema.Class(b.Extension); ok {
+			base.Search = append(base.Search, b)
+			continue
+		}
+		if resolve != nil {
+			if sub, ok := resolve(b.Extension); ok {
+				if err := inlineRule(base, b.Var, sub, fresh); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		return nil, fmt.Errorf("rules: unknown extension %q (not a schema class or registered rule)", b.Extension)
+	}
+
+	// DNF-split the condition.
+	var conjunctions [][]Predicate
+	if r.Where == nil {
+		conjunctions = [][]Predicate{nil}
+	} else {
+		dnf, err := toDNF(r.Where)
+		if err != nil {
+			return nil, err
+		}
+		conjunctions = dnf
+	}
+
+	out := make([]*NormalRule, 0, len(conjunctions))
+	for _, conj := range conjunctions {
+		nr := &NormalRule{
+			Search:   append([]Binding(nil), base.Search...),
+			Register: base.Register,
+			Where:    append([]Predicate(nil), base.Where...),
+		}
+		norm := &normalizer{schema: schema, rule: nr, fresh: fresh.clone(), shared: map[string]string{}}
+		for _, pred := range conj {
+			if err := norm.addPredicate(pred); err != nil {
+				return nil, err
+			}
+		}
+		if err := norm.validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+// inlineRule substitutes a rule-name extension: the referenced rule's
+// bindings and predicates are copied with fresh variable names, and its
+// register variable is renamed to the referencing variable.
+func inlineRule(dst *NormalRule, asVar string, sub *NormalRule, fresh *freshVars) error {
+	rename := map[string]string{sub.Register: asVar}
+	for _, b := range sub.Search {
+		if b.Var == sub.Register {
+			dst.Search = append(dst.Search, Binding{Var: asVar, Extension: b.Extension})
+			continue
+		}
+		nv := fresh.next()
+		rename[b.Var] = nv
+		dst.Search = append(dst.Search, Binding{Var: nv, Extension: b.Extension})
+	}
+	for _, p := range sub.Where {
+		q := p
+		if q.Left.Kind == OperandPath {
+			q.Left.Var = rename[q.Left.Var]
+		}
+		if q.Right.Kind == OperandPath {
+			q.Right.Var = rename[q.Right.Var]
+		}
+		dst.Where = append(dst.Where, q)
+	}
+	return nil
+}
+
+// freshVars generates variable names not colliding with the rule's own.
+type freshVars struct {
+	used map[string]bool
+	n    int
+}
+
+func newFreshVars(r *Rule) *freshVars {
+	f := &freshVars{used: map[string]bool{}}
+	for _, b := range r.Search {
+		f.used[b.Var] = true
+	}
+	return f
+}
+
+func (f *freshVars) next() string {
+	for {
+		f.n++
+		v := fmt.Sprintf("_v%d", f.n)
+		if !f.used[v] {
+			f.used[v] = true
+			return v
+		}
+	}
+}
+
+func (f *freshVars) clone() *freshVars {
+	cp := &freshVars{used: make(map[string]bool, len(f.used)), n: f.n}
+	for k := range f.used {
+		cp.used[k] = true
+	}
+	return cp
+}
+
+// toDNF converts a condition into disjunctive normal form: a list of
+// conjunctions. NOT is pushed to the leaves first.
+func toDNF(c Cond) ([][]Predicate, error) {
+	nnf, err := pushNot(c, false)
+	if err != nil {
+		return nil, err
+	}
+	return distribute(nnf), nil
+}
+
+// pushNot produces negation normal form. Negation flips operators; contains
+// cannot be negated in the rule language.
+func pushNot(c Cond, neg bool) (Cond, error) {
+	switch x := c.(type) {
+	case *PredCond:
+		if !neg {
+			return x, nil
+		}
+		nop, ok := x.Pred.Op.Negate()
+		if !ok {
+			return nil, fmt.Errorf("rules: operator %q cannot be negated", x.Pred.Op)
+		}
+		return &PredCond{Pred: Predicate{Left: x.Pred.Left, Op: nop, Right: x.Pred.Right}}, nil
+	case *NotCond:
+		return pushNot(x.X, !neg)
+	case *AndCond:
+		l, err := pushNot(x.Left, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pushNot(x.Right, neg)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return &OrCond{Left: l, Right: r}, nil
+		}
+		return &AndCond{Left: l, Right: r}, nil
+	case *OrCond:
+		l, err := pushNot(x.Left, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pushNot(x.Right, neg)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return &AndCond{Left: l, Right: r}, nil
+		}
+		return &OrCond{Left: l, Right: r}, nil
+	default:
+		return nil, fmt.Errorf("rules: unknown condition %T", c)
+	}
+}
+
+// distribute expands a NNF condition into DNF conjunction lists.
+func distribute(c Cond) [][]Predicate {
+	switch x := c.(type) {
+	case *PredCond:
+		return [][]Predicate{{x.Pred}}
+	case *OrCond:
+		return append(distribute(x.Left), distribute(x.Right)...)
+	case *AndCond:
+		left := distribute(x.Left)
+		right := distribute(x.Right)
+		out := make([][]Predicate, 0, len(left)*len(right))
+		for _, l := range left {
+			for _, r := range right {
+				conj := make([]Predicate, 0, len(l)+len(r))
+				conj = append(conj, l...)
+				conj = append(conj, r...)
+				out = append(out, conj)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// normalizer splits path expressions within one conjunction.
+type normalizer struct {
+	schema *rdf.Schema
+	rule   *NormalRule
+	fresh  *freshVars
+	// shared maps "var.prop1.prop2..." prefixes to the variable introduced
+	// for them, so equal prefixes reuse one join (paper §3.3.1 example).
+	shared map[string]string
+}
+
+func (n *normalizer) addPredicate(p Predicate) error {
+	left, err := n.flattenOperand(p.Left)
+	if err != nil {
+		return err
+	}
+	right, err := n.flattenOperand(p.Right)
+	if err != nil {
+		return err
+	}
+	np := Predicate{Left: left, Op: p.Op, Right: right}
+	if err := n.typeCheck(np); err != nil {
+		return err
+	}
+	n.rule.Where = append(n.rule.Where, np)
+	return nil
+}
+
+// flattenOperand reduces a path operand to at most one property access,
+// introducing bindings and join predicates for the prefix.
+func (n *normalizer) flattenOperand(o Operand) (Operand, error) {
+	if o.Kind == OperandConst || len(o.Path) <= 1 {
+		if o.Kind == OperandPath {
+			if _, ok := n.rule.Binding(o.Var); !ok {
+				return Operand{}, fmt.Errorf("rules: unbound variable %q", o.Var)
+			}
+		}
+		return o, nil
+	}
+	curVar := o.Var
+	prefix := o.Var
+	for i := 0; i < len(o.Path)-1; i++ {
+		step := o.Path[i]
+		b, ok := n.rule.Binding(curVar)
+		if !ok {
+			return Operand{}, fmt.Errorf("rules: unbound variable %q", curVar)
+		}
+		class, ok := n.schema.Class(b.Extension)
+		if !ok {
+			return Operand{}, fmt.Errorf("rules: unknown class %q", b.Extension)
+		}
+		def, ok := class.Property(step.Property)
+		if !ok {
+			return Operand{}, fmt.Errorf("rules: class %s has no property %s", b.Extension, step.Property)
+		}
+		if def.Type != rdf.TypeResource {
+			return Operand{}, fmt.Errorf("rules: property %s.%s is not a reference; cannot navigate through it",
+				b.Extension, step.Property)
+		}
+		if step.Any && !def.SetValued {
+			return Operand{}, fmt.Errorf("rules: ? applied to single-valued property %s.%s", b.Extension, step.Property)
+		}
+		prefix += "." + step.text()
+		if v, ok := n.shared[prefix]; ok {
+			curVar = v
+			continue
+		}
+		nv := n.fresh.next()
+		n.rule.Search = append(n.rule.Search, Binding{Var: nv, Extension: def.RefClass})
+		n.rule.Where = append(n.rule.Where, Predicate{
+			Left:  PathOperand(curVar, step),
+			Op:    OpEq,
+			Right: PathOperand(nv),
+		})
+		n.shared[prefix] = nv
+		curVar = nv
+	}
+	last := o.Path[len(o.Path)-1]
+	return PathOperand(curVar, last), nil
+}
+
+// typeCheck validates a flattened predicate against the schema.
+func (n *normalizer) typeCheck(p Predicate) error {
+	lt, err := n.operandType(p.Left)
+	if err != nil {
+		return err
+	}
+	rt, err := n.operandType(p.Right)
+	if err != nil {
+		return err
+	}
+	if p.Op == OpContains {
+		// contains is string search; both sides must be textual.
+		for _, ot := range []operandType{lt, rt} {
+			if ot.numeric {
+				return fmt.Errorf("rules: contains requires string operands in %q", p.Text())
+			}
+		}
+		return nil
+	}
+	if p.Op.Numeric() {
+		if lt.isResource || rt.isResource {
+			return fmt.Errorf("rules: ordering comparison on resources in %q", p.Text())
+		}
+		if !lt.numeric || !rt.numeric {
+			return fmt.Errorf("rules: operator %s requires numeric operands in %q", p.Op, p.Text())
+		}
+	}
+	return nil
+}
+
+type operandType struct {
+	numeric    bool
+	isResource bool // bare variable or reference-valued property
+}
+
+func (n *normalizer) operandType(o Operand) (operandType, error) {
+	if o.Kind == OperandConst {
+		return operandType{numeric: o.Const.Kind != ConstString}, nil
+	}
+	b, ok := n.rule.Binding(o.Var)
+	if !ok {
+		return operandType{}, fmt.Errorf("rules: unbound variable %q", o.Var)
+	}
+	if len(o.Path) == 0 {
+		return operandType{isResource: true}, nil
+	}
+	class, ok := n.schema.Class(b.Extension)
+	if !ok {
+		return operandType{}, fmt.Errorf("rules: unknown class %q", b.Extension)
+	}
+	step := o.Path[0]
+	def, ok := class.Property(step.Property)
+	if !ok {
+		return operandType{}, fmt.Errorf("rules: class %s has no property %s", b.Extension, step.Property)
+	}
+	if step.Any && !def.SetValued {
+		return operandType{}, fmt.Errorf("rules: ? applied to single-valued property %s.%s", b.Extension, step.Property)
+	}
+	switch def.Type {
+	case rdf.TypeInteger, rdf.TypeFloat:
+		return operandType{numeric: true}, nil
+	case rdf.TypeResource:
+		return operandType{isResource: true}, nil
+	default:
+		return operandType{}, nil
+	}
+}
+
+// validate performs whole-rule checks after normalization.
+func (n *normalizer) validate() error {
+	r := n.rule
+	if _, ok := r.Binding(r.Register); !ok {
+		return fmt.Errorf("rules: register variable %q is not bound", r.Register)
+	}
+	for _, b := range r.Search {
+		if _, ok := n.schema.Class(b.Extension); !ok {
+			return fmt.Errorf("rules: unknown class %q", b.Extension)
+		}
+	}
+	// Resource-vs-resource predicates must join compatible classes: a bare
+	// variable may be compared with a reference property only if the
+	// property's range matches the variable's class, and var = var requires
+	// equal classes.
+	for _, p := range r.Where {
+		if p.Op != OpEq && p.Op != OpNe {
+			continue
+		}
+		lc, lok := n.resourceClassOf(p.Left)
+		rc, rok := n.resourceClassOf(p.Right)
+		if lok && rok && lc != rc {
+			return fmt.Errorf("rules: predicate %q joins incompatible classes %s and %s", p.Text(), lc, rc)
+		}
+	}
+	return nil
+}
+
+// resourceClassOf returns the class an operand denotes, if it denotes a
+// resource (bare variable or reference property).
+func (n *normalizer) resourceClassOf(o Operand) (string, bool) {
+	if o.Kind != OperandPath {
+		return "", false
+	}
+	b, ok := n.rule.Binding(o.Var)
+	if !ok {
+		return "", false
+	}
+	if len(o.Path) == 0 {
+		return b.Extension, true
+	}
+	class, ok := n.schema.Class(b.Extension)
+	if !ok {
+		return "", false
+	}
+	def, ok := class.Property(o.Path[0].Property)
+	if !ok || def.Type != rdf.TypeResource {
+		return "", false
+	}
+	return def.RefClass, true
+}
+
+// CanonicalText returns a canonical form of a normalized rule: variables
+// renamed positionally and predicates sorted, so equivalent rules compare
+// equal as strings. Used for rule deduplication (§3.3.4: "no rules having
+// the same rule text but different rule_ids").
+func (r *NormalRule) CanonicalText() string {
+	rename := map[string]string{}
+	for i, b := range r.Search {
+		rename[b.Var] = fmt.Sprintf("v%d", i+1)
+	}
+	var sb strings.Builder
+	sb.WriteString("search ")
+	for i, b := range r.Search {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(b.Extension + " " + rename[b.Var])
+	}
+	sb.WriteString(" register " + rename[r.Register])
+	if len(r.Where) > 0 {
+		parts := make([]string, len(r.Where))
+		for i, p := range r.Where {
+			parts[i] = canonicalPredText(p, rename)
+		}
+		// Stable order of conjuncts.
+		sortStrings(parts)
+		sb.WriteString(" where " + strings.Join(parts, " and "))
+	}
+	return sb.String()
+}
+
+func canonicalPredText(p Predicate, rename map[string]string) string {
+	l, r := p.Left, p.Right
+	if l.Kind == OperandPath {
+		l.Var = rename[l.Var]
+	}
+	if r.Kind == OperandPath {
+		r.Var = rename[r.Var]
+	}
+	// Orient symmetric operators so "a = b" and "b = a" canonicalize alike.
+	if p.Op == OpEq || p.Op == OpNe {
+		if l.Text() > r.Text() {
+			l, r = r, l
+		}
+	}
+	return l.Text() + " " + p.Op.String() + " " + r.Text()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Properties of the rule pipeline: parsing round-trips through Text(), and
+// normalization is idempotent (normalizing a normalized rule's text yields
+// the same canonical text).
+
+func randomPredicateSrc(rng *rand.Rand) string {
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("c.serverPort %s %d", ops[rng.Intn(len(ops))], rng.Intn(100))
+	case 1:
+		return fmt.Sprintf("c.serverHost contains 'dom%d'", rng.Intn(5))
+	case 2:
+		return fmt.Sprintf("c.serverInformation.memory %s %d", ops[rng.Intn(len(ops))], rng.Intn(100))
+	case 3:
+		return fmt.Sprintf("c.serverInformation.cpu %s %d", ops[rng.Intn(len(ops))], rng.Intn(100))
+	default:
+		return fmt.Sprintf("c = 'doc%d.rdf#host'", rng.Intn(10))
+	}
+}
+
+func randomRuleSrc(rng *rand.Rand) string {
+	n := 1 + rng.Intn(3)
+	src := "search CycleProvider c register c where "
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if rng.Intn(3) == 0 {
+				src += " or "
+			} else {
+				src += " and "
+			}
+		}
+		src += randomPredicateSrc(rng)
+	}
+	return src
+}
+
+func TestParseTextRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		src := randomRuleSrc(rng)
+		r1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		r2, err := Parse(r1.Text())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", r1.Text(), err)
+		}
+		if r1.Text() != r2.Text() {
+			t.Fatalf("text round trip:\n %q\n %q", r1.Text(), r2.Text())
+		}
+	}
+}
+
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	schema := paperSchema()
+	for i := 0; i < 500; i++ {
+		src := randomRuleSrc(rng)
+		r, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		first, err := Normalize(r, schema, nil)
+		if err != nil {
+			t.Fatalf("normalize %q: %v", src, err)
+		}
+		for _, nr := range first {
+			// A normalized rule's own text is already conjunctive and
+			// path-free; normalizing it again must be a fixpoint.
+			r2, err := Parse(nr.Text())
+			if err != nil {
+				t.Fatalf("reparse normalized %q: %v", nr.Text(), err)
+			}
+			second, err := Normalize(r2, schema, nil)
+			if err != nil {
+				t.Fatalf("renormalize %q: %v", nr.Text(), err)
+			}
+			if len(second) != 1 {
+				t.Fatalf("renormalizing %q split into %d rules", nr.Text(), len(second))
+			}
+			if got, want := second[0].CanonicalText(), nr.CanonicalText(); got != want {
+				t.Fatalf("normalization not idempotent:\n first  %q\n second %q", want, got)
+			}
+		}
+	}
+}
+
+// TestDNFSplitCountProperty: the number of normalized rules equals the
+// number of DNF disjuncts — for pure OR chains of n predicates, exactly n.
+func TestDNFSplitCountProperty(t *testing.T) {
+	schema := paperSchema()
+	for n := 1; n <= 6; n++ {
+		src := "search CycleProvider c register c where "
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				src += " or "
+			}
+			src += fmt.Sprintf("c.serverPort = %d", i)
+		}
+		rs, err := Normalize(MustParse(src), schema, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != n {
+			t.Errorf("%d-way OR split into %d rules", n, len(rs))
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"mdv/internal/rdf"
+)
+
+// paperSchema builds the schema implied by the paper's examples.
+func paperSchema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverHost", Type: rdf.TypeString})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverPort", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{
+		Name: "serverInformation", Type: rdf.TypeResource, RefClass: "ServerInformation", RefKind: rdf.StrongRef})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "synthValue", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{
+		Name: "mirror", Type: rdf.TypeResource, RefClass: "CycleProvider", RefKind: rdf.WeakRef, SetValued: true})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "memory", Type: rdf.TypeInteger})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "cpu", Type: rdf.TypeInteger})
+	s.AddClass("DataProvider")
+	s.MustAddProperty("DataProvider", rdf.PropertyDef{Name: "theme", Type: rdf.TypeString, SetValued: true})
+	return s
+}
+
+// example1 is the rule of paper Example 1.
+const example1 = `search CycleProvider c register c
+	where c.serverHost contains 'uni-passau.de' and c.serverInformation.memory > 64`
+
+func TestParseExample1(t *testing.T) {
+	r, err := Parse(example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Search) != 1 || r.Search[0].Var != "c" || r.Search[0].Extension != "CycleProvider" {
+		t.Errorf("search = %+v", r.Search)
+	}
+	if r.Register != "c" {
+		t.Errorf("register = %s", r.Register)
+	}
+	and, ok := r.Where.(*AndCond)
+	if !ok {
+		t.Fatalf("where = %T", r.Where)
+	}
+	p1 := and.Left.(*PredCond).Pred
+	if p1.Op != OpContains || p1.Left.Text() != "c.serverHost" || p1.Right.Const.Str != "uni-passau.de" {
+		t.Errorf("pred1 = %s", p1.Text())
+	}
+	p2 := and.Right.(*PredCond).Pred
+	if p2.Op != OpGt || p2.Left.Text() != "c.serverInformation.memory" || p2.Right.Const.Int != 64 {
+		t.Errorf("pred2 = %s", p2.Text())
+	}
+}
+
+func TestParseOperatorsAndConstants(t *testing.T) {
+	cases := []struct {
+		src string
+		op  Op
+	}{
+		{`search C c register c where c.p = 1`, OpEq},
+		{`search C c register c where c.p != 1`, OpNe},
+		{`search C c register c where c.p < 1`, OpLt},
+		{`search C c register c where c.p <= 1`, OpLe},
+		{`search C c register c where c.p > 1`, OpGt},
+		{`search C c register c where c.p >= 1`, OpGe},
+		{`search C c register c where c.p contains 'x'`, OpContains},
+	}
+	for _, c := range cases {
+		r, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := r.Where.(*PredCond).Pred.Op; got != c.op {
+			t.Errorf("%s: op = %v", c.src, got)
+		}
+	}
+	// Constant kinds.
+	r := MustParse(`search C c register c where c.p = 3.5`)
+	if k := r.Where.(*PredCond).Pred.Right.Const; k.Kind != ConstFloat || k.Float != 3.5 {
+		t.Errorf("float const = %+v", k)
+	}
+	r = MustParse(`search C c register c where c.p = 'it''s'`)
+	if k := r.Where.(*PredCond).Pred.Right.Const; k.Str != "it's" {
+		t.Errorf("escaped string = %q", k.Str)
+	}
+	// Constant on the left.
+	r = MustParse(`search C c register c where 64 < c.p`)
+	if p := r.Where.(*PredCond).Pred; p.Left.Kind != OperandConst || p.Right.Text() != "c.p" {
+		t.Errorf("const-left predicate = %s", p.Text())
+	}
+}
+
+func TestParseAnyOperator(t *testing.T) {
+	r := MustParse(`search DataProvider d register d where d.theme? contains 'sports'`)
+	p := r.Where.(*PredCond).Pred
+	if !p.Left.Path[0].Any {
+		t.Error("? not parsed")
+	}
+	if p.Left.Text() != "d.theme?" {
+		t.Errorf("text = %s", p.Left.Text())
+	}
+}
+
+func TestParseMultipleBindings(t *testing.T) {
+	r := MustParse(`search CycleProvider c, ServerInformation s register c
+		where c.serverInformation = s and s.memory > 64`)
+	if len(r.Search) != 2 || r.Search[1].Extension != "ServerInformation" {
+		t.Errorf("search = %+v", r.Search)
+	}
+}
+
+func TestParseBareVarPredicate(t *testing.T) {
+	r := MustParse(`search CycleProvider c register c where c = 'doc.rdf#host'`)
+	p := r.Where.(*PredCond).Pred
+	if !p.Left.IsBareVar() {
+		t.Error("bare var not recognized")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`search`,
+		`search C`,
+		`search C c`,
+		`search C c register`,
+		`search C c register x`,             // register var unbound
+		`search C c, D c register c`,        // duplicate var
+		`search C c register c where`,       //
+		`search C c register c where c.p`,   // missing operator
+		`search C c register c where c.p =`, // missing operand
+		`search C c register c where 1 = 2`, // two constants
+		`search C c register c where c.p = unquoted`,
+		`search C c register c where x.p = 1`, // unbound var
+		`search C c register c where c.p ~ 1`,
+		`search C c register c where (c.p = 1`,
+		`search C c register c trailing`,
+		`search C c register c where c.p = 'unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestRuleTextRoundTrip(t *testing.T) {
+	srcs := []string{
+		`search CycleProvider c register c`,
+		`search CycleProvider c register c where c.serverHost contains 'uni-passau.de'`,
+		`search CycleProvider c, ServerInformation s register c where c.serverInformation = s and s.memory > 64`,
+		`search DataProvider d register d where d.theme? = 'sports' or d.theme? = 'news'`,
+		`search CycleProvider c register c where not (c.serverPort = 80)`,
+	}
+	for _, src := range srcs {
+		r1 := MustParse(src)
+		r2, err := Parse(r1.Text())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", r1.Text(), err)
+		}
+		if r1.Text() != r2.Text() {
+			t.Errorf("round trip: %q vs %q", r1.Text(), r2.Text())
+		}
+	}
+}
+
+// TestNormalizeExample1 reproduces the normalization shown in §3.3: the
+// Example 1 rule gains a ServerInformation binding and the path is split.
+func TestNormalizeExample1(t *testing.T) {
+	s := paperSchema()
+	rs, err := Normalize(MustParse(example1), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d rules", len(rs))
+	}
+	nr := rs[0]
+	if len(nr.Search) != 2 {
+		t.Fatalf("search = %+v", nr.Search)
+	}
+	if nr.Search[0].Extension != "CycleProvider" || nr.Search[1].Extension != "ServerInformation" {
+		t.Errorf("bindings = %+v", nr.Search)
+	}
+	if len(nr.Where) != 3 {
+		t.Fatalf("where = %d predicates: %s", len(nr.Where), nr.Text())
+	}
+	// Expected: contains-predicate, join predicate, memory predicate.
+	sVar := nr.Search[1].Var
+	found := map[string]bool{}
+	for _, p := range nr.Where {
+		found[p.Text()] = true
+	}
+	if !found["c.serverHost contains 'uni-passau.de'"] {
+		t.Errorf("missing contains predicate: %s", nr.Text())
+	}
+	if !found["c.serverInformation = "+sVar] {
+		t.Errorf("missing join predicate: %s", nr.Text())
+	}
+	if !found[sVar+".memory > 64"] {
+		t.Errorf("missing memory predicate: %s", nr.Text())
+	}
+}
+
+// TestNormalizeSharedPathPrefix follows §3.3.1/§3.3.3: two predicates over
+// the same path prefix share one introduced variable.
+func TestNormalizeSharedPathPrefix(t *testing.T) {
+	s := paperSchema()
+	r := MustParse(`search CycleProvider c register c
+		where c.serverInformation.memory > 64 and c.serverInformation.cpu > 500`)
+	rs, err := Normalize(r, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := rs[0]
+	if len(nr.Search) != 2 {
+		t.Fatalf("shared prefix not deduplicated: %s", nr.Text())
+	}
+	if len(nr.Where) != 3 { // one join + two comparisons
+		t.Fatalf("want 3 predicates, got %s", nr.Text())
+	}
+}
+
+func TestNormalizeDeepPath(t *testing.T) {
+	s := paperSchema()
+	// mirror is CycleProvider -> CycleProvider, so a three-step path works.
+	r := MustParse(`search CycleProvider c register c
+		where c.mirror?.serverInformation.memory > 64`)
+	rs, err := Normalize(r, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := rs[0]
+	if len(nr.Search) != 3 {
+		t.Fatalf("bindings = %+v", nr.Search)
+	}
+	if len(nr.Where) != 3 { // two joins + comparison
+		t.Fatalf("got %s", nr.Text())
+	}
+}
+
+func TestNormalizeOrSplit(t *testing.T) {
+	s := paperSchema()
+	r := MustParse(`search CycleProvider c register c
+		where c.serverPort = 80 or c.serverPort = 443`)
+	rs, err := Normalize(r, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("OR split produced %d rules", len(rs))
+	}
+	// Distribution over AND.
+	r = MustParse(`search CycleProvider c register c
+		where c.serverHost contains 'de' and (c.serverPort = 80 or c.serverPort = 443)`)
+	rs, err = Normalize(r, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("distribution produced %d rules", len(rs))
+	}
+	for _, nr := range rs {
+		if len(nr.Where) != 2 {
+			t.Errorf("disjunct lost a conjunct: %s", nr.Text())
+		}
+	}
+}
+
+func TestNormalizeNotElimination(t *testing.T) {
+	s := paperSchema()
+	r := MustParse(`search CycleProvider c register c where not (c.serverPort = 80)`)
+	rs, err := Normalize(r, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Where[0].Op != OpNe {
+		t.Errorf("NOT not eliminated: %s", rs[0].Text())
+	}
+	// De Morgan: not (a and b) -> not a or not b -> 2 rules.
+	r = MustParse(`search CycleProvider c register c
+		where not (c.serverPort = 80 and c.serverPort = 443)`)
+	rs, err = Normalize(r, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Errorf("De Morgan split produced %d rules", len(rs))
+	}
+	// contains cannot be negated.
+	r = MustParse(`search CycleProvider c register c where not (c.serverHost contains 'x')`)
+	if _, err := Normalize(r, s, nil); err == nil {
+		t.Error("negated contains accepted")
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	s := paperSchema()
+	bad := []string{
+		`search Unknown u register u`,
+		`search CycleProvider c register c where c.nope = 1`,
+		`search CycleProvider c register c where c.serverHost.memory = 1`,                      // navigate through literal
+		`search CycleProvider c register c where c.serverInformation? = 'x'`,                   // ? on single-valued
+		`search CycleProvider c register c where c.serverPort contains 'x'`,                    // contains on numeric
+		`search CycleProvider c register c where c.serverHost > 5`,                             // ordering on string vs numeric
+		`search CycleProvider c register c where c > 5`,                                        // ordering on resource
+		`search CycleProvider c, ServerInformation s register c where c = s`,                   // incompatible classes
+		`search CycleProvider c, ServerInformation s register c where c.serverInformation = c`, // range mismatch
+	}
+	for _, src := range bad {
+		r, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Normalize(r, s, nil); err == nil {
+			t.Errorf("normalized invalid rule: %q", src)
+		}
+	}
+	// Valid edge cases.
+	good := []string{
+		`search CycleProvider c register c`,
+		`search CycleProvider c register c where c = 'doc.rdf#host'`,
+		`search CycleProvider c, CycleProvider d register c where c.mirror? = d`,
+		`search CycleProvider c register c where c.serverPort >= 8080`,
+	}
+	for _, src := range good {
+		if _, err := Normalize(MustParse(src), s, nil); err != nil {
+			t.Errorf("rejected valid rule %q: %v", src, err)
+		}
+	}
+}
+
+func TestNormalizeRuleExtension(t *testing.T) {
+	s := paperSchema()
+	baseRules, err := Normalize(MustParse(
+		`search CycleProvider c register c where c.serverHost contains 'uni-passau.de'`), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[string]*NormalRule{"PassauProviders": baseRules[0]}
+	resolve := func(name string) (*NormalRule, bool) {
+		r, ok := catalog[name]
+		return r, ok
+	}
+	r := MustParse(`search PassauProviders p register p where p.serverPort = 80`)
+	rs, err := Normalize(r, s, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := rs[0]
+	if len(nr.Search) != 1 || nr.Search[0].Extension != "CycleProvider" {
+		t.Fatalf("inlined rule bindings = %+v", nr.Search)
+	}
+	if len(nr.Where) != 2 {
+		t.Fatalf("inlined rule predicates: %s", nr.Text())
+	}
+	// Unknown extension without resolver entry.
+	if _, err := Normalize(MustParse(`search Mystery m register m`), s, resolve); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+func TestCanonicalTextDeduplicatesEquivalentRules(t *testing.T) {
+	s := paperSchema()
+	norm := func(src string) *NormalRule {
+		t.Helper()
+		rs, err := Normalize(MustParse(src), s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs[0]
+	}
+	// Different variable names, same rule.
+	a := norm(`search CycleProvider c register c where c.serverPort = 80`)
+	b := norm(`search CycleProvider x register x where x.serverPort = 80`)
+	if a.CanonicalText() != b.CanonicalText() {
+		t.Errorf("variable renaming not canonical:\n%s\n%s", a.CanonicalText(), b.CanonicalText())
+	}
+	// Different conjunct order, same rule.
+	a = norm(`search CycleProvider c register c where c.serverPort = 80 and c.serverHost contains 'de'`)
+	b = norm(`search CycleProvider c register c where c.serverHost contains 'de' and c.serverPort = 80`)
+	if a.CanonicalText() != b.CanonicalText() {
+		t.Errorf("conjunct order not canonical:\n%s\n%s", a.CanonicalText(), b.CanonicalText())
+	}
+	// Symmetric operator orientation.
+	a = norm(`search CycleProvider c, ServerInformation s register c where c.serverInformation = s`)
+	b = norm(`search CycleProvider c, ServerInformation s register c where s = c.serverInformation`)
+	if a.CanonicalText() != b.CanonicalText() {
+		t.Errorf("symmetric = not canonical:\n%s\n%s", a.CanonicalText(), b.CanonicalText())
+	}
+	// Genuinely different rules must differ.
+	a = norm(`search CycleProvider c register c where c.serverPort = 80`)
+	b = norm(`search CycleProvider c register c where c.serverPort = 81`)
+	if a.CanonicalText() == b.CanonicalText() {
+		t.Error("different rules canonicalize equal")
+	}
+}
+
+func TestConstLexicalForms(t *testing.T) {
+	if IntConst(42).Lexical() != "42" {
+		t.Error("int lexical")
+	}
+	if FloatConst(2.5).Lexical() != "2.5" {
+		t.Error("float lexical")
+	}
+	if StringConst("x").Lexical() != "x" {
+		t.Error("string lexical")
+	}
+	if StringConst("o'b").Text() != "'o''b'" {
+		t.Error("string text quoting")
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	for _, o := range []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		n, ok := o.Negate()
+		if !ok {
+			t.Errorf("%v not negatable", o)
+		}
+		nn, _ := n.Negate()
+		if nn != o {
+			t.Errorf("double negation of %v gives %v", o, nn)
+		}
+	}
+	if _, ok := OpContains.Negate(); ok {
+		t.Error("contains negatable")
+	}
+	if !OpLt.Numeric() || !OpGe.Numeric() || OpEq.Numeric() || OpContains.Numeric() {
+		t.Error("Numeric() misclassifies")
+	}
+	if OpContains.String() != "contains" || OpLe.String() != "<=" {
+		t.Error("Op.String")
+	}
+}
+
+func TestNormalizeNoWhere(t *testing.T) {
+	s := paperSchema()
+	rs, err := Normalize(MustParse(`search CycleProvider c register c`), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || len(rs[0].Where) != 0 {
+		t.Errorf("got %+v", rs)
+	}
+	if !strings.HasPrefix(rs[0].Text(), "search CycleProvider c register c") {
+		t.Errorf("text = %s", rs[0].Text())
+	}
+}

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"mdv/internal/core"
+	"mdv/internal/rdf"
+)
+
+// Request/response payload types of the MDV protocol. Both tiers' servers
+// and the typed clients share these definitions.
+
+// Doc is a serialized RDF document in transit.
+type Doc struct {
+	URI string `json:"uri"`
+	XML string `json:"xml"`
+}
+
+// Message kinds served by an MDP (metadata provider).
+const (
+	KindRegisterDocuments = "register_documents"
+	KindDeleteDocument    = "delete_document"
+	KindSubscribe         = "subscribe"
+	KindUnsubscribe       = "unsubscribe"
+	KindBrowse            = "browse"
+	KindGetDocument       = "get_document"
+	KindAttach            = "attach"
+	KindReplicate         = "replicate"
+	KindReplicateDelete   = "replicate_delete"
+	KindNamedRule         = "named_rule"
+	KindStats             = "stats"
+	// KindChangeset is the push an MDP sends to attached subscribers.
+	KindChangeset = "changeset"
+)
+
+// Message kinds served by an LMR (local metadata repository).
+const (
+	KindQuery              = "query"
+	KindAddSubscription    = "add_subscription"
+	KindRemoveSubscription = "remove_subscription"
+	KindRegisterLocal      = "register_local"
+	KindListResources      = "list_resources"
+	KindLMRStats           = "lmr_stats"
+)
+
+// RegisterDocumentsRequest registers or re-registers documents at an MDP.
+type RegisterDocumentsRequest struct {
+	Docs []Doc `json:"docs"`
+	// Replicated marks backbone-internal forwarding; such registrations are
+	// not forwarded again (the backbone is a full mesh).
+	Replicated bool `json:"replicated,omitempty"`
+}
+
+// DeleteDocumentRequest deletes a document at an MDP.
+type DeleteDocumentRequest struct {
+	URI        string `json:"uri"`
+	Replicated bool   `json:"replicated,omitempty"`
+}
+
+// SubscribeRequest registers a subscription rule.
+type SubscribeRequest struct {
+	Subscriber string `json:"subscriber"`
+	Rule       string `json:"rule"`
+}
+
+// SubscribeResponse returns the subscription id and the initial cache fill.
+type SubscribeResponse struct {
+	SubID   int64           `json:"sub_id"`
+	Initial *core.Changeset `json:"initial"`
+}
+
+// UnsubscribeRequest removes a subscription.
+type UnsubscribeRequest struct {
+	SubID int64 `json:"sub_id"`
+}
+
+// BrowseRequest lists resources at an MDP (§2.2's user browsing).
+type BrowseRequest struct {
+	Class    string `json:"class"`
+	Contains string `json:"contains,omitempty"`
+}
+
+// ResourcesResponse carries resources.
+type ResourcesResponse struct {
+	Resources []*rdf.Resource `json:"resources"`
+}
+
+// GetDocumentRequest fetches a registered document.
+type GetDocumentRequest struct {
+	URI string `json:"uri"`
+}
+
+// AttachRequest registers the connection as a subscriber's push channel.
+type AttachRequest struct {
+	Subscriber string `json:"subscriber"`
+}
+
+// NamedRuleRequest registers a named rule usable as an extension.
+type NamedRuleRequest struct {
+	Name string `json:"name"`
+	Rule string `json:"rule"`
+}
+
+// QueryRequest evaluates an MDV query at an LMR.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// AddSubscriptionRequest asks an LMR to subscribe to its MDP.
+type AddSubscriptionRequest struct {
+	Rule string `json:"rule"`
+}
+
+// ListResourcesRequest lists cached resources at an LMR.
+type ListResourcesRequest struct {
+	Class string `json:"class"`
+}

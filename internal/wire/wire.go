@@ -1,0 +1,325 @@
+// Package wire implements MDV's network protocol: length-prefixed JSON
+// messages over TCP, with synchronous request/response calls and
+// asynchronous server pushes (the MDP publishing changesets to attached
+// LMRs). The same message plumbing serves both tiers' servers (MDP and
+// LMR).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxMessageSize bounds a single message (16 MiB): a malformed or malicious
+// length prefix must not make a node allocate unboundedly.
+const MaxMessageSize = 16 << 20
+
+// Message is the wire unit. Requests carry a Kind and Body; responses echo
+// the request ID and carry a Body or an Error; pushes are server-initiated
+// messages with ID 0 and a Kind.
+type Message struct {
+	ID    uint64          `json:"id"`
+	Kind  string          `json:"kind,omitempty"`
+	Error string          `json:"error,omitempty"`
+	Body  json.RawMessage `json:"body,omitempty"`
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m *Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxMessageSize {
+		return fmt.Errorf("wire: message of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("wire: incoming message of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// Handler processes one request on a server and returns the response body.
+// The conn is provided so handlers can attach push channels.
+type Handler func(conn *ServerConn, kind string, body json.RawMessage) (interface{}, error)
+
+// Server accepts connections and dispatches requests to a Handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	mu      sync.Mutex
+	conns   map[*ServerConn]bool
+	closed  bool
+	wg      sync.WaitGroup
+	// OnDisconnect is called when a connection closes (for push-channel
+	// cleanup). Optional.
+	OnDisconnect func(conn *ServerConn)
+}
+
+// NewServer starts a server listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: handler, conns: map[*ServerConn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*ServerConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &ServerConn{nc: nc, server: s}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c *ServerConn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		if s.OnDisconnect != nil {
+			s.OnDisconnect(c)
+		}
+	}()
+	for {
+		m, err := ReadMessage(c.nc)
+		if err != nil {
+			return
+		}
+		resp := &Message{ID: m.ID}
+		result, err := s.handler(c, m.Kind, m.Body)
+		if err != nil {
+			resp.Error = err.Error()
+		} else if result != nil {
+			body, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = fmt.Sprintf("wire: marshal response: %v", err)
+			} else {
+				resp.Body = body
+			}
+		}
+		if err := c.write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// ServerConn is one accepted connection. Handlers may keep a reference to
+// push messages to it later (Notify).
+type ServerConn struct {
+	nc      net.Conn
+	server  *Server
+	writeMu sync.Mutex
+	// Tag is handler-defined metadata (e.g. the attached subscriber name).
+	Tag atomic.Value
+}
+
+func (c *ServerConn) write(m *Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteMessage(c.nc, m)
+}
+
+// Notify pushes a server-initiated message (ID 0) to the peer.
+func (c *ServerConn) Notify(kind string, body interface{}) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.write(&Message{ID: 0, Kind: kind, Body: payload})
+}
+
+// Close closes the underlying connection.
+func (c *ServerConn) Close() error { return c.nc.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *ServerConn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
+
+// Client is a connection to a Server supporting concurrent calls and
+// receiving pushes.
+type Client struct {
+	nc      net.Conn
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan *Message
+	nextID  uint64
+	closed  bool
+	closeCh chan struct{}
+	// OnPush handles server-initiated messages. Set before issuing calls
+	// that provoke pushes; safe to leave nil (pushes are dropped).
+	OnPush func(kind string, body json.RawMessage)
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{nc: nc, pending: map[uint64]chan *Message{}, closeCh: make(chan struct{})}
+	go c.readLoop()
+	return c, nil
+}
+
+// ErrClosed is returned for calls on a closed client.
+var ErrClosed = errors.New("wire: connection closed")
+
+func (c *Client) readLoop() {
+	for {
+		m, err := ReadMessage(c.nc)
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			close(c.closeCh)
+			return
+		}
+		if m.ID == 0 {
+			if c.OnPush != nil {
+				c.OnPush(m.Kind, m.Body)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[m.ID]
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+// Call sends a request and decodes the response body into out (which may be
+// nil to discard it).
+func (c *Client) Call(kind string, req interface{}, out interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *Message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err = WriteMessage(c.nc, &Message{ID: id, Kind: kind, Body: body})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	m, ok := <-ch
+	if !ok {
+		return ErrClosed
+	}
+	if m.Error != "" {
+		return errors.New(m.Error)
+	}
+	if out != nil && len(m.Body) > 0 {
+		return json.Unmarshal(m.Body, out)
+	}
+	return nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error {
+	return c.nc.Close()
+}
+
+// Done is closed when the connection terminates.
+func (c *Client) Done() <-chan struct{} { return c.closeCh }
+
+// Decode is a helper for handlers: unmarshal a request body into v,
+// tolerating an empty body.
+func Decode(body json.RawMessage, v interface{}) error {
+	if len(body) == 0 {
+		return nil
+	}
+	return json.Unmarshal(body, v)
+}

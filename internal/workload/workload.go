@@ -1,0 +1,153 @@
+// Package workload generates the benchmark rule bases and document streams
+// of the paper's performance experiments (§4, Figure 10).
+//
+// Documents mirror Figure 1: each contains one CycleProvider and one
+// ServerInformation resource. The four rule types:
+//
+//	OID:  search CycleProvider c register c where c = URI
+//	COMP: search CycleProvider c register c where c.synthValue > INT
+//	PATH: search CycleProvider c register c where c.serverInformation.memory = INT
+//	JOIN: search CycleProvider c register c
+//	      where c.serverHost contains 'uni-passau.de'
+//	        and c.serverInformation.cpu = 600
+//	        and c.serverInformation.memory = INT
+//
+// OID, PATH, and JOIN workloads pair documents and rules one-to-one: the
+// i-th document is matched by exactly the i-th rule. COMP rules are
+// generated so that every document matches a fixed percentage of the rule
+// base.
+package workload
+
+import (
+	"fmt"
+
+	"mdv/internal/rdf"
+)
+
+// RuleType selects one of the four benchmark rule types (paper Figure 10).
+type RuleType int
+
+const (
+	// OID rules register a single resource by its URI reference.
+	OID RuleType = iota
+	// COMP rules compare a synthetic numeric property against a constant.
+	COMP
+	// PATH rules follow a reference and compare a property of the target.
+	PATH
+	// JOIN rules combine a contains predicate, a shared comparison, and a
+	// discriminating comparison over the referenced resource.
+	JOIN
+)
+
+// String returns the paper's name for the rule type.
+func (t RuleType) String() string {
+	switch t {
+	case OID:
+		return "OID"
+	case COMP:
+		return "COMP"
+	case PATH:
+		return "PATH"
+	case JOIN:
+		return "JOIN"
+	default:
+		return fmt.Sprintf("RuleType(%d)", int(t))
+	}
+}
+
+// Schema returns the benchmark schema (the Figure 1 classes plus the
+// synthetic synthValue property used by COMP rules).
+func Schema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverHost", Type: rdf.TypeString})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "serverPort", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{Name: "synthValue", Type: rdf.TypeInteger})
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{
+		Name: "serverInformation", Type: rdf.TypeResource,
+		RefClass: "ServerInformation", RefKind: rdf.StrongRef})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "memory", Type: rdf.TypeInteger})
+	s.MustAddProperty("ServerInformation", rdf.PropertyDef{Name: "cpu", Type: rdf.TypeInteger})
+	return s
+}
+
+// Generator produces a rule base and matching document stream.
+type Generator struct {
+	// Type is the benchmark rule type.
+	Type RuleType
+	// RuleBase is the number of rules in the base.
+	RuleBase int
+	// MatchPercent applies to COMP only: the fraction (0..1) of the rule
+	// base each document matches.
+	MatchPercent float64
+}
+
+// Rule returns the i-th rule of the base (0-based).
+func (g Generator) Rule(i int) string {
+	switch g.Type {
+	case OID:
+		return fmt.Sprintf(
+			`search CycleProvider c register c where c = 'doc%d.rdf#host'`, i)
+	case COMP:
+		// Rule i matches documents with synthValue > i.
+		return fmt.Sprintf(
+			`search CycleProvider c register c where c.synthValue > %d`, i)
+	case PATH:
+		return fmt.Sprintf(
+			`search CycleProvider c register c where c.serverInformation.memory = %d`, i)
+	case JOIN:
+		return fmt.Sprintf(
+			`search CycleProvider c register c where c.serverHost contains 'uni-passau.de' `+
+				`and c.serverInformation.cpu = 600 and c.serverInformation.memory = %d`, i)
+	default:
+		panic("workload: unknown rule type")
+	}
+}
+
+// Rules returns the whole rule base.
+func (g Generator) Rules() []string {
+	out := make([]string, g.RuleBase)
+	for i := range out {
+		out[i] = g.Rule(i)
+	}
+	return out
+}
+
+// Document returns the i-th document (0-based). Documents are shaped like
+// paper Figure 1: one CycleProvider referencing one ServerInformation via a
+// strong reference.
+//
+// The pairing invariants: for OID, document i has URI reference
+// doc<i>.rdf#host (matched by rule i); for PATH and JOIN, its memory value
+// is i (matched by rule i); for COMP, its synthValue makes it match
+// MatchPercent of the rule base.
+func (g Generator) Document(i int) *rdf.Document {
+	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
+	host := doc.NewResource("host", "CycleProvider")
+	host.Add("serverHost", rdf.Lit(fmt.Sprintf("host%d.uni-passau.de", i)))
+	host.Add("serverPort", rdf.Lit("5874"))
+	host.Add("synthValue", rdf.Lit(fmt.Sprint(g.synthValue())))
+	host.Add("serverInformation", rdf.Ref(doc.QualifyID("info")))
+	info := doc.NewResource("info", "ServerInformation")
+	info.Add("memory", rdf.Lit(fmt.Sprint(i)))
+	info.Add("cpu", rdf.Lit("600"))
+	return doc
+}
+
+// synthValue makes a document match MatchPercent of a COMP rule base:
+// rule i matches iff synthValue > i, so a value of pct*N matches rules
+// 0..pct*N-1.
+func (g Generator) synthValue() int {
+	if g.Type != COMP {
+		return 0
+	}
+	return int(float64(g.RuleBase) * g.MatchPercent)
+}
+
+// Batch returns documents offset..offset+n-1.
+func (g Generator) Batch(offset, n int) []*rdf.Document {
+	out := make([]*rdf.Document, n)
+	for i := 0; i < n; i++ {
+		out[i] = g.Document(offset + i)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package mdv is the public API of the MDV distributed metadata management
+// system, a reproduction of Keidl, Kreutz, Kemper, Kossmann: "A Publish &
+// Subscribe Architecture for Distributed Metadata Management" (ICDE 2002).
+//
+// MDV has a 3-tier architecture:
+//
+//   - Providers (MDPs) form the backbone: they store global RDF metadata,
+//     replicate registrations among each other, and run the paper's
+//     publish & subscribe filter algorithm on every registration, update,
+//     and deletion.
+//   - Repositories (LMRs) are middle-tier caches close to applications.
+//     They subscribe with rules written in the MDV rule language; the
+//     provider pushes exactly the matching resources (plus their
+//     strong-reference closures) and keeps them up to date.
+//   - Clients query a repository with the MDV query language; queries are
+//     evaluated purely on the local cache.
+//
+// # Quick start
+//
+//	schema := mdv.NewSchema()
+//	schema.MustAddProperty("CycleProvider", mdv.PropertyDef{Name: "serverHost", Type: mdv.TypeString})
+//
+//	mdp, _ := mdv.NewProvider("mdp1", schema)
+//	node, _ := mdv.NewRepositoryNode("lmr1", schema, mdp)
+//	node.AddSubscription(`search CycleProvider c register c where c.serverHost contains 'uni-passau.de'`)
+//
+//	doc, _ := mdv.ParseDocument("doc.rdf", xmlReader)
+//	mdp.RegisterDocument(doc) // pushed to the repository automatically
+//
+//	results, _ := node.Query(`search CycleProvider c register c`)
+//
+// The same components run over TCP: Provider.Serve / RepositoryNode.Serve
+// start servers, and DialProvider / DialRepository return network clients.
+// A network provider client satisfies the same interface the repository
+// node needs, so the wiring is identical in-process and across machines.
+package mdv
+
+import (
+	"io"
+	"time"
+
+	"mdv/internal/client"
+	"mdv/internal/core"
+	"mdv/internal/lmr"
+	"mdv/internal/provider"
+	"mdv/internal/rdf"
+)
+
+// Re-exported metadata model types.
+type (
+	// Document is an RDF document: a URI plus resources.
+	Document = rdf.Document
+	// Resource is one RDF resource with its class and properties.
+	Resource = rdf.Resource
+	// Property is one (name, value) pair of a resource.
+	Property = rdf.Property
+	// Value is a property value: literal or resource reference.
+	Value = rdf.Value
+	// Schema declares the classes metadata must conform to.
+	Schema = rdf.Schema
+	// PropertyDef declares one property of a schema class.
+	PropertyDef = rdf.PropertyDef
+	// Statement is one decomposed metadata atom (an RDF triple with class).
+	Statement = rdf.Statement
+)
+
+// Property value and reference kinds.
+const (
+	TypeString   = rdf.TypeString
+	TypeInteger  = rdf.TypeInteger
+	TypeFloat    = rdf.TypeFloat
+	TypeBoolean  = rdf.TypeBoolean
+	TypeResource = rdf.TypeResource
+
+	StrongRef = rdf.StrongRef
+	WeakRef   = rdf.WeakRef
+)
+
+// Lit makes a literal property value.
+func Lit(s string) Value { return rdf.Lit(s) }
+
+// Ref makes a resource-reference property value.
+func Ref(uriRef string) Value { return rdf.Ref(uriRef) }
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema { return rdf.NewSchema() }
+
+// NewDocument creates an empty RDF document with the given URI.
+func NewDocument(uri string) *Document { return rdf.NewDocument(uri) }
+
+// ParseDocument parses an RDF/XML document.
+func ParseDocument(uri string, r io.Reader) (*Document, error) {
+	return rdf.ParseDocument(uri, r)
+}
+
+// ParseDocumentString parses an RDF/XML document from a string.
+func ParseDocumentString(uri, src string) (*Document, error) {
+	return rdf.ParseDocumentString(uri, src)
+}
+
+// WriteDocument serializes a document as RDF/XML.
+func WriteDocument(w io.Writer, doc *Document) error { return rdf.WriteDocument(w, doc) }
+
+// ParseSchema reads a schema from its RDF Schema serialization.
+func ParseSchema(r io.Reader) (*Schema, error) { return rdf.ParseSchema(r) }
+
+// Publish & subscribe types.
+type (
+	// Changeset is what a provider publishes to one subscriber.
+	Changeset = core.Changeset
+	// Upsert is a delivered resource with its subscription credits and
+	// strong-reference closure.
+	Upsert = core.Upsert
+	// Removal revokes one subscription's credit on a resource.
+	Removal = core.Removal
+	// EngineStats counts filter work (for experiments).
+	EngineStats = core.Stats
+	// EngineOptions tunes the filter engine (ablation switches).
+	EngineOptions = core.Options
+)
+
+// Provider is a Metadata Provider (MDP): a backbone node running the
+// publish & subscribe filter.
+type Provider = provider.Provider
+
+// NewProvider creates an MDP with a fresh metadata store.
+func NewProvider(name string, schema *Schema) (*Provider, error) {
+	return provider.New(name, schema)
+}
+
+// NewProviderWithOptions creates an MDP with explicit engine options.
+func NewProviderWithOptions(name string, schema *Schema, opts EngineOptions) (*Provider, error) {
+	return provider.NewWithOptions(name, schema, opts)
+}
+
+// Engine is the publish & subscribe filter engine of a provider (exposed
+// for snapshots and experiments).
+type Engine = core.Engine
+
+// LoadEngine restores a filter engine from a snapshot written by
+// Provider.SaveSnapshot.
+func LoadEngine(r io.Reader, schema *Schema) (*Engine, error) {
+	return core.Load(r, schema)
+}
+
+// NewProviderFromEngine wraps a restored engine as a provider.
+func NewProviderFromEngine(name string, engine *Engine) *Provider {
+	return provider.NewFromEngine(name, engine)
+}
+
+// Batcher queues registrations and flushes them through the filter in
+// batches (size- or delay-triggered), the deployment policy the paper's
+// batch-size experiments inform.
+type Batcher = provider.Batcher
+
+// NewBatcher creates a batching registrar in front of a provider.
+func NewBatcher(p *Provider, maxBatch int, maxDelay time.Duration) *Batcher {
+	return provider.NewBatcher(p, maxBatch, maxDelay)
+}
+
+// RepositoryNode is a Local Metadata Repository (LMR): the middle-tier
+// cache with local query processing.
+type RepositoryNode = lmr.Node
+
+// ProviderAPI is the provider interface a repository node needs; both
+// *Provider and *ProviderClient satisfy it.
+type ProviderAPI = lmr.ProviderAPI
+
+// NewRepositoryNode creates an LMR connected to the given provider (either
+// an in-process *Provider or a *ProviderClient).
+func NewRepositoryNode(name string, schema *Schema, prov ProviderAPI) (*RepositoryNode, error) {
+	return lmr.New(name, schema, prov)
+}
+
+// ProviderClient is a network client to a remote MDP.
+type ProviderClient = client.MDP
+
+// DialProvider connects to a provider's wire server.
+func DialProvider(addr string) (*ProviderClient, error) { return client.DialMDP(addr) }
+
+// RepositoryClient is a network client to a remote LMR.
+type RepositoryClient = client.LMR
+
+// DialRepository connects to a repository node's wire server.
+func DialRepository(addr string) (*RepositoryClient, error) { return client.DialLMR(addr) }
