@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"mdv/mdv"
 )
@@ -89,10 +90,60 @@ func main() {
 	}
 	log.Printf("lmr %q listening on %s (provider %s)", *name, listenAddr, *mdpAddr)
 
+	// Resume against a durable MDP: catch up on changesets published while
+	// this LMR was down (no-op against a non-durable provider).
+	if seq, err := node.Resume(); err != nil {
+		log.Printf("lmr: resume: %v", err)
+	} else if seq > 0 {
+		log.Printf("lmr: resumed changeset stream (current to seq %d)", seq)
+	}
+
+	// Reconnect loop: when the provider connection drops, redial with
+	// backoff, re-attach, and resume the stream from the last applied
+	// sequence. A durable MDP replays the missed changesets; a restarted
+	// non-durable one falls back to a full-state reset.
+	stop := make(chan struct{})
+	go func() {
+		backoff := time.Second
+		for {
+			select {
+			case <-stop:
+				return
+			case <-prov.Done():
+			}
+			log.Printf("lmr: provider connection lost, reconnecting to %s", *mdpAddr)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(backoff):
+				}
+				next, err := mdv.DialProvider(*mdpAddr)
+				if err != nil {
+					if backoff < 30*time.Second {
+						backoff *= 2
+					}
+					log.Printf("lmr: redial: %v (next attempt in %s)", err, backoff)
+					continue
+				}
+				if err := node.Reconnect(next); err != nil {
+					log.Printf("lmr: resume after reconnect: %v", err)
+					next.Close()
+					continue
+				}
+				prov = next
+				backoff = time.Second
+				log.Printf("lmr: reconnected to %s (current to seq %d)", *mdpAddr, node.Repository().LastSeq())
+				break
+			}
+		}
+	}()
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("lmr: shutting down")
+	close(stop)
 	node.Close()
 	prov.Close()
 }

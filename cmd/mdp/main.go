@@ -4,6 +4,13 @@
 // Usage:
 //
 //	mdp -addr :7171 -name mdp1 -schema schema.rdf [-peer host:port ...]
+//	mdp -addr :7171 -name mdp1 -schema schema.rdf -data /var/lib/mdp \
+//	    [-wal-sync group|always|none] [-snapshot-interval 5m]
+//
+// With -data the provider is durable: every acknowledged operation is
+// written to a write-ahead changelog before it is applied, snapshots are
+// taken periodically (-snapshot-interval) and on SIGTERM, and reconnecting
+// LMRs resume the changeset stream from their acknowledged sequence.
 //
 // The schema file uses the RDF Schema serialization accepted by
 // rdf.ParseSchema (see the repository README for an example).
@@ -16,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mdv/mdv"
 )
@@ -33,7 +41,10 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7171", "listen address")
 		name       = flag.String("name", "mdp", "provider name")
 		schemaPath = flag.String("schema", "", "path to the RDF schema file (required)")
-		snapshot   = flag.String("snapshot", "", "snapshot file: loaded at startup if present, written on shutdown")
+		snapshot   = flag.String("snapshot", "", "snapshot file: loaded at startup if present, written on shutdown (non-durable mode)")
+		dataDir    = flag.String("data", "", "durable data directory (snapshot + write-ahead changelog); enables durable mode")
+		walSync    = flag.String("wal-sync", "group", "changelog durability: group (batched fsync), always (fsync per op), none")
+		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "durable mode: interval between snapshot+changelog-truncation passes (0 disables)")
 		peers      peerList
 	)
 	flag.Var(&peers, "peer", "backbone peer address (repeatable)")
@@ -42,6 +53,18 @@ func main() {
 	if *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "mdp: -schema is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	var syncPolicy mdv.SyncPolicy
+	switch *walSync {
+	case "group":
+		syncPolicy = mdv.SyncGroup
+	case "always":
+		syncPolicy = mdv.SyncAlways
+	case "none":
+		syncPolicy = mdv.SyncNone
+	default:
+		fmt.Fprintf(os.Stderr, "mdp: unknown -wal-sync %q (want group, always, or none)\n", *walSync)
 		os.Exit(2)
 	}
 	f, err := os.Open(*schemaPath)
@@ -55,7 +78,18 @@ func main() {
 	}
 
 	var prov *mdv.Provider
-	if *snapshot != "" {
+	if *dataDir != "" {
+		var stats *mdv.RecoveryStats
+		var err error
+		prov, stats, err = mdv.OpenDurableProviderWithStats(*name, schema, *dataDir,
+			mdv.DurableOptions{Sync: syncPolicy})
+		if err != nil {
+			log.Fatalf("mdp: open durable store: %v", err)
+		}
+		log.Printf("mdp: durable store %s (snapshot seq %d, %d ops replayed, %d skipped, log seq %d)",
+			*dataDir, stats.SnapshotSeq, stats.Replayed, stats.Skipped, prov.LogSeq())
+	}
+	if prov == nil && *snapshot != "" {
 		if sf, err := os.Open(*snapshot); err == nil {
 			engine, lerr := mdv.LoadEngine(sf, schema)
 			sf.Close()
@@ -88,11 +122,42 @@ func main() {
 		log.Printf("mdp: replicating to peer %s", peerAddr)
 	}
 
+	var stopSnapshots chan struct{}
+	if *dataDir != "" && *snapEvery > 0 {
+		stopSnapshots = make(chan struct{})
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := prov.Compact(); err != nil {
+						log.Printf("mdp: periodic snapshot: %v", err)
+					} else {
+						log.Printf("mdp: snapshot written (log seq %d)", prov.LogSeq())
+					}
+				case <-stopSnapshots:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("mdp: shutting down")
-	if *snapshot != "" {
+	if stopSnapshots != nil {
+		close(stopSnapshots)
+	}
+	if *dataDir != "" {
+		if err := prov.Compact(); err != nil {
+			log.Printf("mdp: final snapshot: %v", err)
+		} else {
+			log.Printf("mdp: final snapshot written (log seq %d)", prov.LogSeq())
+		}
+	}
+	if *snapshot != "" && *dataDir == "" {
 		tmp := *snapshot + ".tmp"
 		f, err := os.Create(tmp)
 		if err != nil {

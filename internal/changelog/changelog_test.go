@@ -1,0 +1,324 @@
+package changelog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, l *Log, from uint64) map[uint64]string {
+	t.Helper()
+	out := map[uint64]string{}
+	if err := l.Replay(from, func(seq uint64, payload []byte) error {
+		out[seq] = string(payload)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		seq, err := l.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if err := l.WaitDurable(10); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, 1)
+	if len(got) != 10 || got[1] != "rec-1" || got[10] != "rec-10" {
+		t.Fatalf("replay = %v", got)
+	}
+	if got := collect(t, l, 7); len(got) != 4 {
+		t.Fatalf("replay from 7 = %v", got)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.LastSeq() != 5 {
+		t.Fatalf("LastSeq = %d, want 5", l.LastSeq())
+	}
+	seq, err := l.Append([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("seq = %d, want 6", seq)
+	}
+}
+
+// TestTornTailRecovered: a crash mid-write must not lose the intact prefix
+// and must not poison the log.
+func TestTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("keep-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: chop a few bytes off the tail segment.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := segs[len(segs)-1].path
+	// The file extends past the data (segments are preallocated), so find
+	// the end of the record data and chop into the last record from there.
+	end, err := scanSegment(tail, segs[len(segs)-1].first, func(uint64, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(tail, end-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after torn write: %v", err)
+	}
+	defer l.Close()
+	got := collect(t, l, 1)
+	if len(got) != 2 || got[2] != "keep-2" {
+		t.Fatalf("recovered records = %v", got)
+	}
+	// The torn sequence is reused: record 3 was never durable.
+	seq, err := l.Append([]byte("new-3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("seq after torn recovery = %d, want 3", seq)
+	}
+}
+
+// TestCorruptedRecordStopsReplayAtPrefix: a flipped byte invalidates the
+// CRC; Open keeps only the intact prefix.
+func TestCorruptedRecordStopsReplayAtPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	var off int64
+	for i := 1; i <= 3; i++ {
+		payload := fmt.Sprintf("rec-%d", i)
+		offsets = append(offsets, off)
+		off += headerSize + int64(len(payload))
+		if _, err := l.Append([]byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	tail := segs[len(segs)-1].path
+	f, err := os.OpenFile(tail, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of record 2.
+	if _, err := f.WriteAt([]byte{'X'}, offsets[1]+headerSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := collect(t, l, 1)
+	if len(got) != 1 || got[1] != "rec-1" {
+		t.Fatalf("recovered records = %v", got)
+	}
+}
+
+func TestRotationAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 64, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-number-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.mu.Lock()
+	nsegs := len(l.segments)
+	l.mu.Unlock()
+	if nsegs < 3 {
+		t.Fatalf("segments = %d, want several", nsegs)
+	}
+	// Everything replayable before truncation.
+	if got := collect(t, l, 1); len(got) != 20 {
+		t.Fatalf("replay = %d records", len(got))
+	}
+	removed, err := l.TruncateBelow(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("no segments truncated")
+	}
+	if l.OldestSeq() > 11 {
+		t.Fatalf("OldestSeq = %d; truncation removed live records", l.OldestSeq())
+	}
+	got := collect(t, l, 11)
+	for i := uint64(11); i <= 20; i++ {
+		if _, ok := got[i]; !ok {
+			t.Fatalf("record %d lost by truncation (have %v)", i, got)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen after truncation: sequence continues, old segments gone.
+	l, err = Open(dir, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.LastSeq() != 20 {
+		t.Fatalf("LastSeq after reopen = %d", l.LastSeq())
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if len(files) >= nsegs {
+		t.Fatalf("segment files = %d, want fewer than %d", len(files), nsegs)
+	}
+}
+
+// TestConcurrentGroupCommit: concurrent appenders must each get a unique
+// sequence and observe durability; run with -race.
+func TestConcurrentGroupCommit(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				seq, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err == nil {
+					err = l.WaitDurable(seq)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := collect(t, l, 1); len(got) != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*perWriter)
+	}
+}
+
+// TestReserveSkipsSequences: Reserve raises the next sequence past an
+// externally-covered range, the reservation survives reopen, and replay
+// simply never sees the skipped numbers.
+func TestReserveSkipsSequences(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reserve(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq after Reserve = %d, want 10", got)
+	}
+	if err := l.WaitDurable(10); err != nil { // vacuously durable
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reservation must hold across reopen even though nothing was
+	// appended after it.
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq after reopen = %d, want 10", got)
+	}
+	seq, err := l.Append([]byte("post"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("seq after reserved reopen = %d, want 11", seq)
+	}
+	got := collect(t, l, 1)
+	if len(got) != 3 || got[1] != "a" || got[2] != "a" || got[11] != "post" {
+		t.Fatalf("replay = %v, want seqs 1, 2, 11", got)
+	}
+
+	// Reserving below the current sequence is a no-op.
+	if err := l.Reserve(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastSeq(); got != 11 {
+		t.Fatalf("LastSeq after low Reserve = %d, want 11", got)
+	}
+}

@@ -7,17 +7,22 @@ package client
 
 import (
 	"encoding/json"
+	"sync"
 
 	"mdv/internal/core"
 	"mdv/internal/rdf"
 	"mdv/internal/wire"
 )
 
+// ApplyFunc receives one pushed changeset (see provider.ApplyFunc).
+type ApplyFunc = func(seq uint64, reset bool, cs *core.Changeset) error
+
 // MDP is a client connection to a metadata provider.
 type MDP struct {
 	conn *wire.Client
 	// applyFns receive pushed changesets per attached subscriber.
-	applyFns map[string]func(*core.Changeset) error
+	mu       sync.Mutex
+	applyFns map[string]ApplyFunc
 }
 
 // DialMDP connects to an MDP server.
@@ -26,7 +31,7 @@ func DialMDP(addr string) (*MDP, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &MDP{conn: conn, applyFns: map[string]func(*core.Changeset) error{}}
+	c := &MDP{conn: conn, applyFns: map[string]ApplyFunc{}}
 	conn.OnPush = c.onPush
 	return c, nil
 }
@@ -41,15 +46,24 @@ func (c *MDP) onPush(kind string, body json.RawMessage) {
 	if kind != wire.KindChangeset {
 		return
 	}
-	var cs core.Changeset
-	if err := json.Unmarshal(body, &cs); err != nil {
+	var push wire.ChangesetPush
+	if err := json.Unmarshal(body, &push); err != nil {
 		return
 	}
+	if push.Changeset == nil {
+		return
+	}
+	c.mu.Lock()
+	fns := make([]ApplyFunc, 0, len(c.applyFns))
+	for _, fn := range c.applyFns {
+		fns = append(fns, fn)
+	}
+	c.mu.Unlock()
 	// Pushes are not addressed per subscriber on the wire: each attached
 	// connection receives only its own subscriber's changesets, so every
 	// registered apply function on this connection gets it.
-	for _, fn := range c.applyFns {
-		fn(&cs)
+	for _, fn := range fns {
+		fn(push.Seq, push.Reset, push.Changeset)
 	}
 }
 
@@ -89,9 +103,30 @@ func (c *MDP) Unsubscribe(subID int64) error {
 
 // Attach registers this connection as the subscriber's push channel;
 // published changesets are delivered to apply.
-func (c *MDP) Attach(subscriber string, apply func(*core.Changeset) error) error {
+func (c *MDP) Attach(subscriber string, apply ApplyFunc) error {
+	c.mu.Lock()
 	c.applyFns[subscriber] = apply
+	c.mu.Unlock()
 	return c.conn.Call(wire.KindAttach, &wire.AttachRequest{Subscriber: subscriber}, nil)
+}
+
+// Resume asks a durable MDP to replay the changesets published for the
+// subscriber past fromSeq. The replayed changesets arrive as ordered
+// pushes on this connection (Attach first); the returned sequence is the
+// one the subscriber is current to afterwards.
+func (c *MDP) Resume(subscriber string, fromSeq uint64) (uint64, error) {
+	var resp wire.ResumeResponse
+	err := c.conn.Call(wire.KindResume, &wire.ResumeRequest{Subscriber: subscriber, FromSeq: fromSeq}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return resp.LatestSeq, nil
+}
+
+// Ack acknowledges application of pushes up to seq, advancing the MDP's
+// changelog truncation watermark for this subscriber.
+func (c *MDP) Ack(subscriber string, seq uint64) error {
+	return c.conn.Call(wire.KindAck, &wire.AckRequest{Subscriber: subscriber, Seq: seq}, nil)
 }
 
 // Browse lists resources of a class at the MDP.

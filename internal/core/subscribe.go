@@ -91,6 +91,58 @@ func (e *Engine) Subscribe(subscriber, ruleText string) (int64, *Changeset, erro
 	return subID, cs, nil
 }
 
+// ResubscribeFill builds a full-state changeset for one subscriber: every
+// resource currently matching any of its subscriptions, with its credits
+// and strong-reference closure. A durable provider delivers it as a reset
+// changeset when it cannot prove a gap-free changelog replay for a
+// resuming subscriber (e.g. after truncation).
+func (e *Engine) ResubscribeFill(subscriber string) (*Changeset, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	subRows, err := e.db.Query(`SELECT sub_id FROM Subscriptions WHERE subscriber = ?`,
+		rdb.NewText(subscriber))
+	if err != nil {
+		return nil, err
+	}
+	credits := map[string]map[int64]bool{}
+	for _, row := range subRows.Data {
+		subID := row[0].Int
+		endRows, err := e.db.Query(`SELECT end_rule FROM SubscriptionEndRules WHERE sub_id = ?`,
+			rdb.NewInt(subID))
+		if err != nil {
+			return nil, err
+		}
+		for _, er := range endRows.Data {
+			uris, err := e.RuleResultsOf(er[0].Int)
+			if err != nil {
+				return nil, err
+			}
+			for _, uri := range uris {
+				if credits[uri] == nil {
+					credits[uri] = map[int64]bool{}
+				}
+				credits[uri][subID] = true
+			}
+		}
+	}
+	uris := make([]string, 0, len(credits))
+	for uri := range credits {
+		uris = append(uris, uri)
+	}
+	sort.Strings(uris)
+	cs := &Changeset{}
+	for _, uri := range uris {
+		up, err := e.buildUpsert(uri, credits[uri])
+		if err != nil {
+			return nil, err
+		}
+		if up != nil {
+			cs.Upserts = append(cs.Upserts, *up)
+		}
+	}
+	return cs, nil
+}
+
 // Unsubscribe removes a subscription and releases its atomic rules. Atomic
 // rules whose refcount drops to zero are deleted together with their filter
 // table entries, group memberships, dependencies, and materialized results

@@ -21,7 +21,16 @@ import (
 type ProviderAPI interface {
 	Subscribe(subscriber, rule string) (int64, *core.Changeset, error)
 	Unsubscribe(subID int64) error
-	Attach(subscriber string, apply func(*core.Changeset) error) error
+	Attach(subscriber string, apply func(seq uint64, reset bool, cs *core.Changeset) error) error
+}
+
+// ResumableProvider is the optional capability of durable MDPs: resuming
+// the changeset stream from an acknowledged sequence and acknowledging
+// applied pushes. Both provider.Provider and client.MDP implement it; the
+// node uses it when available.
+type ResumableProvider interface {
+	Resume(subscriber string, fromSeq uint64) (uint64, error)
+	Ack(subscriber string, seq uint64) error
 }
 
 // Node is one LMR.
@@ -34,6 +43,15 @@ type Node struct {
 	mu       sync.Mutex
 	subs     map[int64]string // subID -> rule text
 	attached bool
+	// ackSeq is the highest applied sequence queued for acknowledgment;
+	// ackBusy marks the single ack worker as running. Acks are sent
+	// asynchronously because a network push is dispatched on the client's
+	// read loop: a synchronous Ack call there could never read its own
+	// response. Coalescing to the latest sequence is safe — acks only
+	// advance the provider's truncation watermark.
+	ackSeq  uint64
+	ackSent uint64
+	ackBusy bool
 
 	server *wire.Server
 }
@@ -67,11 +85,101 @@ func (n *Node) ensureAttached() error {
 	if n.attached {
 		return nil
 	}
-	if err := n.prov.Attach(n.name, n.repo.ApplyChangeset); err != nil {
+	if err := n.prov.Attach(n.name, n.applyPush); err != nil {
 		return err
 	}
 	n.attached = true
 	return nil
+}
+
+// applyPush applies one pushed changeset and schedules an acknowledgment
+// of its sequence to a durable provider (advancing its truncation
+// watermark). Ack failures never fail the application: the push is already
+// applied, and the ack is advisory.
+func (n *Node) applyPush(seq uint64, reset bool, cs *core.Changeset) error {
+	if err := n.repo.ApplyPush(seq, reset, cs); err != nil {
+		return err
+	}
+	if seq != 0 {
+		n.scheduleAck(seq)
+	}
+	return nil
+}
+
+// scheduleAck queues seq for acknowledgment and ensures one worker is
+// draining the queue.
+func (n *Node) scheduleAck(seq uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if seq <= n.ackSeq {
+		return
+	}
+	n.ackSeq = seq
+	if n.ackBusy {
+		return
+	}
+	n.ackBusy = true
+	go n.ackLoop()
+}
+
+// ackLoop sends the newest queued ack until nothing newer is queued.
+func (n *Node) ackLoop() {
+	for {
+		n.mu.Lock()
+		seq := n.ackSeq
+		if seq <= n.ackSent {
+			n.ackBusy = false
+			n.mu.Unlock()
+			return
+		}
+		prov := n.prov
+		n.mu.Unlock()
+		if res, ok := prov.(ResumableProvider); ok {
+			res.Ack(n.name, seq)
+		}
+		n.mu.Lock()
+		n.ackSent = seq
+		n.mu.Unlock()
+	}
+}
+
+// AckedSeq returns the highest sequence acknowledged to the provider.
+func (n *Node) AckedSeq() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ackSent
+}
+
+// Resume asks a durable provider to replay every changeset published for
+// this node past the repository's cursor. Non-resumable providers make it
+// a no-op. Returns the sequence the node is current to afterwards.
+func (n *Node) Resume() (uint64, error) {
+	if err := n.ensureAttached(); err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	prov := n.prov
+	n.mu.Unlock()
+	res, ok := prov.(ResumableProvider)
+	if !ok {
+		return 0, nil
+	}
+	return res.Resume(n.name, n.repo.LastSeq())
+}
+
+// Reconnect swaps in a fresh provider connection (after a network failure
+// or provider restart), re-attaches the push channel, and resumes the
+// changeset stream from the last applied sequence. The node's
+// subscriptions live at the provider — durably, on a durable MDP — so
+// they are not re-registered; the resume replay (or a full-state reset,
+// if the provider cannot replay) converges the cache.
+func (n *Node) Reconnect(prov ProviderAPI) error {
+	n.mu.Lock()
+	n.prov = prov
+	n.attached = false
+	n.mu.Unlock()
+	_, err := n.Resume()
+	return err
 }
 
 // AddSubscription registers a subscription rule at the MDP (paper §2.2:

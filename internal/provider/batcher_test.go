@@ -30,7 +30,7 @@ func newBatcherProvider(t *testing.T) (*Provider, *[]*core.Changeset, *sync.Mute
 	}
 	var mu sync.Mutex
 	var got []*core.Changeset
-	p.Attach("lmr", func(cs *core.Changeset) error {
+	p.Attach("lmr", func(_ uint64, _ bool, cs *core.Changeset) error {
 		mu.Lock()
 		got = append(got, cs)
 		mu.Unlock()

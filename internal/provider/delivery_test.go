@@ -19,11 +19,11 @@ func TestDeliveryFailureDoesNotFailRegistration(t *testing.T) {
 	p.OnDeliveryError = func(subscriber string, err error) {
 		failures = append(failures, subscriber)
 	}
-	p.Attach("broken", func(*core.Changeset) error {
+	p.Attach("broken", func(uint64, bool, *core.Changeset) error {
 		return fmt.Errorf("cache on fire")
 	})
 	var delivered int
-	p.Attach("healthy", func(*core.Changeset) error {
+	p.Attach("healthy", func(uint64, bool, *core.Changeset) error {
 		delivered++
 		return nil
 	})

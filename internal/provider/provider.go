@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mdv/internal/core"
 	"mdv/internal/rdf"
@@ -24,6 +25,12 @@ type Peer interface {
 	ReplicateDelete(uri string) error
 }
 
+// ApplyFunc receives one published changeset. seq is the changelog
+// sequence number of the publish (0 on non-durable providers); reset marks
+// a full-state changeset that replaces the subscriber's cached global
+// metadata (see wire.ChangesetPush).
+type ApplyFunc = func(seq uint64, reset bool, cs *core.Changeset) error
+
 // Provider is one MDP node.
 type Provider struct {
 	name   string
@@ -32,9 +39,12 @@ type Provider struct {
 	mu sync.Mutex
 	// attached holds in-process delivery callbacks per subscriber;
 	// wireAttach holds push connections of wire-attached subscribers.
-	attached   map[string][]func(*core.Changeset) error
+	attached   map[string][]ApplyFunc
 	wireAttach map[string][]*wire.ServerConn
 	peers      []Peer
+
+	// dur holds the durable changelog state; nil for in-memory providers.
+	dur *durableState
 
 	// OnDeliveryError, if set, observes changeset delivery failures
 	// (broken subscribers). Delivery failures never fail the registration
@@ -50,8 +60,27 @@ type Provider struct {
 	// before the subscription's initial fill and be overwritten by stale
 	// data.
 	pubMu sync.Mutex
+	// pubPending counts operations queued for or holding pubMu. The
+	// changelog's group-commit leader reads it (via DurableOptions' busy
+	// hook) to decide whether delaying its fsync would let more operations
+	// share it.
+	pubPending atomic.Int32
 
 	server *wire.Server
+}
+
+// lockPub acquires the publish order lock, counting this operation as
+// commit-pressure for the group-commit window while it waits and runs.
+func (p *Provider) lockPub() {
+	p.pubPending.Add(1)
+	p.pubMu.Lock()
+}
+
+// unlockPub releases the publish order lock. The caller has finished its
+// changelog appends, so it no longer counts as pending commit work.
+func (p *Provider) unlockPub() {
+	p.pubMu.Unlock()
+	p.pubPending.Add(-1)
 }
 
 // New creates an MDP with a fresh filter engine.
@@ -74,7 +103,7 @@ func NewFromEngine(name string, engine *core.Engine) *Provider {
 	return &Provider{
 		name:       name,
 		engine:     engine,
-		attached:   map[string][]func(*core.Changeset) error{},
+		attached:   map[string][]ApplyFunc{},
 		wireAttach: map[string][]*wire.ServerConn{},
 	}
 }
@@ -101,7 +130,7 @@ func (p *Provider) AddPeer(peer Peer) {
 // Attach registers a delivery callback for a subscriber. Every published
 // changeset addressed to that subscriber is passed to apply. In-process
 // LMRs attach a direct function; the wire server attaches a push wrapper.
-func (p *Provider) Attach(subscriber string, apply func(*core.Changeset) error) error {
+func (p *Provider) Attach(subscriber string, apply ApplyFunc) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.attached[subscriber] = append(p.attached[subscriber], apply)
@@ -124,50 +153,59 @@ func (p *Provider) attachWire(subscriber string, conn *wire.ServerConn) {
 }
 
 // publishLocked fans a publish set out to the attached subscribers. The
-// caller must hold pubMu. Delivery failures are reported through
-// OnDeliveryError and the failing wire channel is detached; they do not
-// fail the registration (the metadata is already committed).
-func (p *Provider) publishLocked(ps *core.PublishSet) error {
+// caller must hold pubMu. On a durable provider, every non-empty
+// changeset is first appended to the changelog as a publish record; the
+// returned sequence is the highest one appended (0 otherwise), which the
+// caller passes to WaitDurable before acknowledging the operation.
+// Delivery failures are reported through OnDeliveryError and the failing
+// wire channel is detached; they do not fail the registration (the
+// metadata is already committed).
+func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, error) {
 	if ps == nil {
-		return nil
+		return 0, nil
 	}
+	var maxSeq uint64
+	// Deterministic subscriber order keeps publish records replayable in a
+	// stable order across recovery runs.
+	for _, subscriber := range ps.Subscribers() {
+		cs := ps.Changesets[subscriber]
+		var seq uint64
+		if p.dur != nil {
+			var err error
+			seq, err = p.appendPubLocked(subscriber, cs)
+			if err != nil {
+				return maxSeq, err
+			}
+			maxSeq = seq
+		}
+		p.deliverLocked(subscriber, seq, false, cs)
+	}
+	return maxSeq, nil
+}
+
+// deliverLocked pushes one changeset to every attached channel of the
+// subscriber. The caller must hold pubMu (delivery order is the published
+// order).
+func (p *Provider) deliverLocked(subscriber string, seq uint64, reset bool, cs *core.Changeset) {
 	p.mu.Lock()
-	type delivery struct {
-		subscriber string
-		fn         func(*core.Changeset) error
-		cs         *core.Changeset
-	}
-	var deliveries []delivery
-	for subscriber, cs := range ps.Changesets {
-		if cs.Empty() {
-			continue
-		}
-		for _, fn := range p.attached[subscriber] {
-			deliveries = append(deliveries, delivery{subscriber: subscriber, fn: fn, cs: cs})
-		}
-		for _, conn := range p.wireAttach[subscriber] {
-			c := conn
-			sub := subscriber
-			deliveries = append(deliveries, delivery{
-				subscriber: subscriber,
-				fn: func(cs *core.Changeset) error {
-					if err := c.Notify(wire.KindChangeset, cs); err != nil {
-						p.detachConn(sub, c)
-						return err
-					}
-					return nil
-				},
-				cs: cs,
-			})
-		}
-	}
+	fns := append([]ApplyFunc(nil), p.attached[subscriber]...)
+	conns := append([]*wire.ServerConn(nil), p.wireAttach[subscriber]...)
 	p.mu.Unlock()
-	for _, d := range deliveries {
-		if err := d.fn(d.cs); err != nil && p.OnDeliveryError != nil {
-			p.OnDeliveryError(d.subscriber, err)
+	report := func(err error) {
+		if err != nil && p.OnDeliveryError != nil {
+			p.OnDeliveryError(subscriber, err)
 		}
 	}
-	return nil
+	for _, fn := range fns {
+		report(fn(seq, reset, cs))
+	}
+	for _, c := range conns {
+		err := c.Notify(wire.KindChangeset, &wire.ChangesetPush{Seq: seq, Reset: reset, Changeset: cs})
+		if err != nil {
+			p.detachConn(subscriber, c)
+		}
+		report(err)
+	}
 }
 
 // RegisterDocument registers one document. See RegisterDocuments.
@@ -192,15 +230,26 @@ func (p *Provider) ReplicateDocuments(wdocs []wire.Doc) error {
 }
 
 func (p *Provider) registerDocuments(docs []*rdf.Document, replicated bool) error {
-	p.pubMu.Lock()
-	ps, err := p.engine.RegisterDocuments(docs)
+	p.lockPub()
+	durSeq, err := p.logOpLocked(&logRecord{Kind: recRegister, Docs: encodeDocs(docs)})
 	if err != nil {
-		p.pubMu.Unlock()
+		p.unlockPub()
 		return err
 	}
-	err = p.publishLocked(ps)
-	p.pubMu.Unlock()
+	ps, err := p.engine.RegisterDocuments(docs)
 	if err != nil {
+		p.unlockPub()
+		return err
+	}
+	pubSeq, err := p.publishLocked(ps)
+	p.unlockPub()
+	if pubSeq > durSeq {
+		durSeq = pubSeq
+	}
+	if err != nil {
+		return err
+	}
+	if err := p.awaitDurable(durSeq); err != nil {
 		return err
 	}
 	if replicated {
@@ -222,15 +271,26 @@ func (p *Provider) ReplicateDelete(uri string) error {
 }
 
 func (p *Provider) deleteDocument(uri string, replicated bool) error {
-	p.pubMu.Lock()
-	ps, err := p.engine.DeleteDocument(uri)
+	p.lockPub()
+	durSeq, err := p.logOpLocked(&logRecord{Kind: recDelete, URI: uri})
 	if err != nil {
-		p.pubMu.Unlock()
+		p.unlockPub()
 		return err
 	}
-	err = p.publishLocked(ps)
-	p.pubMu.Unlock()
+	ps, err := p.engine.DeleteDocument(uri)
 	if err != nil {
+		p.unlockPub()
+		return err
+	}
+	pubSeq, err := p.publishLocked(ps)
+	p.unlockPub()
+	if pubSeq > durSeq {
+		durSeq = pubSeq
+	}
+	if err != nil {
+		return err
+	}
+	if err := p.awaitDurable(durSeq); err != nil {
 		return err
 	}
 	if replicated {
@@ -263,24 +323,51 @@ func (p *Provider) forEachPeer(fn func(Peer) error) error {
 // published changesets; attached callers (LMR nodes) must therefore NOT
 // apply the returned changeset themselves.
 func (p *Provider) Subscribe(subscriber, rule string) (int64, *core.Changeset, error) {
-	p.pubMu.Lock()
-	defer p.pubMu.Unlock()
+	p.lockPub()
+	durSeq, err := p.logOpLocked(&logRecord{Kind: recSubscribe, Subscriber: subscriber, Rule: rule})
+	if err != nil {
+		p.unlockPub()
+		return 0, nil, err
+	}
 	subID, initial, err := p.engine.Subscribe(subscriber, rule)
 	if err != nil {
+		p.unlockPub()
 		return 0, nil, err
 	}
 	if initial != nil && !initial.Empty() {
 		ps := &core.PublishSet{Changesets: map[string]*core.Changeset{subscriber: initial}}
-		if err := p.publishLocked(ps); err != nil {
+		pubSeq, err := p.publishLocked(ps)
+		if pubSeq > durSeq {
+			durSeq = pubSeq
+		}
+		if err != nil {
+			p.unlockPub()
 			return 0, nil, err
 		}
+	}
+	p.unlockPub()
+	if err := p.awaitDurable(durSeq); err != nil {
+		return 0, nil, err
 	}
 	return subID, initial, nil
 }
 
-// Unsubscribe removes a subscription.
+// Unsubscribe removes a subscription. It participates in the publish order
+// (and the changelog, on durable providers) like every other input
+// operation.
 func (p *Provider) Unsubscribe(subID int64) error {
-	return p.engine.Unsubscribe(subID)
+	p.lockPub()
+	durSeq, err := p.logOpLocked(&logRecord{Kind: recUnsubscribe, SubID: subID})
+	if err != nil {
+		p.unlockPub()
+		return err
+	}
+	err = p.engine.Unsubscribe(subID)
+	p.unlockPub()
+	if err != nil {
+		return err
+	}
+	return p.awaitDurable(durSeq)
 }
 
 // Browse lists resources of a class (paper §2.2's user browsing at an MDP).
@@ -336,16 +423,23 @@ func (p *Provider) Serve(addr string) (string, error) {
 	return srv.Addr(), nil
 }
 
-// Close stops the wire server, if running.
+// Close stops the wire server, if running, and closes the changelog of a
+// durable provider (flushing and fsyncing its tail).
 func (p *Provider) Close() error {
 	p.mu.Lock()
 	srv := p.server
 	p.server = nil
 	p.mu.Unlock()
+	var err error
 	if srv != nil {
-		return srv.Close()
+		err = srv.Close()
 	}
-	return nil
+	if p.dur != nil {
+		if cerr := p.dur.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // detachConn drops a disconnected push channel.
@@ -441,6 +535,25 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 		conn.Tag.Store(req.Subscriber)
 		p.attachWire(req.Subscriber, conn)
 		return nil, nil
+	case wire.KindResume:
+		var req wire.ResumeRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Subscriber == "" {
+			return nil, fmt.Errorf("provider: resume requires a subscriber name")
+		}
+		latest, err := p.Resume(req.Subscriber, req.FromSeq)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.ResumeResponse{LatestSeq: latest}, nil
+	case wire.KindAck:
+		var req wire.AckRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, p.Ack(req.Subscriber, req.Seq)
 	case wire.KindNamedRule:
 		var req wire.NamedRuleRequest
 		if err := wire.Decode(body, &req); err != nil {

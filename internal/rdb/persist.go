@@ -25,20 +25,51 @@ type tableSnapshot struct {
 
 const snapshotVersion = 1
 
-// Save writes a point-in-time snapshot of the whole database. The snapshot
-// is internally consistent per table; concurrent writers should be quiesced
-// (e.g. via Begin) for cross-table consistency.
+// Save writes a point-in-time snapshot of the whole database. It acquires
+// a database-wide write quiesce: the transaction lock is held and every
+// table is read-locked simultaneously while rows are cloned, so the
+// snapshot is consistent across tables even with concurrent writers.
+// Encoding happens after the locks are released; only the clone phase
+// blocks writes.
 func (db *Database) Save(w io.Writer) error {
+	snap, err := db.cloneQuiesced()
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	enc := gob.NewEncoder(bw)
-	var snap snapshot
-	snap.Version = snapshotVersion
-	for _, name := range db.TableNames() {
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("rdb: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// cloneQuiesced captures a cross-table-consistent copy of every table.
+// Lock order matches the transaction path (writeMu, then table locks), so
+// it cannot deadlock with writers; read locks are taken in sorted table
+// order and all held at once during cloning.
+func (db *Database) cloneQuiesced() (*snapshot, error) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	names := db.TableNames()
+	tables := make([]*Table, 0, len(names))
+	for _, name := range names {
 		t, err := db.Table(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		tables = append(tables, t)
+	}
+	for _, t := range tables {
 		t.mu.RLock()
+	}
+	defer func() {
+		for _, t := range tables {
+			t.mu.RUnlock()
+		}
+	}()
+	snap := &snapshot{Version: snapshotVersion}
+	for _, t := range tables {
 		ts := tableSnapshot{Def: t.def}
 		ts.Def.Columns = append([]ColumnDef(nil), t.def.Columns...)
 		for _, row := range t.rows {
@@ -49,13 +80,9 @@ func (db *Database) Save(w io.Writer) error {
 		for _, ix := range t.indexes {
 			ts.Indexes = append(ts.Indexes, ix.Def)
 		}
-		t.mu.RUnlock()
 		snap.Tables = append(snap.Tables, ts)
 	}
-	if err := enc.Encode(&snap); err != nil {
-		return fmt.Errorf("rdb: save: %w", err)
-	}
-	return bw.Flush()
+	return snap, nil
 }
 
 // Load reads a snapshot into an empty database, rebuilding all indexes.

@@ -138,3 +138,61 @@ func TestSaveEmptyDatabase(t *testing.T) {
 		t.Error("empty database round trip gained tables")
 	}
 }
+
+// TestSaveQuiescesWriters: Save holds a database-wide write quiesce while
+// cloning, so a snapshot taken under concurrent transactions is consistent
+// ACROSS tables: a transaction inserting one row into each of two tables is
+// either entirely in the snapshot or entirely absent.
+func TestSaveQuiescesWriters(t *testing.T) {
+	db := NewDatabase()
+	def := func(name string) TableDef {
+		return TableDef{Name: name, Columns: []ColumnDef{
+			{Name: "id", Type: KindInt, PrimaryKey: true},
+		}}
+	}
+	mustTable(t, db, def("left"))
+	mustTable(t, db, def("right"))
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 3000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := db.Begin()
+			if _, err := tx.Insert("left", Row{NewInt(i)}); err != nil {
+				t.Error(err)
+				tx.Rollback()
+				return
+			}
+			if _, err := tx.Insert("right", Row{NewInt(i)}); err != nil {
+				t.Error(err)
+				tx.Rollback()
+				return
+			}
+			tx.Commit()
+		}
+	}()
+
+	for i := 0; i < 8; i++ {
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _ := snap.Table("left")
+		r, _ := snap.Table("right")
+		if l.Len() != r.Len() {
+			t.Fatalf("inconsistent snapshot: left=%d right=%d", l.Len(), r.Len())
+		}
+	}
+	close(stop)
+	<-done
+}

@@ -38,6 +38,11 @@ type Repository struct {
 	// its credits must not resurrect cache entries.
 	deadSubs map[int64]bool
 
+	// lastSeq is the highest changelog sequence applied (the resume
+	// cursor of this subscriber's changeset stream). Pushes at or below
+	// it are duplicates from an at-least-once replay and are skipped.
+	lastSeq uint64
+
 	stats Stats
 
 	prep struct {
@@ -64,6 +69,8 @@ type Stats struct {
 	ClosureUpserts   int
 	ResourcesDropped int // by the garbage collector
 	GCRuns           int
+	DuplicatesSkipped int // sequenced pushes at or below the cursor
+	Resets            int // full-state reset changesets applied
 }
 
 var ddl = []string{
@@ -252,12 +259,65 @@ func (r *Repository) dropResource(uriRef string) error {
 	return nil
 }
 
-// ApplyChangeset applies a published changeset (paper §2.2: MDPs "publish
-// updates, insertions, or deletions in the metadata to LMRs") and then runs
-// the garbage collector.
-func (r *Repository) ApplyChangeset(cs *core.Changeset) error {
+// LastSeq returns the highest changelog sequence applied: the cursor a
+// reconnecting LMR resumes the changeset stream from.
+func (r *Repository) LastSeq() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.lastSeq
+}
+
+// ApplyChangeset applies a published changeset (paper §2.2: MDPs "publish
+// updates, insertions, or deletions in the metadata to LMRs") and then runs
+// the garbage collector. Application is idempotent: re-applying a changeset
+// (an at-least-once redelivery) leaves the cache unchanged.
+func (r *Repository) ApplyChangeset(cs *core.Changeset) error {
+	return r.ApplyPush(0, false, cs)
+}
+
+// ApplyPush applies one sequenced changeset push. seq is the publish
+// record's changelog sequence (0 = unsequenced: always applied); pushes at
+// or below the cursor are duplicates and are skipped. reset first drops
+// all cached global metadata (local metadata is untouched) so the
+// changeset rebuilds the cache from scratch — the recovery path when the
+// provider cannot replay the exact missed changesets.
+func (r *Repository) ApplyPush(seq uint64, reset bool, cs *core.Changeset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reset {
+		if err := r.resetGlobalLocked(); err != nil {
+			return err
+		}
+		r.stats.Resets++
+	} else if seq != 0 && seq <= r.lastSeq {
+		r.stats.DuplicatesSkipped++
+		return nil
+	}
+	if err := r.applyLocked(cs); err != nil {
+		return err
+	}
+	if seq > r.lastSeq {
+		r.lastSeq = seq
+	}
+	return r.gcLocked()
+}
+
+// resetGlobalLocked drops every cached global resource, its statements,
+// credits, and reference edges. Local (LMR-private) metadata stays.
+func (r *Repository) resetGlobalLocked() error {
+	rows, err := r.db.Query(`SELECT uri_reference FROM Cache WHERE local = FALSE`)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows.Data {
+		if err := r.dropResource(row[0].Str); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Repository) applyLocked(cs *core.Changeset) error {
 	for _, up := range cs.Upserts {
 		if err := r.applyUpsert(up); err != nil {
 			return err
@@ -287,7 +347,7 @@ func (r *Repository) ApplyChangeset(cs *core.Changeset) error {
 			r.stats.ForcedDeletes++
 		}
 	}
-	return r.gcLocked()
+	return nil
 }
 
 func (r *Repository) hasLocked(uriRef string) bool {

@@ -492,3 +492,87 @@ func TestTombstonedSubscriptionCredits(t *testing.T) {
 		t.Errorf("credits = %v, want only the live subscription", credits)
 	}
 }
+
+// TestApplyPushDeduplicatesBySequence: sequenced pushes at or below the
+// cursor are duplicates from an at-least-once replay and must be skipped.
+func TestApplyPushDeduplicatesBySequence(t *testing.T) {
+	r := newRepo(t)
+	up := func(uri string, port int) *core.Changeset {
+		return &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource(uri, port), SubIDs: []int64{1}}}}
+	}
+	if err := r.ApplyPush(5, false, up("d#a", 80)); err != nil {
+		t.Fatal(err)
+	}
+	if r.LastSeq() != 5 {
+		t.Fatalf("LastSeq = %d, want 5", r.LastSeq())
+	}
+	// Re-delivery of seq 5 and an older seq 3: both skipped.
+	if err := r.ApplyPush(5, false, up("d#b", 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyPush(3, false, up("d#c", 80)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#b") || r.Has("d#c") {
+		t.Error("duplicate push was applied")
+	}
+	if got := r.Stats().DuplicatesSkipped; got != 2 {
+		t.Errorf("DuplicatesSkipped = %d, want 2", got)
+	}
+	// Unsequenced pushes (seq 0, non-durable provider) always apply.
+	if err := r.ApplyPush(0, false, up("d#d", 80)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("d#d") {
+		t.Error("unsequenced push was skipped")
+	}
+	if r.LastSeq() != 5 {
+		t.Errorf("LastSeq = %d after unsequenced push, want 5", r.LastSeq())
+	}
+	// A newer sequence applies and advances the cursor.
+	if err := r.ApplyPush(6, false, up("d#e", 80)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("d#e") || r.LastSeq() != 6 {
+		t.Errorf("seq 6: Has=%v LastSeq=%d", r.Has("d#e"), r.LastSeq())
+	}
+}
+
+// TestApplyPushResetDropsGlobalKeepsLocal: a reset push replaces the cached
+// global metadata wholesale but leaves LMR-private resources alone.
+func TestApplyPushResetDropsGlobalKeepsLocal(t *testing.T) {
+	r := newRepo(t)
+	stale := &core.Changeset{Upserts: []core.Upsert{
+		{Resource: hostResource("d#old1", 80), SubIDs: []int64{1}},
+		{Resource: hostResource("d#old2", 80), SubIDs: []int64{1}},
+	}}
+	if err := r.ApplyPush(2, false, stale); err != nil {
+		t.Fatal(err)
+	}
+	doc := rdf.NewDocument("local.rdf")
+	doc.NewResource("mine", "CycleProvider").Add("serverPort", rdf.Lit("99"))
+	if err := r.RegisterLocalDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &core.Changeset{Upserts: []core.Upsert{
+		{Resource: hostResource("d#new", 81), SubIDs: []int64{1}},
+	}}
+	if err := r.ApplyPush(9, true, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#old1") || r.Has("d#old2") {
+		t.Error("stale global resources survived the reset")
+	}
+	if !r.Has("d#new") {
+		t.Error("reset changeset content missing")
+	}
+	if !r.Has("local.rdf#mine") {
+		t.Error("local resource dropped by reset")
+	}
+	if r.LastSeq() != 9 {
+		t.Errorf("LastSeq = %d, want 9", r.LastSeq())
+	}
+	if got := r.Stats().Resets; got != 1 {
+		t.Errorf("Resets = %d, want 1", got)
+	}
+}

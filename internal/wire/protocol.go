@@ -29,6 +29,12 @@ const (
 	KindStats             = "stats"
 	// KindChangeset is the push an MDP sends to attached subscribers.
 	KindChangeset = "changeset"
+	// KindResume asks a durable MDP to replay the changesets published
+	// since the subscriber's acknowledged sequence number.
+	KindResume = "resume"
+	// KindAck acknowledges application of a pushed changeset, advancing
+	// the MDP's truncation watermark for this subscriber.
+	KindAck = "ack"
 )
 
 // Message kinds served by an LMR (local metadata repository).
@@ -91,6 +97,37 @@ type GetDocumentRequest struct {
 // AttachRequest registers the connection as a subscriber's push channel.
 type AttachRequest struct {
 	Subscriber string `json:"subscriber"`
+}
+
+// ChangesetPush is the body of a KindChangeset push. Seq is the publish
+// record's changelog sequence number (0 when the MDP runs without a
+// changelog); the subscriber acknowledges it and resumes from it after a
+// reconnect. Reset marks a full-state changeset: the subscriber must drop
+// its cached global metadata and rebuild from this changeset (sent when
+// the MDP can no longer prove a gap-free replay, e.g. after truncation).
+type ChangesetPush struct {
+	Seq       uint64          `json:"seq,omitempty"`
+	Reset     bool            `json:"reset,omitempty"`
+	Changeset *core.Changeset `json:"changeset"`
+}
+
+// ResumeRequest asks for a replay of publishes missed since FromSeq.
+type ResumeRequest struct {
+	Subscriber string `json:"subscriber"`
+	FromSeq    uint64 `json:"from_seq"`
+}
+
+// ResumeResponse reports the sequence the subscriber is now current to.
+// The replayed changesets themselves arrive as ordered KindChangeset
+// pushes on the attached connection, before this response.
+type ResumeResponse struct {
+	LatestSeq uint64 `json:"latest_seq"`
+}
+
+// AckRequest acknowledges the application of pushes up to Seq.
+type AckRequest struct {
+	Subscriber string `json:"subscriber"`
+	Seq        uint64 `json:"seq"`
 }
 
 // NamedRuleRequest registers a named rule usable as an extension.

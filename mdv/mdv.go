@@ -39,6 +39,7 @@ import (
 	"io"
 	"time"
 
+	"mdv/internal/changelog"
 	"mdv/internal/client"
 	"mdv/internal/core"
 	"mdv/internal/lmr"
@@ -146,6 +147,45 @@ func LoadEngine(r io.Reader, schema *Schema) (*Engine, error) {
 // NewProviderFromEngine wraps a restored engine as a provider.
 func NewProviderFromEngine(name string, engine *Engine) *Provider {
 	return provider.NewFromEngine(name, engine)
+}
+
+// Durable provider mode: a write-ahead changelog makes every acknowledged
+// operation crash-safe and lets reconnecting repositories resume the
+// changeset stream (see internal/provider durable mode).
+type (
+	// DurableOptions tune a durable provider's changelog.
+	DurableOptions = provider.DurableOptions
+	// RecoveryStats report what OpenDurableProvider replayed at startup.
+	RecoveryStats = provider.RecoveryStats
+	// SyncPolicy selects when the changelog fsyncs.
+	SyncPolicy = changelog.SyncPolicy
+)
+
+// Changelog durability policies.
+const (
+	// SyncGroup batches concurrent operations into shared fsyncs (default).
+	SyncGroup = changelog.SyncGroup
+	// SyncAlways fsyncs every append before acknowledging it.
+	SyncAlways = changelog.SyncAlways
+	// SyncNone never fsyncs explicitly (crash durability up to the OS).
+	SyncNone = changelog.SyncNone
+)
+
+// ErrNotDurable is returned by durable-only operations (e.g. Compact) on a
+// provider without a changelog.
+var ErrNotDurable = provider.ErrNotDurable
+
+// OpenDurableProvider opens (or creates) a durable MDP rooted at dir. It
+// loads the latest snapshot, replays the changelog tail past it, and
+// returns a provider whose every acknowledged operation survives kill -9.
+func OpenDurableProvider(name string, schema *Schema, dir string, opts DurableOptions) (*Provider, error) {
+	return provider.OpenDurable(name, schema, dir, opts)
+}
+
+// OpenDurableProviderWithStats is OpenDurableProvider, also reporting how
+// much recovery work startup performed.
+func OpenDurableProviderWithStats(name string, schema *Schema, dir string, opts DurableOptions) (*Provider, *RecoveryStats, error) {
+	return provider.OpenDurableWithStats(name, schema, dir, opts)
 }
 
 // Batcher queues registrations and flushes them through the filter in
