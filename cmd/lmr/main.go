@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -101,15 +102,20 @@ func main() {
 	// Reconnect loop: when the provider connection drops, redial with
 	// backoff, re-attach, and resume the stream from the last applied
 	// sequence. A durable MDP replays the missed changesets; a restarted
-	// non-durable one falls back to a full-state reset.
+	// non-durable one falls back to a full-state reset. provMu guards prov
+	// against the final Close racing a swap by the reconnect goroutine.
+	var provMu sync.Mutex
 	stop := make(chan struct{})
 	go func() {
 		backoff := time.Second
 		for {
+			provMu.Lock()
+			cur := prov
+			provMu.Unlock()
 			select {
 			case <-stop:
 				return
-			case <-prov.Done():
+			case <-cur.Done():
 			}
 			log.Printf("lmr: provider connection lost, reconnecting to %s", *mdpAddr)
 			for {
@@ -131,7 +137,10 @@ func main() {
 					next.Close()
 					continue
 				}
+				provMu.Lock()
 				prov = next
+				provMu.Unlock()
+				cur.Close() // release the dead connection
 				backoff = time.Second
 				log.Printf("lmr: reconnected to %s (current to seq %d)", *mdpAddr, node.Repository().LastSeq())
 				break
@@ -145,5 +154,7 @@ func main() {
 	log.Print("lmr: shutting down")
 	close(stop)
 	node.Close()
+	provMu.Lock()
 	prov.Close()
+	provMu.Unlock()
 }

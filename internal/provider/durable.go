@@ -14,6 +14,12 @@
 //     operation's group-commit fsync.
 //   - An operation is acknowledged to the caller only after WaitDurable:
 //     anything a client saw succeed survives kill -9.
+//   - No sequence is handed to a subscriber (as a push or resume cursor)
+//     until a fsynced delivered-watermark record covers it (claimed
+//     watermarkChunk ahead, so the extra fsync is rare). Recovery reserves
+//     the claimed range past the recovered tail and forces cursors inside
+//     it to reset: their pushes were delivered but the records died with
+//     the crash.
 //   - Changeset application at the LMR is idempotent, so recovery and
 //     resume may replay duplicates freely (at-least-once delivery).
 //
@@ -44,7 +50,8 @@ import (
 )
 
 // Changelog record kinds. Op records precede their application; pub
-// records follow it; ack records are advisory bookkeeping for truncation.
+// records follow it; ack records are advisory bookkeeping for truncation;
+// watermark records durably bound how far deliveries may have gotten.
 const (
 	recRegister    = "register"
 	recDelete      = "delete"
@@ -52,6 +59,7 @@ const (
 	recUnsubscribe = "unsubscribe"
 	recPub         = "pub"
 	recAck         = "ack"
+	recWatermark   = "watermark"
 )
 
 // logRecord is the JSON payload of one changelog record.
@@ -63,6 +71,7 @@ type logRecord struct {
 	Rule       string          `json:"rule,omitempty"`       // subscribe
 	SubID      int64           `json:"sub_id,omitempty"`     // unsubscribe
 	AckSeq     uint64          `json:"ack_seq,omitempty"`    // ack
+	Watermark  uint64          `json:"watermark,omitempty"`  // watermark
 	Changeset  *core.Changeset `json:"changeset,omitempty"`  // pub
 }
 
@@ -74,7 +83,25 @@ type durableState struct {
 	// sequence (guarded by Provider.mu); the truncation watermark is the
 	// minimum over all subscribers with live subscriptions.
 	acked map[string]uint64
+
+	// claim is the delivered-watermark durably recorded in the log: no
+	// push with a sequence above it has ever been handed to a subscriber.
+	// Guarded by Provider.pubMu (all delivery happens under it).
+	claim uint64
+
+	// lostLo..lostHi is the sequence range whose records died unsynced in
+	// the crash this process recovered from (empty when lostHi == 0).
+	// Pushes in it may have reached subscribers before the crash, but the
+	// records backing them no longer exist, so a cursor inside the range
+	// must take a full-state reset.
+	lostLo, lostHi uint64
 }
+
+// watermarkChunk is how far past the triggering sequence a delivered-
+// watermark record claims. Claiming ahead amortizes the watermark's fsync
+// to one per chunk of sequence numbers; the cost is up to a chunk of
+// sequence numbers burned per recovery (uint64 never runs out).
+const watermarkChunk = 1024
 
 // DurableOptions tune a durable provider.
 type DurableOptions struct {
@@ -163,18 +190,6 @@ func OpenDurableWithStats(name string, schema *rdf.Schema, dir string, opts Dura
 	if err != nil {
 		return nil, nil, err
 	}
-	// The snapshot can claim coverage past the log's last record: ack
-	// records are appended without awaiting durability, so an unsynced
-	// tail dies with a crash after a snapshot recorded its sequences.
-	// Reserve the covered range, or a new record could reuse a lost
-	// sequence number and be skipped by the next recovery as
-	// already-covered — losing an acknowledged operation.
-	if log.LastSeq() < stats.SnapshotSeq {
-		if err := log.Reserve(stats.SnapshotSeq); err != nil {
-			log.Close()
-			return nil, nil, err
-		}
-	}
 	p.dur = &durableState{log: log, dir: dir, acked: map[string]uint64{}}
 	if err := p.recover(stats); err != nil {
 		log.Close()
@@ -212,6 +227,36 @@ func (p *Provider) appendPubLocked(subscriber string, cs *core.Changeset) (uint6
 	return p.logOpLocked(&logRecord{Kind: recPub, Subscriber: subscriber, Changeset: cs})
 }
 
+// claimDeliveredLocked makes the durable delivered-watermark cover seq;
+// the caller holds pubMu and is about to hand seq to a subscriber (as a
+// push or as a resume cursor). Pushes are delivered before the operation's
+// group-commit fsync returns, so a crash can lose the records behind
+// sequences a subscriber already applied; the watermark tells the next
+// recovery how far deliveries may have gotten, so it keeps reused numbers
+// away from subscriber cursors and resets cursors inside the lost range.
+// Claims run watermarkChunk ahead, so the extra fsync amortizes to one per
+// chunk of sequences; within a chunk this is a no-op.
+func (p *Provider) claimDeliveredLocked(seq uint64) error {
+	d := p.dur
+	if d == nil || seq == 0 || seq <= d.claim {
+		return nil
+	}
+	claim := seq + watermarkChunk
+	payload, err := json.Marshal(&logRecord{Kind: recWatermark, Watermark: claim})
+	if err != nil {
+		return fmt.Errorf("provider: marshal watermark record: %w", err)
+	}
+	wseq, err := d.log.Append(payload)
+	if err != nil {
+		return err
+	}
+	if err := d.log.WaitDurable(wseq); err != nil {
+		return err
+	}
+	d.claim = claim
+	return nil
+}
+
 // awaitDurable blocks until the given sequence is fsynced (group commit).
 // The wait happens outside pubMu, so concurrent operations keep appending
 // and share the leader's fsync.
@@ -225,25 +270,46 @@ func (p *Provider) awaitDurable(seq uint64) error {
 // recover replays the changelog tail past the snapshot. It runs before the
 // provider is shared, so no locks are needed.
 func (p *Provider) recover(stats *RecoveryStats) error {
+	// The snapshot must meet the retained log: if the oldest retained
+	// record starts past the snapshot's coverage, the operations in
+	// between are gone — e.g. an old snapshot file resurfaced after a
+	// crash swallowed the rename while Compact had already truncated the
+	// covering segments. Replaying would silently skip them; fail loudly.
+	if oldest := p.dur.log.OldestSeq(); oldest > stats.SnapshotSeq+1 {
+		return fmt.Errorf("provider: changelog starts at seq %d but the snapshot covers only up to %d: operations in between are lost",
+			oldest, stats.SnapshotSeq)
+	}
 	type op struct {
 		seq uint64
 		rec logRecord
 	}
 	var ops []op
-	// Phase 1: scan. Collect the operations to re-apply and the ack
-	// watermarks; publish records need no replay here (they are read on
-	// demand by Resume).
-	err := p.dur.log.Replay(stats.SnapshotSeq+1, func(seq uint64, payload []byte) error {
+	var claim uint64
+	// Phase 1: scan the whole retained log. Collect the operations past
+	// the snapshot to re-apply, the ack watermarks (acks recorded before
+	// the snapshot sequence may not have been truncated yet), and the
+	// delivered-watermark claim; publish records need no replay here (they
+	// are read on demand by Resume).
+	err := p.dur.log.Replay(p.dur.log.OldestSeq(), func(seq uint64, payload []byte) error {
 		var rec logRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
+			if seq <= stats.SnapshotSeq {
+				return nil // tolerated: pre-snapshot ops are not needed for state
+			}
 			return fmt.Errorf("provider: changelog record %d: %w", seq, err)
 		}
 		switch rec.Kind {
 		case recRegister, recDelete, recSubscribe, recUnsubscribe:
-			ops = append(ops, op{seq: seq, rec: rec})
+			if seq > stats.SnapshotSeq {
+				ops = append(ops, op{seq: seq, rec: rec})
+			}
 		case recAck:
 			if rec.AckSeq > p.dur.acked[rec.Subscriber] {
 				p.dur.acked[rec.Subscriber] = rec.AckSeq
+			}
+		case recWatermark:
+			if rec.Watermark > claim {
+				claim = rec.Watermark
 			}
 		}
 		return nil
@@ -251,24 +317,28 @@ func (p *Provider) recover(stats *RecoveryStats) error {
 	if err != nil {
 		return err
 	}
-	// Also honor acks recorded before the snapshot sequence: they may not
-	// have been truncated yet.
-	err = p.dur.log.Replay(p.dur.log.OldestSeq(), func(seq uint64, payload []byte) error {
-		if seq > stats.SnapshotSeq {
-			return nil
-		}
-		var rec logRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return nil // tolerated: pre-snapshot records are not needed for state
-		}
-		if rec.Kind == recAck && rec.AckSeq > p.dur.acked[rec.Subscriber] {
-			p.dur.acked[rec.Subscriber] = rec.AckSeq
-		}
-		return nil
-	})
-	if err != nil {
-		return err
+	// Both the snapshot and the delivered-watermark can claim coverage
+	// past the recovered tail: ack records are appended without awaiting
+	// durability, and pushes reach subscribers before their group-commit
+	// fsync returns, so an unsynced tail dies with a crash after its
+	// sequences were already handed out. Reserve the claimed range — a new
+	// record reusing a lost number would be skipped by the next recovery
+	// as already-covered (losing an acknowledged operation) or skipped by
+	// a subscriber as a duplicate (losing an update). Remember the range:
+	// a cursor inside it refers to pushes whose records no longer exist,
+	// so Resume must force a full-state reset.
+	tail := p.dur.log.LastSeq()
+	floor := stats.SnapshotSeq
+	if claim > floor {
+		floor = claim
 	}
+	if floor > tail {
+		if err := p.dur.log.Reserve(floor); err != nil {
+			return err
+		}
+		p.dur.lostLo, p.dur.lostHi = tail+1, floor
+	}
+	p.dur.claim = claim
 	// Phase 2: re-apply in log order. Appending the regenerated publish
 	// records happens after the scan, so the replay iterator never chases
 	// its own appends.
@@ -345,9 +415,10 @@ func (p *Provider) Ack(subscriber string, seq uint64) error {
 // sequence past fromSeq, in order, through the subscriber's attached
 // channels, and returns the sequence the subscriber is then current to.
 // If the changelog can no longer prove a gap-free replay (truncated past
-// fromSeq, or fromSeq is ahead of the log because unacknowledged
-// operations died with a crash), it instead delivers one full-state reset
-// changeset rebuilding the subscriber's cache from the live match sets.
+// fromSeq, fromSeq ahead of the log, or fromSeq inside the sequence range
+// a crash swallowed after its pushes were already delivered), it instead
+// delivers one full-state reset changeset rebuilding the subscriber's
+// cache from the live match sets.
 // On a non-durable provider Resume is a no-op returning 0.
 func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 	if p.dur == nil {
@@ -356,10 +427,20 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 	p.pubMu.Lock()
 	defer p.pubMu.Unlock()
 	latest := p.dur.log.LastSeq()
-	if fromSeq == latest {
+	// A cursor inside the crash-lost range points at pushes whose records
+	// no longer exist (they were delivered, then died unsynced): the
+	// subscriber holds state the provider cannot account for, so only a
+	// reset restores convergence.
+	lost := p.dur.lostHi != 0 && fromSeq >= p.dur.lostLo && fromSeq <= p.dur.lostHi
+	if fromSeq == latest && !lost {
 		return latest, nil // already current
 	}
-	gapFree := fromSeq < latest && fromSeq+1 >= p.dur.log.OldestSeq()
+	// latest becomes the subscriber's new cursor; it must be claimed like
+	// any delivered sequence before it is handed out.
+	if err := p.claimDeliveredLocked(latest); err != nil {
+		return 0, err
+	}
+	gapFree := !lost && fromSeq < latest && fromSeq+1 >= p.dur.log.OldestSeq()
 	if !gapFree {
 		fill, err := p.engine.ResubscribeFill(subscriber)
 		if err != nil {
@@ -468,7 +549,24 @@ func writeSnapshotFile(path string, seq uint64, engine *core.Engine) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The rename must be durable before the caller truncates the WAL
+	// segments the previous snapshot depended on: without the directory
+	// fsync a crash can resurface the old snapshot with its covering
+	// segments already gone.
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so a renamed snapshot's entry is durable.
+// Best-effort: some platforms cannot fsync directories.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // readSnapshot parses a snapshot file written by writeSnapshotFile.

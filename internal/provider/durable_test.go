@@ -12,6 +12,7 @@ import (
 
 	"mdv/internal/changelog"
 	"mdv/internal/core"
+	"mdv/internal/repository"
 )
 
 // collector gathers pushed changesets for one subscriber.
@@ -462,5 +463,139 @@ func TestSnapshotAheadOfLostTail(t *testing.T) {
 	defer p3.Close()
 	if got := p3.Engine().ResourceCount(); got != want {
 		t.Errorf("resources after second recovery = %d, want %d (acknowledged registration lost)", got, want)
+	}
+}
+
+// TestLostDeliveredTailForcesReset: pushes reach subscribers before their
+// group-commit fsync returns, so a crash can swallow the log records behind
+// sequences an LMR already applied. Recovery must keep those sequence
+// numbers out of circulation and Resume must reset a cursor inside the lost
+// range — otherwise the subscriber keeps phantom state from operations the
+// provider no longer has, and skips live pushes in the reused range as
+// duplicates.
+func TestLostDeliveredTailForcesReset(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenDurable("mdp", batcherSchema(), dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := repository.New("lmr", batcherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Attach("lmr", repo.ApplyPush)
+	if _, _, err := p.Subscribe("lmr", durRule); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterDocument(batcherDoc(0, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterDocument(batcherDoc(1, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 2 {
+		t.Fatalf("cache = %d resources before crash, want 2", repo.Len())
+	}
+	cursor := repo.LastSeq()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the second registration's op and pub records had already been
+	// pushed to the subscriber but never reached the disk.
+	chopLastRecord(t, filepath.Join(dir, "wal"))
+	chopLastRecord(t, filepath.Join(dir, "wal"))
+
+	p2, stats, err := OpenDurableWithStats("mdp", batcherSchema(), dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if stats.Replayed != 2 { // subscribe + first register survived
+		t.Errorf("Replayed = %d, want 2", stats.Replayed)
+	}
+	// The delivered sequence numbers must not be handed out again.
+	if got := p2.LogSeq(); got < cursor {
+		t.Errorf("LogSeq after recovery = %d, below delivered cursor %d: lost sequences can be reused", got, cursor)
+	}
+	p2.Attach("lmr", repo.ApplyPush)
+	latest, err := p2.Resume("lmr", cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := repo.Stats().Resets; got != 1 {
+		t.Fatalf("Resets after resume from lost cursor = %d, want 1", got)
+	}
+	if repo.LastSeq() != latest {
+		t.Errorf("cursor after reset = %d, want %d", repo.LastSeq(), latest)
+	}
+	if repo.Has("b1.rdf#cp") {
+		t.Error("phantom resource from the crash-lost registration survived the reset")
+	}
+	if !repo.Has("b0.rdf#cp") {
+		t.Error("surviving registration missing from the reset fill")
+	}
+	// Live pushes after the reset must apply: the cursor was rebased and
+	// the sequences are fresh.
+	if err := p2.RegisterDocument(batcherDoc(2, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if !repo.Has("b2.rdf#cp") {
+		t.Error("live push after reset was skipped as a duplicate")
+	}
+	// Differential: the cache now equals that of a never-disconnected LMR
+	// (the surviving and the new registration, nothing else).
+	if repo.Len() != 2 {
+		t.Errorf("cache = %d resources after convergence, want 2", repo.Len())
+	}
+	if got := repo.Stats().DuplicatesSkipped; got != 0 {
+		t.Errorf("DuplicatesSkipped = %d, want 0", got)
+	}
+}
+
+// TestRecoverRefusesLogTruncatedPastSnapshot: when the retained log starts
+// past the snapshot's coverage (a stale snapshot resurfaced after the
+// segments covering it were truncated), the operations in between are
+// unrecoverably gone; recovery must fail loudly instead of silently
+// skipping them.
+func TestRecoverRefusesLogTruncatedPastSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every operation rotates and truncation bites.
+	p, err := OpenDurable("mdp", batcherSchema(), dir, DurableOptions{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.RegisterDocument(batcherDoc(i, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	staleSnap, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		if err := p.RegisterDocument(batcherDoc(i, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Compact(); err != nil { // truncates the segments the stale snapshot depends on
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash-resurfaced stale snapshot.
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), staleSnap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenDurableWithStats("mdp", batcherSchema(), dir, DurableOptions{SegmentSize: 64})
+	if err == nil {
+		t.Fatal("recovery accepted a log truncated past the snapshot (operations silently lost)")
+	}
+	if !strings.Contains(err.Error(), "changelog starts at") {
+		t.Errorf("unexpected recovery error: %v", err)
 	}
 }

@@ -177,6 +177,12 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, error) {
 				return maxSeq, err
 			}
 			maxSeq = seq
+			// The push below reaches the subscriber before this operation's
+			// group-commit fsync returns, so the delivered-watermark must
+			// durably cover its sequence first (no-op within a claimed chunk).
+			if err := p.claimDeliveredLocked(seq); err != nil {
+				return maxSeq, err
+			}
 		}
 		p.deliverLocked(subscriber, seq, false, cs)
 	}

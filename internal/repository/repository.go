@@ -280,7 +280,9 @@ func (r *Repository) ApplyChangeset(cs *core.Changeset) error {
 // or below the cursor are duplicates and are skipped. reset first drops
 // all cached global metadata (local metadata is untouched) so the
 // changeset rebuilds the cache from scratch — the recovery path when the
-// provider cannot replay the exact missed changesets.
+// provider cannot replay the exact missed changesets. A reset also
+// rebases the cursor to seq, even backwards: a recovered provider may
+// have restarted its sequence numbering below the old cursor.
 func (r *Repository) ApplyPush(seq uint64, reset bool, cs *core.Changeset) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -296,7 +298,13 @@ func (r *Repository) ApplyPush(seq uint64, reset bool, cs *core.Changeset) error
 	if err := r.applyLocked(cs); err != nil {
 		return err
 	}
-	if seq > r.lastSeq {
+	if reset {
+		// A reset defines a new baseline: the provider may have restarted
+		// with a shorter (recovered) log, so the cursor must rewind with it
+		// — otherwise live pushes in the reused sequence range would be
+		// skipped as duplicates against the freshly rebuilt cache.
+		r.lastSeq = seq
+	} else if seq > r.lastSeq {
 		r.lastSeq = seq
 	}
 	return r.gcLocked()

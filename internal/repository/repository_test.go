@@ -576,3 +576,44 @@ func TestApplyPushResetDropsGlobalKeepsLocal(t *testing.T) {
 		t.Errorf("Resets = %d, want 1", got)
 	}
 }
+
+// TestApplyPushResetRewindsCursor: a reset push with a sequence below the
+// cursor (the provider restarted with a shorter, recovered log) rebases
+// the cursor backwards; live pushes in the reused sequence range must then
+// apply instead of being skipped as duplicates.
+func TestApplyPushResetRewindsCursor(t *testing.T) {
+	r := newRepo(t)
+	up := func(uri string, port int) *core.Changeset {
+		return &core.Changeset{Upserts: []core.Upsert{{Resource: hostResource(uri, port), SubIDs: []int64{1}}}}
+	}
+	if err := r.ApplyPush(50, false, up("d#pre", 80)); err != nil {
+		t.Fatal(err)
+	}
+	if r.LastSeq() != 50 {
+		t.Fatalf("LastSeq = %d, want 50", r.LastSeq())
+	}
+	// The provider crashed, lost its log tail, and restarted numbering at a
+	// lower sequence: the reset arrives with seq 3 < cursor 50.
+	if err := r.ApplyPush(3, true, up("d#base", 81)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Has("d#pre") {
+		t.Error("stale global resource survived the reset")
+	}
+	if r.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d after reset at seq 3, want 3 (cursor must rewind)", r.LastSeq())
+	}
+	// Live pushes in the sequence range the old cursor already covered.
+	if err := r.ApplyPush(4, false, up("d#live", 82)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("d#live") {
+		t.Error("live push after reset skipped as duplicate (lost update)")
+	}
+	if r.LastSeq() != 4 {
+		t.Errorf("LastSeq = %d, want 4", r.LastSeq())
+	}
+	if got := r.Stats().DuplicatesSkipped; got != 0 {
+		t.Errorf("DuplicatesSkipped = %d, want 0", got)
+	}
+}
