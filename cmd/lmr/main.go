@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +32,9 @@ func main() {
 		mdpAddr    = flag.String("mdp", "", "metadata provider address (required)")
 		schemaPath = flag.String("schema", "", "path to the RDF schema file (required)")
 		rulesPath  = flag.String("rules", "", "path to a subscription rules file (optional)")
+		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat ping interval; a provider silent for 3x this is declared dead (0 disables)")
+		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-message write deadline and default request timeout (0 disables)")
+		sendQueue  = flag.Int("send-queue", 256, "bounded per-client send queue on the LMR's own server")
 	)
 	flag.Parse()
 
@@ -49,7 +53,22 @@ func main() {
 		log.Fatalf("lmr: parse schema: %v", err)
 	}
 
-	prov, err := mdv.DialProvider(*mdpAddr)
+	cliCfg := mdv.ClientConfig{
+		Heartbeat:    *heartbeat,
+		IdleTimeout:  3 * *heartbeat,
+		WriteTimeout: *ioTimeout,
+		CallTimeout:  *ioTimeout,
+	}
+
+	// The initial dial retries transient failures with jittered backoff so
+	// an LMR started moments before its provider still comes up.
+	var prov *mdv.ProviderClient
+	dialBackoff := &mdv.Backoff{}
+	err = mdv.Retry(context.Background(), dialBackoff, 5, mdv.IsRetryable, func() error {
+		var derr error
+		prov, derr = mdv.DialProviderWithConfig(*mdpAddr, cliCfg)
+		return derr
+	})
 	if err != nil {
 		log.Fatalf("lmr: dial provider: %v", err)
 	}
@@ -85,7 +104,12 @@ func main() {
 			n, node.Repository().Len())
 	}
 
-	listenAddr, err := node.Serve(*addr)
+	listenAddr, err := node.ServeConfig(*addr, mdv.WireConfig{
+		HeartbeatInterval: *heartbeat,
+		IdleTimeout:       3 * *heartbeat,
+		WriteTimeout:      *ioTimeout,
+		SendQueue:         *sendQueue,
+	})
 	if err != nil {
 		log.Fatalf("lmr: serve: %v", err)
 	}
@@ -107,7 +131,7 @@ func main() {
 	var provMu sync.Mutex
 	stop := make(chan struct{})
 	go func() {
-		backoff := time.Second
+		b := &mdv.Backoff{} // jittered exponential: decorrelates a herd of redialing LMRs
 		for {
 			provMu.Lock()
 			cur := prov
@@ -122,26 +146,28 @@ func main() {
 				select {
 				case <-stop:
 					return
-				case <-time.After(backoff):
+				case <-time.After(b.Next()):
 				}
-				next, err := mdv.DialProvider(*mdpAddr)
+				next, err := mdv.DialProviderWithConfig(*mdpAddr, cliCfg)
 				if err != nil {
-					if backoff < 30*time.Second {
-						backoff *= 2
-					}
-					log.Printf("lmr: redial: %v (next attempt in %s)", err, backoff)
+					log.Printf("lmr: redial: %v (attempt %d)", err, b.Attempts())
 					continue
 				}
 				if err := node.Reconnect(next); err != nil {
 					log.Printf("lmr: resume after reconnect: %v", err)
 					next.Close()
+					if !mdv.IsRetryable(err) {
+						// An application-level rejection will not fix itself
+						// by redialing faster; keep trying, but say why.
+						log.Printf("lmr: resume rejected by provider (will keep retrying): %v", err)
+					}
 					continue
 				}
 				provMu.Lock()
 				prov = next
 				provMu.Unlock()
 				cur.Close() // release the dead connection
-				backoff = time.Second
+				b.Reset()
 				log.Printf("lmr: reconnected to %s (current to seq %d)", *mdpAddr, node.Repository().LastSeq())
 				break
 			}

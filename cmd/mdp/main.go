@@ -45,6 +45,9 @@ func main() {
 		dataDir    = flag.String("data", "", "durable data directory (snapshot + write-ahead changelog); enables durable mode")
 		walSync    = flag.String("wal-sync", "group", "changelog durability: group (batched fsync), always (fsync per op), none")
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "durable mode: interval between snapshot+changelog-truncation passes (0 disables)")
+		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat ping interval; peers silent for 3x this are disconnected (0 disables)")
+		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-message write deadline on subscriber connections (0 disables)")
+		sendQueue  = flag.Int("send-queue", 256, "bounded per-subscriber send queue; overflow disconnects the subscriber")
 		peers      peerList
 	)
 	flag.Var(&peers, "peer", "backbone peer address (repeatable)")
@@ -107,14 +110,25 @@ func main() {
 			log.Fatalf("mdp: %v", err)
 		}
 	}
-	listenAddr, err := prov.Serve(*addr)
+	wireCfg := mdv.WireConfig{
+		HeartbeatInterval: *heartbeat,
+		IdleTimeout:       3 * *heartbeat,
+		WriteTimeout:      *ioTimeout,
+		SendQueue:         *sendQueue,
+	}
+	listenAddr, err := prov.ServeConfig(*addr, wireCfg)
 	if err != nil {
 		log.Fatalf("mdp: serve: %v", err)
 	}
 	log.Printf("mdp %q listening on %s (schema: %d classes)", *name, listenAddr, len(schema.Classes()))
 
+	peerCfg := mdv.ClientConfig{
+		Heartbeat:    *heartbeat,
+		IdleTimeout:  3 * *heartbeat,
+		WriteTimeout: *ioTimeout,
+	}
 	for _, peerAddr := range peers {
-		peer, err := mdv.DialProvider(peerAddr)
+		peer, err := mdv.DialProviderWithConfig(peerAddr, peerCfg)
 		if err != nil {
 			log.Fatalf("mdp: dial peer %s: %v", peerAddr, err)
 		}

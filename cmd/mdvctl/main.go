@@ -7,6 +7,7 @@
 //	mdvctl browse    -mdp host:7171 -class CycleProvider [-contains passau]
 //	mdvctl get       -mdp host:7171 -uri doc1.rdf
 //	mdvctl stats     -mdp host:7171
+//	mdvctl delivery  -mdp host:7171
 //
 // Repository access (against an LMR):
 //
@@ -22,6 +23,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"mdv/mdv"
 )
@@ -35,6 +38,7 @@ commands against a metadata provider (-mdp host:port):
   browse     list resources of a class (-class, optional -contains)
   get        print a registered document (-uri)
   stats      print engine counters
+  delivery   print per-subscriber delivery health (queues, drops, heartbeat RTT, lag)
 
 commands against a repository (-lmr host:port):
   query        evaluate an MDV query
@@ -165,6 +169,15 @@ func main() {
 		fmt.Printf("atomic rules created:  %d\n", st.AtomicRulesCreated)
 		fmt.Printf("atomic rules shared:   %d\n", st.AtomicRulesShared)
 
+	case "delivery":
+		c := needMDP()
+		defer c.Close()
+		ds, err := c.DeliveryStats()
+		if err != nil {
+			fail(err)
+		}
+		printDelivery(ds)
+
 	case "query":
 		if len(args) != 1 {
 			fail(fmt.Errorf("query requires exactly one query string"))
@@ -212,6 +225,24 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+func printDelivery(ds *mdv.DeliveryStats) {
+	fmt.Printf("published log seq: %d\n", ds.LogSeq)
+	if len(ds.Subscribers) == 0 {
+		fmt.Println("(no subscribers)")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SUBSCRIBER\tCONNS\tQUEUE\tENQUEUED\tDROPPED\tDISCONNECTS\tPUBLISHED\tACKED\tLAG\tRTT\tIDLE")
+	for _, s := range ds.Subscribers {
+		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			s.Subscriber, s.Conns, s.QueueDepth, s.QueueCap, s.Enqueued,
+			s.Dropped, s.Disconnects, s.PublishedSeq, s.AckedSeq, s.Lag,
+			time.Duration(s.RTTMicros)*time.Microsecond,
+			time.Duration(s.IdleMillis)*time.Millisecond)
+	}
+	w.Flush()
 }
 
 func printResources(rs []*mdv.Resource) {

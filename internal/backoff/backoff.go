@@ -1,0 +1,92 @@
+// Package backoff implements jittered exponential backoff for reconnect
+// loops and retryable network calls. Jitter matters at fleet scale: when a
+// provider restarts, every LMR notices within one heartbeat interval, and
+// without jitter they all redial in lockstep on identical doubling
+// schedules — a synchronized thundering herd on every retry round. Equal
+// jitter (half deterministic, half random) decorrelates the herd while
+// keeping a floor under the delay.
+package backoff
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff produces a jittered exponential delay sequence. The zero value
+// is usable and equivalent to New(DefaultBase, DefaultMax). Backoff is not
+// safe for concurrent use; each retry loop owns one.
+type Backoff struct {
+	// Base is the first delay (before jitter). Zero means DefaultBase.
+	Base time.Duration
+	// Max caps the un-jittered delay. Zero means DefaultMax.
+	Max time.Duration
+
+	attempt int
+}
+
+// Defaults match cmd/lmr's historical 1s→30s reconnect schedule.
+const (
+	DefaultBase = time.Second
+	DefaultMax  = 30 * time.Second
+)
+
+// Next returns the delay to wait before the next attempt and advances the
+// schedule: min(Max, Base<<n), equal-jittered to [d/2, d).
+func (b *Backoff) Next() time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	d := base
+	for i := 0; i < b.attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	b.attempt++
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + rand.N(half)
+}
+
+// Attempts returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// Reset restarts the schedule at Base (call after a successful attempt).
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Retry runs fn until it succeeds, returns a non-retryable error, the
+// context ends, or maxAttempts attempts were made (0 = unlimited).
+// retryable decides which errors are worth another attempt — pass
+// wire.IsRetryable for network calls. Between attempts Retry sleeps the
+// backoff's next jittered delay. The last error is returned.
+func Retry(ctx context.Context, b *Backoff, maxAttempts int, retryable func(error) bool, fn func() error) error {
+	if b == nil {
+		b = &Backoff{}
+	}
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		if maxAttempts > 0 && attempt >= maxAttempts {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(b.Next()):
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestScheduleBoundsAndJitter(t *testing.T) {
+	b := &Backoff{Base: time.Second, Max: 30 * time.Second}
+	// Un-jittered schedule: 1s, 2s, 4s, ..., capped at 30s. Jittered
+	// values land in [d/2, d).
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 30 * time.Second, 30 * time.Second, 30 * time.Second,
+	}
+	for i, d := range want {
+		got := b.Next()
+		if got < d/2 || got >= d {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", i, got, d/2, d)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got < 500*time.Millisecond || got >= time.Second {
+		t.Errorf("post-reset delay %v outside [500ms, 1s)", got)
+	}
+}
+
+func TestJitterDecorrelates(t *testing.T) {
+	// Two identical schedules must not produce identical delay sequences
+	// (the lockstep-redial failure mode). 8 draws from [15s, 30s) collide
+	// entirely with probability ~0.
+	a, b := &Backoff{}, &Backoff{}
+	same := 0
+	for i := 0; i < 8; i++ {
+		a.attempt, b.attempt = 10, 10 // both at the 30s cap
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("two backoffs produced identical jittered sequences")
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Next(); got < DefaultBase/2 || got >= DefaultBase {
+		t.Errorf("zero-value first delay %v outside [%v, %v)", got, DefaultBase/2, DefaultBase)
+	}
+}
+
+func TestRetry(t *testing.T) {
+	retryableErr := errors.New("transient")
+	fatalErr := errors.New("fatal")
+	isRetryable := func(err error) bool { return errors.Is(err, retryableErr) }
+	fast := &Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+	// Succeeds on the third attempt.
+	calls := 0
+	err := Retry(context.Background(), fast, 0, isRetryable, func() error {
+		calls++
+		if calls < 3 {
+			return retryableErr
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+
+	// Fatal errors end the loop immediately.
+	calls = 0
+	err = Retry(context.Background(), fast, 0, isRetryable, func() error {
+		calls++
+		return fatalErr
+	})
+	if !errors.Is(err, fatalErr) || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+
+	// Attempt cap.
+	calls = 0
+	err = Retry(context.Background(), fast, 4, isRetryable, func() error {
+		calls++
+		return retryableErr
+	})
+	if !errors.Is(err, retryableErr) || calls != 4 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+
+	// Context cancellation stops between attempts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls = 0
+	err = Retry(ctx, &Backoff{Base: time.Hour}, 0, isRetryable, func() error {
+		calls++
+		return retryableErr
+	})
+	if !errors.Is(err, retryableErr) || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}

@@ -1,0 +1,11 @@
+// Package chaos holds MDV's end-to-end fault-injection test suite: a
+// durable MDP and several LMRs wired through faultnet proxies, driven
+// through partitions, stalls, and mid-stream resets. The suite asserts the
+// delivery guarantees documented in DESIGN.md §7 — a blackholed subscriber
+// never blocks publishing, stalled subscribers are disconnected within the
+// heartbeat/queue bound, and every subscriber converges byte-identically
+// with a fault-free reference after the network heals.
+//
+// All logic lives in the _test.go files; this file exists so the package
+// participates in ordinary builds.
+package chaos

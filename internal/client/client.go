@@ -6,8 +6,10 @@
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"sync"
+	"time"
 
 	"mdv/internal/core"
 	"mdv/internal/rdf"
@@ -17,23 +19,77 @@ import (
 // ApplyFunc receives one pushed changeset (see provider.ApplyFunc).
 type ApplyFunc = func(seq uint64, reset bool, cs *core.Changeset) error
 
+// Config tunes a client connection's fault tolerance. The zero value
+// disables all of it (no heartbeat, no deadlines), matching Dial*.
+type Config struct {
+	// Heartbeat is the ping interval. The client pings the server on this
+	// period and closes the connection when inbound silence exceeds the
+	// idle bound, so a dead or partitioned provider is detected within a
+	// bounded interval; the reconnect loop takes over from there.
+	Heartbeat time.Duration
+	// IdleTimeout overrides the inbound-silence bound (default 3x
+	// Heartbeat).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each message write.
+	WriteTimeout time.Duration
+	// CallTimeout bounds every request/response call that is not given an
+	// explicit context (0 = unbounded). Expired calls return
+	// context.DeadlineExceeded, which wire.IsRetryable classifies as
+	// retryable.
+	CallTimeout time.Duration
+}
+
+func (c Config) wire() wire.Config {
+	return wire.Config{
+		HeartbeatInterval: c.Heartbeat,
+		IdleTimeout:       c.IdleTimeout,
+		WriteTimeout:      c.WriteTimeout,
+	}
+}
+
+// IsRetryable reports whether a call error is a transport failure worth a
+// reconnect-and-retry, as opposed to an application rejection by the
+// provider. See wire.IsRetryable.
+func IsRetryable(err error) bool { return wire.IsRetryable(err) }
+
 // MDP is a client connection to a metadata provider.
 type MDP struct {
 	conn *wire.Client
+	cfg  Config
 	// applyFns receive pushed changesets per attached subscriber.
 	mu       sync.Mutex
 	applyFns map[string]ApplyFunc
 }
 
-// DialMDP connects to an MDP server.
+// DialMDP connects to an MDP server with a zero Config.
 func DialMDP(addr string) (*MDP, error) {
-	conn, err := wire.Dial(addr)
+	return DialMDPConfig(addr, Config{})
+}
+
+// DialMDPConfig connects to an MDP server with explicit fault-tolerance
+// settings.
+func DialMDPConfig(addr string, cfg Config) (*MDP, error) {
+	conn, err := wire.DialConfig(addr, cfg.wire())
 	if err != nil {
 		return nil, err
 	}
-	c := &MDP{conn: conn, applyFns: map[string]ApplyFunc{}}
+	c := &MDP{conn: conn, cfg: cfg, applyFns: map[string]ApplyFunc{}}
 	conn.OnPush = c.onPush
 	return c, nil
+}
+
+// call runs one request under the configured default call timeout.
+func call(conn *wire.Client, cfg Config, kind string, req, out interface{}) error {
+	if cfg.CallTimeout <= 0 {
+		return conn.Call(kind, req, out)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.CallTimeout)
+	defer cancel()
+	return conn.CallContext(ctx, kind, req, out)
+}
+
+func (c *MDP) call(kind string, req, out interface{}) error {
+	return call(c.conn, c.cfg, kind, req, out)
 }
 
 // Close closes the connection.
@@ -78,18 +134,18 @@ func (c *MDP) RegisterDocuments(docs []*rdf.Document) error {
 	for _, d := range docs {
 		req.Docs = append(req.Docs, wire.Doc{URI: d.URI, XML: rdf.DocumentString(d)})
 	}
-	return c.conn.Call(wire.KindRegisterDocuments, &req, nil)
+	return c.call(wire.KindRegisterDocuments, &req, nil)
 }
 
 // DeleteDocument removes a document at the MDP.
 func (c *MDP) DeleteDocument(uri string) error {
-	return c.conn.Call(wire.KindDeleteDocument, &wire.DeleteDocumentRequest{URI: uri}, nil)
+	return c.call(wire.KindDeleteDocument, &wire.DeleteDocumentRequest{URI: uri}, nil)
 }
 
 // Subscribe registers a subscription rule.
 func (c *MDP) Subscribe(subscriber, rule string) (int64, *core.Changeset, error) {
 	var resp wire.SubscribeResponse
-	err := c.conn.Call(wire.KindSubscribe, &wire.SubscribeRequest{Subscriber: subscriber, Rule: rule}, &resp)
+	err := c.call(wire.KindSubscribe, &wire.SubscribeRequest{Subscriber: subscriber, Rule: rule}, &resp)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -98,7 +154,7 @@ func (c *MDP) Subscribe(subscriber, rule string) (int64, *core.Changeset, error)
 
 // Unsubscribe removes a subscription.
 func (c *MDP) Unsubscribe(subID int64) error {
-	return c.conn.Call(wire.KindUnsubscribe, &wire.UnsubscribeRequest{SubID: subID}, nil)
+	return c.call(wire.KindUnsubscribe, &wire.UnsubscribeRequest{SubID: subID}, nil)
 }
 
 // Attach registers this connection as the subscriber's push channel;
@@ -107,7 +163,7 @@ func (c *MDP) Attach(subscriber string, apply ApplyFunc) error {
 	c.mu.Lock()
 	c.applyFns[subscriber] = apply
 	c.mu.Unlock()
-	return c.conn.Call(wire.KindAttach, &wire.AttachRequest{Subscriber: subscriber}, nil)
+	return c.call(wire.KindAttach, &wire.AttachRequest{Subscriber: subscriber}, nil)
 }
 
 // Resume asks a durable MDP to replay the changesets published for the
@@ -116,7 +172,7 @@ func (c *MDP) Attach(subscriber string, apply ApplyFunc) error {
 // one the subscriber is current to afterwards.
 func (c *MDP) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 	var resp wire.ResumeResponse
-	err := c.conn.Call(wire.KindResume, &wire.ResumeRequest{Subscriber: subscriber, FromSeq: fromSeq}, &resp)
+	err := c.call(wire.KindResume, &wire.ResumeRequest{Subscriber: subscriber, FromSeq: fromSeq}, &resp)
 	if err != nil {
 		return 0, err
 	}
@@ -126,13 +182,13 @@ func (c *MDP) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 // Ack acknowledges application of pushes up to seq, advancing the MDP's
 // changelog truncation watermark for this subscriber.
 func (c *MDP) Ack(subscriber string, seq uint64) error {
-	return c.conn.Call(wire.KindAck, &wire.AckRequest{Subscriber: subscriber, Seq: seq}, nil)
+	return c.call(wire.KindAck, &wire.AckRequest{Subscriber: subscriber, Seq: seq}, nil)
 }
 
 // Browse lists resources of a class at the MDP.
 func (c *MDP) Browse(class, contains string) ([]*rdf.Resource, error) {
 	var resp wire.ResourcesResponse
-	err := c.conn.Call(wire.KindBrowse, &wire.BrowseRequest{Class: class, Contains: contains}, &resp)
+	err := c.call(wire.KindBrowse, &wire.BrowseRequest{Class: class, Contains: contains}, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +198,7 @@ func (c *MDP) Browse(class, contains string) ([]*rdf.Resource, error) {
 // GetDocument fetches a registered document.
 func (c *MDP) GetDocument(uri string) (*rdf.Document, error) {
 	var resp wire.Doc
-	if err := c.conn.Call(wire.KindGetDocument, &wire.GetDocumentRequest{URI: uri}, &resp); err != nil {
+	if err := c.call(wire.KindGetDocument, &wire.GetDocumentRequest{URI: uri}, &resp); err != nil {
 		return nil, err
 	}
 	return rdf.ParseDocumentString(resp.URI, resp.XML)
@@ -150,47 +206,105 @@ func (c *MDP) GetDocument(uri string) (*rdf.Document, error) {
 
 // RegisterNamedRule registers a rule usable as a search extension.
 func (c *MDP) RegisterNamedRule(name, rule string) error {
-	return c.conn.Call(wire.KindNamedRule, &wire.NamedRuleRequest{Name: name, Rule: rule}, nil)
+	return c.call(wire.KindNamedRule, &wire.NamedRuleRequest{Name: name, Rule: rule}, nil)
 }
 
 // Stats fetches the provider's engine counters.
 func (c *MDP) Stats() (core.Stats, error) {
 	var st core.Stats
-	err := c.conn.Call(wire.KindStats, nil, &st)
+	err := c.call(wire.KindStats, nil, &st)
 	return st, err
 }
 
 // ReplicateDocuments forwards a registration batch (backbone peer link).
 func (c *MDP) ReplicateDocuments(docs []wire.Doc) error {
-	return c.conn.Call(wire.KindReplicate, &wire.RegisterDocumentsRequest{Docs: docs}, nil)
+	return c.call(wire.KindReplicate, &wire.RegisterDocumentsRequest{Docs: docs}, nil)
 }
 
 // ReplicateDelete forwards a document deletion (backbone peer link).
 func (c *MDP) ReplicateDelete(uri string) error {
-	return c.conn.Call(wire.KindReplicateDelete, &wire.DeleteDocumentRequest{URI: uri}, nil)
+	return c.call(wire.KindReplicateDelete, &wire.DeleteDocumentRequest{URI: uri}, nil)
 }
+
+// RegisterDocumentsContext registers a batch under an explicit context
+// (deadline or cancellation).
+func (c *MDP) RegisterDocumentsContext(ctx context.Context, docs []*rdf.Document) error {
+	req := wire.RegisterDocumentsRequest{}
+	for _, d := range docs {
+		req.Docs = append(req.Docs, wire.Doc{URI: d.URI, XML: rdf.DocumentString(d)})
+	}
+	return c.conn.CallContext(ctx, wire.KindRegisterDocuments, &req, nil)
+}
+
+// SubscribeContext registers a subscription rule under an explicit context.
+func (c *MDP) SubscribeContext(ctx context.Context, subscriber, rule string) (int64, *core.Changeset, error) {
+	var resp wire.SubscribeResponse
+	err := c.conn.CallContext(ctx, wire.KindSubscribe, &wire.SubscribeRequest{Subscriber: subscriber, Rule: rule}, &resp)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.SubID, resp.Initial, nil
+}
+
+// DeliveryStats fetches the provider's per-subscriber delivery health.
+func (c *MDP) DeliveryStats() (*wire.DeliveryStatsResponse, error) {
+	var resp wire.DeliveryStatsResponse
+	if err := c.call(wire.KindDeliveryStats, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Ping round-trips a liveness probe to the provider.
+func (c *MDP) Ping(ctx context.Context) (time.Duration, error) {
+	return c.conn.Ping(ctx)
+}
+
+// HeartbeatRTT returns the last heartbeat round trip to the provider
+// (zero until measured; requires Config.Heartbeat).
+func (c *MDP) HeartbeatRTT() time.Duration { return c.conn.RTT() }
 
 // LMR is a client connection to a local metadata repository.
 type LMR struct {
 	conn *wire.Client
+	cfg  Config
 }
 
-// DialLMR connects to an LMR server.
+// DialLMR connects to an LMR server with a zero Config.
 func DialLMR(addr string) (*LMR, error) {
-	conn, err := wire.Dial(addr)
+	return DialLMRConfig(addr, Config{})
+}
+
+// DialLMRConfig connects to an LMR server with explicit fault-tolerance
+// settings.
+func DialLMRConfig(addr string, cfg Config) (*LMR, error) {
+	conn, err := wire.DialConfig(addr, cfg.wire())
 	if err != nil {
 		return nil, err
 	}
-	return &LMR{conn: conn}, nil
+	return &LMR{conn: conn, cfg: cfg}, nil
+}
+
+func (c *LMR) call(kind string, req, out interface{}) error {
+	return call(c.conn, c.cfg, kind, req, out)
 }
 
 // Close closes the connection.
 func (c *LMR) Close() error { return c.conn.Close() }
 
+// QueryContext evaluates an MDV query at the LMR under an explicit context.
+func (c *LMR) QueryContext(ctx context.Context, q string) ([]*rdf.Resource, error) {
+	var resp wire.ResourcesResponse
+	if err := c.conn.CallContext(ctx, wire.KindQuery, &wire.QueryRequest{Query: q}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Resources, nil
+}
+
 // Query evaluates an MDV query at the LMR.
 func (c *LMR) Query(q string) ([]*rdf.Resource, error) {
 	var resp wire.ResourcesResponse
-	if err := c.conn.Call(wire.KindQuery, &wire.QueryRequest{Query: q}, &resp); err != nil {
+	if err := c.call(wire.KindQuery, &wire.QueryRequest{Query: q}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Resources, nil
@@ -199,7 +313,7 @@ func (c *LMR) Query(q string) ([]*rdf.Resource, error) {
 // AddSubscription asks the LMR to subscribe to its MDP.
 func (c *LMR) AddSubscription(rule string) (int64, error) {
 	var resp wire.SubscribeResponse
-	if err := c.conn.Call(wire.KindAddSubscription, &wire.AddSubscriptionRequest{Rule: rule}, &resp); err != nil {
+	if err := c.call(wire.KindAddSubscription, &wire.AddSubscriptionRequest{Rule: rule}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.SubID, nil
@@ -207,18 +321,18 @@ func (c *LMR) AddSubscription(rule string) (int64, error) {
 
 // RemoveSubscription drops one of the LMR's subscriptions.
 func (c *LMR) RemoveSubscription(subID int64) error {
-	return c.conn.Call(wire.KindRemoveSubscription, &wire.UnsubscribeRequest{SubID: subID}, nil)
+	return c.call(wire.KindRemoveSubscription, &wire.UnsubscribeRequest{SubID: subID}, nil)
 }
 
 // RegisterLocalDocument stores LMR-private metadata.
 func (c *LMR) RegisterLocalDocument(doc *rdf.Document) error {
-	return c.conn.Call(wire.KindRegisterLocal, &wire.Doc{URI: doc.URI, XML: rdf.DocumentString(doc)}, nil)
+	return c.call(wire.KindRegisterLocal, &wire.Doc{URI: doc.URI, XML: rdf.DocumentString(doc)}, nil)
 }
 
 // Resources lists cached resources of a class (empty = all).
 func (c *LMR) Resources(class string) ([]*rdf.Resource, error) {
 	var resp wire.ResourcesResponse
-	if err := c.conn.Call(wire.KindListResources, &wire.ListResourcesRequest{Class: class}, &resp); err != nil {
+	if err := c.call(wire.KindListResources, &wire.ListResourcesRequest{Class: class}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Resources, nil

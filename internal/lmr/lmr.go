@@ -250,9 +250,16 @@ func (n *Node) Resources(class string) ([]*rdf.Resource, error) {
 	return n.repo.Resources(class)
 }
 
-// Serve starts the node's client-facing wire server.
+// Serve starts the node's client-facing wire server with a zero
+// wire.Config.
 func (n *Node) Serve(addr string) (string, error) {
-	srv, err := wire.NewServer(addr, n.handle)
+	return n.ServeConfig(addr, wire.Config{})
+}
+
+// ServeConfig starts the node's client-facing wire server with explicit
+// fault-tolerance settings.
+func (n *Node) ServeConfig(addr string, cfg wire.Config) (string, error) {
+	srv, err := wire.NewServerConfig(addr, n.handle, cfg)
 	if err != nil {
 		return "", err
 	}

@@ -446,7 +446,7 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		p.deliverLocked(subscriber, latest, true, fill)
+		p.deliverLocked(subscriber, latest, true, fill, true)
 		return latest, nil
 	}
 	err := p.dur.log.Replay(fromSeq+1, func(seq uint64, payload []byte) error {
@@ -457,7 +457,10 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 		if rec.Kind != recPub || rec.Subscriber != subscriber || rec.Changeset == nil {
 			return nil
 		}
-		p.deliverLocked(subscriber, seq, false, rec.Changeset)
+		// Replays block on queue backpressure (sync) rather than drop: the
+		// backlog can exceed any queue bound, and the resuming subscriber
+		// is actively draining it.
+		p.deliverLocked(subscriber, seq, false, rec.Changeset, true)
 		return nil
 	})
 	if err != nil {

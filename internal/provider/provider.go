@@ -7,8 +7,10 @@ package provider
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,7 +43,10 @@ type Provider struct {
 	// wireAttach holds push connections of wire-attached subscribers.
 	attached   map[string][]ApplyFunc
 	wireAttach map[string][]*wire.ServerConn
-	peers      []Peer
+	// delStats accumulates per-subscriber delivery health counters
+	// (guarded by mu; entries outlive disconnects).
+	delStats map[string]*subscriberCounters
+	peers    []Peer
 
 	// dur holds the durable changelog state; nil for in-memory providers.
 	dur *durableState
@@ -105,7 +110,26 @@ func NewFromEngine(name string, engine *core.Engine) *Provider {
 		engine:     engine,
 		attached:   map[string][]ApplyFunc{},
 		wireAttach: map[string][]*wire.ServerConn{},
+		delStats:   map[string]*subscriberCounters{},
 	}
+}
+
+// subscriberCounters are one subscriber's cumulative delivery health
+// numbers (guarded by Provider.mu).
+type subscriberCounters struct {
+	enqueued    uint64 // changesets handed to a push queue
+	dropped     uint64 // changesets lost to queue-overflow disconnects
+	disconnects uint64 // push-channel losses, any cause
+	lastSeq     uint64 // last published changelog sequence
+}
+
+func (p *Provider) countersLocked(subscriber string) *subscriberCounters {
+	c := p.delStats[subscriber]
+	if c == nil {
+		c = &subscriberCounters{}
+		p.delStats[subscriber] = c
+	}
+	return c
 }
 
 // SaveSnapshot writes the provider's full engine state. Registrations are
@@ -184,18 +208,29 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, error) {
 				return maxSeq, err
 			}
 		}
-		p.deliverLocked(subscriber, seq, false, cs)
+		p.deliverLocked(subscriber, seq, false, cs, false)
 	}
 	return maxSeq, nil
 }
 
 // deliverLocked pushes one changeset to every attached channel of the
 // subscriber. The caller must hold pubMu (delivery order is the published
-// order).
-func (p *Provider) deliverLocked(subscriber string, seq uint64, reset bool, cs *core.Changeset) {
+// order). Wire delivery is asynchronous: the changeset is queued on the
+// connection's bounded outbound queue and a writer goroutine drains it, so
+// the publish path never blocks on a peer's TCP window. With sync false
+// (live publishes) a full queue means a slow subscriber: the connection is
+// dropped and the changeset with it — the subscriber reconnects and
+// resumes gap-free from its changelog cursor. With sync true (resume
+// replays, which can exceed any queue bound while the receiver is actively
+// draining) the enqueue blocks instead.
+func (p *Provider) deliverLocked(subscriber string, seq uint64, reset bool, cs *core.Changeset, sync bool) {
 	p.mu.Lock()
 	fns := append([]ApplyFunc(nil), p.attached[subscriber]...)
 	conns := append([]*wire.ServerConn(nil), p.wireAttach[subscriber]...)
+	counters := p.countersLocked(subscriber)
+	if seq > counters.lastSeq {
+		counters.lastSeq = seq
+	}
 	p.mu.Unlock()
 	report := func(err error) {
 		if err != nil && p.OnDeliveryError != nil {
@@ -205,10 +240,25 @@ func (p *Provider) deliverLocked(subscriber string, seq uint64, reset bool, cs *
 	for _, fn := range fns {
 		report(fn(seq, reset, cs))
 	}
+	push := &wire.ChangesetPush{Seq: seq, Reset: reset, Changeset: cs}
 	for _, c := range conns {
-		err := c.Notify(wire.KindChangeset, &wire.ChangesetPush{Seq: seq, Reset: reset, Changeset: cs})
+		var err error
+		if sync {
+			err = c.NotifySync(wire.KindChangeset, push)
+		} else {
+			err = c.Notify(wire.KindChangeset, push)
+		}
 		if err != nil {
 			p.detachConn(subscriber, c)
+			p.mu.Lock()
+			if errors.Is(err, wire.ErrSlowSubscriber) {
+				counters.dropped++
+			}
+			p.mu.Unlock()
+		} else {
+			p.mu.Lock()
+			counters.enqueued++
+			p.mu.Unlock()
 		}
 		report(err)
 	}
@@ -412,9 +462,17 @@ func decodeDocs(wdocs []wire.Doc) ([]*rdf.Document, error) {
 }
 
 // Serve starts the provider's wire server on addr ("host:0" for an
-// ephemeral port). The returned address is the actual listen address.
+// ephemeral port) with a zero wire.Config. The returned address is the
+// actual listen address.
 func (p *Provider) Serve(addr string) (string, error) {
-	srv, err := wire.NewServer(addr, p.handle)
+	return p.ServeConfig(addr, wire.Config{})
+}
+
+// ServeConfig starts the provider's wire server with explicit
+// fault-tolerance settings (heartbeats, I/O deadlines, per-subscriber
+// send-queue bounds).
+func (p *Provider) ServeConfig(addr string, cfg wire.Config) (string, error) {
+	srv, err := wire.NewServerConfig(addr, p.handle, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -448,7 +506,10 @@ func (p *Provider) Close() error {
 	return err
 }
 
-// detachConn drops a disconnected push channel.
+// detachConn drops a disconnected push channel, counting the loss once
+// (detachConn is reached both from failed deliveries and from the wire
+// server's disconnect callback; only the call that actually removes the
+// conn counts).
 func (p *Provider) detachConn(subscriber string, conn *wire.ServerConn) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -456,12 +517,65 @@ func (p *Provider) detachConn(subscriber string, conn *wire.ServerConn) {
 	for i, c := range list {
 		if c == conn {
 			p.wireAttach[subscriber] = append(list[:i], list[i+1:]...)
+			p.countersLocked(subscriber).disconnects++
 			break
 		}
 	}
 	if len(p.wireAttach[subscriber]) == 0 {
 		delete(p.wireAttach, subscriber)
 	}
+}
+
+// DeliveryStats reports per-subscriber delivery health: live push
+// connections with their queue occupancy, cumulative enqueue/drop/
+// disconnect counters, heartbeat RTT, and the publish-vs-ack lag that a
+// durable changelog tracks.
+func (p *Provider) DeliveryStats() *wire.DeliveryStatsResponse {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make(map[string]bool, len(p.delStats)+len(p.wireAttach))
+	for name := range p.delStats {
+		names[name] = true
+	}
+	for name := range p.wireAttach {
+		names[name] = true
+	}
+	resp := &wire.DeliveryStatsResponse{}
+	if p.dur != nil {
+		resp.LogSeq = p.dur.log.LastSeq()
+	}
+	for name := range names {
+		counters := p.countersLocked(name)
+		sd := wire.SubscriberDelivery{
+			Subscriber:   name,
+			Enqueued:     counters.enqueued,
+			Dropped:      counters.dropped,
+			Disconnects:  counters.disconnects,
+			PublishedSeq: counters.lastSeq,
+		}
+		if p.dur != nil {
+			sd.AckedSeq = p.dur.acked[name]
+			if sd.PublishedSeq > sd.AckedSeq {
+				sd.Lag = sd.PublishedSeq - sd.AckedSeq
+			}
+		}
+		for i, c := range p.wireAttach[name] {
+			sd.Conns++
+			sd.QueueDepth += c.QueueDepth()
+			sd.QueueCap += c.QueueCap()
+			if rtt := c.RTT().Microseconds(); rtt > sd.RTTMicros {
+				sd.RTTMicros = rtt
+			}
+			if idle := c.IdleFor().Milliseconds(); i == 0 || idle < sd.IdleMillis {
+				sd.IdleMillis = idle
+			}
+		}
+		resp.Subscribers = append(resp.Subscribers, sd)
+	}
+	sort.Slice(resp.Subscribers, func(i, j int) bool {
+		return resp.Subscribers[i].Subscriber < resp.Subscribers[j].Subscriber
+	})
+	return resp
 }
 
 func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessage) (interface{}, error) {
@@ -568,6 +682,8 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 		return nil, p.RegisterNamedRule(req.Name, req.Rule)
 	case wire.KindStats:
 		return p.engine.Stats(), nil
+	case wire.KindDeliveryStats:
+		return p.DeliveryStats(), nil
 	default:
 		return nil, fmt.Errorf("provider: unknown request kind %q", kind)
 	}

@@ -63,12 +63,12 @@ type Repository struct {
 
 // Stats counts repository activity.
 type Stats struct {
-	UpsertsApplied   int
-	RemovalsApplied  int
-	ForcedDeletes    int
-	ClosureUpserts   int
-	ResourcesDropped int // by the garbage collector
-	GCRuns           int
+	UpsertsApplied    int
+	RemovalsApplied   int
+	ForcedDeletes     int
+	ClosureUpserts    int
+	ResourcesDropped  int // by the garbage collector
+	GCRuns            int
 	DuplicatesSkipped int // sequenced pushes at or below the cursor
 	Resets            int // full-state reset changesets applied
 }

@@ -27,6 +27,9 @@ const (
 	KindReplicateDelete   = "replicate_delete"
 	KindNamedRule         = "named_rule"
 	KindStats             = "stats"
+	// KindDeliveryStats reports per-subscriber delivery health (queue
+	// depth, drops, disconnects, heartbeat RTT, publish lag).
+	KindDeliveryStats = "delivery_stats"
 	// KindChangeset is the push an MDP sends to attached subscribers.
 	KindChangeset = "changeset"
 	// KindResume asks a durable MDP to replay the changesets published
@@ -128,6 +131,42 @@ type ResumeResponse struct {
 type AckRequest struct {
 	Subscriber string `json:"subscriber"`
 	Seq        uint64 `json:"seq"`
+}
+
+// SubscriberDelivery is one subscriber's delivery health at an MDP.
+type SubscriberDelivery struct {
+	Subscriber string `json:"subscriber"`
+	// Conns is the number of live push connections.
+	Conns int `json:"conns"`
+	// QueueDepth/QueueCap aggregate the outbound queues of the live
+	// connections.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Enqueued counts changesets queued for delivery; Dropped counts
+	// overflow disconnects (each drops exactly the changeset that
+	// overflowed; the subscriber recovers it by resuming); Disconnects
+	// counts push-channel losses of any cause.
+	Enqueued    uint64 `json:"enqueued"`
+	Dropped     uint64 `json:"dropped"`
+	Disconnects uint64 `json:"disconnects"`
+	// PublishedSeq is the last changelog sequence published to this
+	// subscriber; AckedSeq the last it acknowledged; Lag the difference
+	// (0 on non-durable providers).
+	PublishedSeq uint64 `json:"published_seq"`
+	AckedSeq     uint64 `json:"acked_seq"`
+	Lag          uint64 `json:"lag"`
+	// RTTMicros is the last heartbeat round trip measured on a push
+	// connection (0 = not yet measured / heartbeats off); IdleMillis the
+	// inbound silence on the least idle connection.
+	RTTMicros  int64 `json:"rtt_micros"`
+	IdleMillis int64 `json:"idle_millis"`
+}
+
+// DeliveryStatsResponse is the body of a KindDeliveryStats response.
+type DeliveryStatsResponse struct {
+	Subscribers []SubscriberDelivery `json:"subscribers"`
+	// LogSeq is the provider's changelog tail (0 if not durable).
+	LogSeq uint64 `json:"log_seq"`
 }
 
 // NamedRuleRequest registers a named rule usable as an extension.

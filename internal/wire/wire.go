@@ -3,22 +3,108 @@
 // asynchronous server pushes (the MDP publishing changesets to attached
 // LMRs). The same message plumbing serves both tiers' servers (MDP and
 // LMR).
+//
+// Fault tolerance. Wide-area links stall, half-die, and reset; the wire
+// layer bounds the damage:
+//
+//   - Every accepted connection owns a bounded outbound queue drained by a
+//     dedicated writer goroutine. Server pushes (Notify) never block on a
+//     peer's TCP window: a full queue means the peer is not draining, the
+//     connection is closed, and the caller gets ErrSlowSubscriber. The
+//     subscriber reconnects and resumes gap-free from its changelog cursor.
+//   - Reads and writes carry deadlines (Config.IdleTimeout /
+//     Config.WriteTimeout), so a half-open peer is detected within a
+//     configured bound instead of an OS TCP timeout.
+//   - Both sides heartbeat: clients issue request pings (KindPing) and
+//     judge liveness by inbound silence; servers push pings from the
+//     writer goroutine and measure per-connection RTT from the echoed
+//     pongs. Liveness traffic flows on dedicated goroutines, so a slow
+//     request handler never starves it.
+//   - Errors are classified: RemoteError (the peer's handler failed —
+//     fatal, retrying won't help) versus transport errors (timeouts,
+//     resets, closed connections — retryable on a fresh connection), see
+//     IsRetryable.
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 )
 
 // MaxMessageSize bounds a single message (16 MiB): a malformed or malicious
 // length prefix must not make a node allocate unboundedly.
 const MaxMessageSize = 16 << 20
+
+// DefaultSendQueue is the per-connection outbound queue capacity when
+// Config.SendQueue is zero.
+const DefaultSendQueue = 256
+
+// KindPing and KindPong are wire-level liveness messages, handled below
+// the request handler. A client pings with a normal request (empty
+// response); a server pings with an ID-0 push carrying a timestamp the
+// client echoes back as a pong push.
+const (
+	KindPing = "ping"
+	KindPong = "pong"
+)
+
+// pingBody carries the sender's send timestamp so the echoed pong yields
+// an RTT without any shared clock.
+type pingBody struct {
+	T int64 `json:"t"`
+}
+
+// Config tunes a connection's fault-tolerance behavior. The zero value
+// disables all of it (no deadlines, no heartbeat, default queue size),
+// which matches the pre-fault-tolerant wire layer.
+type Config struct {
+	// WriteTimeout bounds each message write. A peer that stops draining
+	// its socket fails the write within this bound; the connection is then
+	// closed. Zero disables the deadline.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds inbound silence: if no message (of any kind)
+	// arrives within it, the peer is considered dead and the connection is
+	// closed. Heartbeats keep healthy connections under the bound. Zero
+	// disables the deadline; on clients with a heartbeat configured, the
+	// effective bound defaults to 3x the heartbeat interval.
+	IdleTimeout time.Duration
+	// HeartbeatInterval is the ping period. On a client it triggers
+	// request pings (RTT measured at the client); on a server the writer
+	// goroutine pushes pings (RTT measured per connection from the echoed
+	// pong). Zero disables heartbeats.
+	HeartbeatInterval time.Duration
+	// SendQueue is the per-connection outbound queue capacity (messages).
+	// Zero means DefaultSendQueue.
+	SendQueue int
+}
+
+func (c Config) sendQueue() int {
+	if c.SendQueue > 0 {
+		return c.SendQueue
+	}
+	return DefaultSendQueue
+}
+
+// idleBound is the effective inbound-silence bound.
+func (c Config) idleBound() time.Duration {
+	if c.IdleTimeout > 0 {
+		return c.IdleTimeout
+	}
+	if c.HeartbeatInterval > 0 {
+		return 3 * c.HeartbeatInterval
+	}
+	return 0
+}
 
 // Message is the wire unit. Requests carry a Kind and Body; responses echo
 // the request ID and carry a Body or an Error; pushes are server-initiated
@@ -69,6 +155,61 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	return &m, nil
 }
 
+// Error taxonomy.
+
+// ErrClosed is returned for calls on a closed connection.
+var ErrClosed = errors.New("wire: connection closed")
+
+// ErrSlowSubscriber is returned by Notify when the connection's outbound
+// queue is full: the peer is not draining fast enough, and the connection
+// has been closed to protect the publisher. The peer reconnects and
+// resumes from its cursor.
+var ErrSlowSubscriber = errors.New("wire: send queue overflow (slow subscriber disconnected)")
+
+// RemoteError is an application-level failure reported by the peer's
+// request handler. The request reached the peer and was rejected; a fresh
+// connection will not change the outcome, so remote errors are fatal
+// (never retryable).
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// IsRetryable reports whether err is a transport-level failure that a
+// fresh connection (possibly after a backoff) may resolve: closed or reset
+// connections, I/O timeouts, refused dials, torn streams. Application
+// failures (RemoteError) and caller-initiated cancellation are fatal.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrClosed),
+		errors.Is(err, ErrSlowSubscriber),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, os.ErrDeadlineExceeded),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, syscall.ETIMEDOUT):
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
+}
+
 // Handler processes one request on a server and returns the response body.
 // The conn is provided so handlers can attach push channels.
 type Handler func(conn *ServerConn, kind string, body json.RawMessage) (interface{}, error)
@@ -77,6 +218,7 @@ type Handler func(conn *ServerConn, kind string, body json.RawMessage) (interfac
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	cfg     Config
 	mu      sync.Mutex
 	conns   map[*ServerConn]bool
 	closed  bool
@@ -86,13 +228,19 @@ type Server struct {
 	OnDisconnect func(conn *ServerConn)
 }
 
-// NewServer starts a server listening on addr (e.g. "127.0.0.1:0").
+// NewServer starts a server listening on addr (e.g. "127.0.0.1:0") with a
+// zero Config (no deadlines, no heartbeat).
 func NewServer(addr string, handler Handler) (*Server, error) {
+	return NewServerConfig(addr, handler, Config{})
+}
+
+// NewServerConfig starts a server with explicit fault-tolerance settings.
+func NewServerConfig(addr string, handler Handler, cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: handler, conns: map[*ServerConn]bool{}}
+	s := &Server{ln: ln, handler: handler, cfg: cfg, conns: map[*ServerConn]bool{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -101,11 +249,21 @@ func NewServer(addr string, handler Handler) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and closes all connections.
+// NumConns returns the number of live accepted connections.
+func (s *Server) NumConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Close stops the server and closes all connections. It returns only after
+// every per-connection goroutine (reader and writer) has exited, so no
+// goroutine or socket outlives it.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
@@ -129,7 +287,12 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		c := &ServerConn{nc: nc, server: s}
+		c := newServerConn(nc, s)
+		// Registration and goroutine spawn are one critical section with
+		// the closed check: either the conn is fully registered before
+		// Close sweeps (so the sweep closes it and wg.Wait joins its
+		// goroutines), or Close already ran and the socket is closed here.
+		// Nothing accepted can slip between Close's sweep and its Wait.
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -137,9 +300,10 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[c] = true
-		s.mu.Unlock()
-		s.wg.Add(1)
+		s.wg.Add(2)
 		go s.serveConn(c)
+		go c.writeLoop(&s.wg)
+		s.mu.Unlock()
 	}
 }
 
@@ -154,10 +318,31 @@ func (s *Server) serveConn(c *ServerConn) {
 			s.OnDisconnect(c)
 		}
 	}()
+	idle := s.cfg.idleBound()
 	for {
+		if idle > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+		}
 		m, err := ReadMessage(c.nc)
 		if err != nil {
 			return
+		}
+		c.lastRecv.Store(time.Now().UnixNano())
+		// Liveness traffic is handled below the request handler.
+		if m.ID == 0 {
+			if m.Kind == KindPong {
+				var pb pingBody
+				if json.Unmarshal(m.Body, &pb) == nil && pb.T != 0 {
+					c.rtt.Store(time.Now().UnixNano() - pb.T)
+				}
+			}
+			continue
+		}
+		if m.Kind == KindPing {
+			if err := c.send(&Message{ID: m.ID}); err != nil {
+				return
+			}
+			continue
 		}
 		resp := &Message{ID: m.ID}
 		result, err := s.handler(c, m.Kind, m.Body)
@@ -171,74 +356,200 @@ func (s *Server) serveConn(c *ServerConn) {
 				resp.Body = body
 			}
 		}
-		if err := c.write(resp); err != nil {
+		if err := c.send(resp); err != nil {
 			return
 		}
 	}
 }
 
 // ServerConn is one accepted connection. Handlers may keep a reference to
-// push messages to it later (Notify).
+// push messages to it later (Notify). All writes flow through a bounded
+// queue drained by a dedicated writer goroutine.
 type ServerConn struct {
-	nc      net.Conn
-	server  *Server
-	writeMu sync.Mutex
+	nc        net.Conn
+	server    *Server
+	sendCh    chan *Message
+	closed    chan struct{}
+	closeOnce sync.Once
+	enqueued  atomic.Uint64
+	lastRecv  atomic.Int64 // unix nanos of the last inbound message
+	rtt       atomic.Int64 // nanos, last push-ping round trip (0 = unknown)
 	// Tag is handler-defined metadata (e.g. the attached subscriber name).
 	Tag atomic.Value
 }
 
-func (c *ServerConn) write(m *Message) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
+func newServerConn(nc net.Conn, s *Server) *ServerConn {
+	c := &ServerConn{
+		nc:     nc,
+		server: s,
+		sendCh: make(chan *Message, s.cfg.sendQueue()),
+		closed: make(chan struct{}),
+	}
+	c.lastRecv.Store(time.Now().UnixNano())
+	return c
+}
+
+// writeLoop drains the outbound queue onto the socket, applying the write
+// deadline per message, and pushes liveness pings on the heartbeat
+// interval. It is the only goroutine that writes to the socket.
+func (c *ServerConn) writeLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	var tick <-chan time.Time
+	if hb := c.server.cfg.HeartbeatInterval; hb > 0 {
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case m := <-c.sendCh:
+			if err := c.writeNow(m); err != nil {
+				c.Close()
+				return
+			}
+		case <-tick:
+			body, _ := json.Marshal(&pingBody{T: time.Now().UnixNano()})
+			if err := c.writeNow(&Message{ID: 0, Kind: KindPing, Body: body}); err != nil {
+				c.Close()
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+func (c *ServerConn) writeNow(m *Message) error {
+	if wt := c.server.cfg.WriteTimeout; wt > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(wt))
+	}
 	return WriteMessage(c.nc, m)
 }
 
-// Notify pushes a server-initiated message (ID 0) to the peer.
+// send enqueues a message, blocking until there is queue space or the
+// connection closes. Responses use it: request processing is serial per
+// connection, so the wait is bounded by the writer's own deadline-guarded
+// progress.
+func (c *ServerConn) send(m *Message) error {
+	select {
+	case c.sendCh <- m:
+		c.enqueued.Add(1)
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+// Notify pushes a server-initiated message (ID 0) to the peer without
+// blocking: if the outbound queue is full the peer is a slow subscriber,
+// the connection is closed, and ErrSlowSubscriber is returned. The
+// publisher is never exposed to the peer's TCP window.
 func (c *ServerConn) Notify(kind string, body interface{}) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	return c.write(&Message{ID: 0, Kind: kind, Body: payload})
+	m := &Message{ID: 0, Kind: kind, Body: payload}
+	select {
+	case c.sendCh <- m:
+		c.enqueued.Add(1)
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	default:
+		c.Close()
+		return ErrSlowSubscriber
+	}
 }
 
-// Close closes the underlying connection.
-func (c *ServerConn) Close() error { return c.nc.Close() }
+// NotifySync pushes a server-initiated message, blocking until it is
+// queued or the connection closes. Resume replays use it: a replay can be
+// much longer than the queue, and the receiver is actively draining it, so
+// backpressure (bounded by the writer's deadline-guarded progress) is the
+// correct policy rather than overflow-disconnect.
+func (c *ServerConn) NotifySync(kind string, body interface{}) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.send(&Message{ID: 0, Kind: kind, Body: payload})
+}
+
+// Close closes the underlying connection and releases the writer.
+func (c *ServerConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.nc.Close()
+}
 
 // RemoteAddr returns the peer address.
 func (c *ServerConn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
 
+// QueueDepth returns the number of queued outbound messages.
+func (c *ServerConn) QueueDepth() int { return len(c.sendCh) }
+
+// QueueCap returns the outbound queue capacity.
+func (c *ServerConn) QueueCap() int { return cap(c.sendCh) }
+
+// Enqueued returns the total number of messages queued on this connection.
+func (c *ServerConn) Enqueued() uint64 { return c.enqueued.Load() }
+
+// IdleFor returns the time since the last inbound message.
+func (c *ServerConn) IdleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - c.lastRecv.Load())
+}
+
+// RTT returns the last heartbeat round-trip time measured on this
+// connection (zero until the first pong arrives; requires a server
+// heartbeat interval).
+func (c *ServerConn) RTT() time.Duration { return time.Duration(c.rtt.Load()) }
+
 // Client is a connection to a Server supporting concurrent calls and
 // receiving pushes.
 type Client struct {
-	nc      net.Conn
-	writeMu sync.Mutex
-	mu      sync.Mutex
-	pending map[uint64]chan *Message
-	nextID  uint64
-	closed  bool
-	closeCh chan struct{}
+	nc       net.Conn
+	cfg      Config
+	writeMu  sync.Mutex
+	mu       sync.Mutex
+	pending  map[uint64]chan *Message
+	nextID   uint64
+	closed   bool
+	closeCh  chan struct{}
+	lastRecv atomic.Int64 // unix nanos of the last inbound message
+	rtt      atomic.Int64 // nanos, last request-ping round trip
 	// OnPush handles server-initiated messages. Set before issuing calls
 	// that provoke pushes; safe to leave nil (pushes are dropped).
 	OnPush func(kind string, body json.RawMessage)
 }
 
-// Dial connects to a wire server.
+// Dial connects to a wire server with a zero Config.
 func Dial(addr string) (*Client, error) {
+	return DialConfig(addr, Config{})
+}
+
+// DialConfig connects to a wire server with explicit fault-tolerance
+// settings. With a heartbeat interval set, the client pings the server on
+// that period and closes the connection when inbound silence exceeds the
+// idle bound (IdleTimeout, defaulting to 3x the interval).
+func DialConfig(addr string, cfg Config) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{nc: nc, pending: map[uint64]chan *Message{}, closeCh: make(chan struct{})}
+	c := &Client{nc: nc, cfg: cfg, pending: map[uint64]chan *Message{}, closeCh: make(chan struct{})}
+	c.lastRecv.Store(time.Now().UnixNano())
 	go c.readLoop()
+	if cfg.HeartbeatInterval > 0 {
+		go c.heartbeatLoop()
+	}
 	return c, nil
 }
 
-// ErrClosed is returned for calls on a closed client.
-var ErrClosed = errors.New("wire: connection closed")
-
 func (c *Client) readLoop() {
+	idle := c.cfg.idleBound()
 	for {
+		if idle > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+		}
 		m, err := ReadMessage(c.nc)
 		if err != nil {
 			c.mu.Lock()
@@ -251,7 +562,15 @@ func (c *Client) readLoop() {
 			close(c.closeCh)
 			return
 		}
+		c.lastRecv.Store(time.Now().UnixNano())
 		if m.ID == 0 {
+			if m.Kind == KindPing {
+				// Echo the server's liveness probe (body carries its
+				// timestamp) so it can measure RTT and keep this
+				// connection under its idle bound.
+				c.write(&Message{ID: 0, Kind: KindPong, Body: m.Body})
+				continue
+			}
 			if c.OnPush != nil {
 				c.OnPush(m.Kind, m.Body)
 			}
@@ -267,9 +586,63 @@ func (c *Client) readLoop() {
 	}
 }
 
+// heartbeatLoop pings the server on the configured interval. Liveness is
+// judged by inbound silence, not by the ping's own round trip: any inbound
+// message (a pong, a push, a response) proves the peer alive, so a server
+// briefly busy in a long request handler is not falsely declared dead.
+func (c *Client) heartbeatLoop() {
+	interval := c.cfg.HeartbeatInterval
+	bound := c.cfg.idleBound()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closeCh:
+			return
+		case <-t.C:
+		}
+		if time.Now().UnixNano()-c.lastRecv.Load() > int64(bound) {
+			c.Close()
+			return
+		}
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), bound)
+			defer cancel()
+			start := time.Now()
+			if err := c.CallContext(ctx, KindPing, nil, nil); err == nil {
+				c.rtt.Store(int64(time.Since(start)))
+			}
+		}()
+	}
+}
+
+// RTT returns the last heartbeat round-trip time (zero until the first
+// ping completes; requires a heartbeat interval).
+func (c *Client) RTT() time.Duration { return time.Duration(c.rtt.Load()) }
+
+// write frames one message onto the socket under the write lock, applying
+// the configured write deadline.
+func (c *Client) write(m *Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if wt := c.cfg.WriteTimeout; wt > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(wt))
+	}
+	return WriteMessage(c.nc, m)
+}
+
 // Call sends a request and decodes the response body into out (which may be
-// nil to discard it).
+// nil to discard it). It blocks until the response arrives or the
+// connection dies.
 func (c *Client) Call(kind string, req interface{}, out interface{}) error {
+	return c.CallContext(context.Background(), kind, req, out)
+}
+
+// CallContext is Call with a deadline/cancellation context. On ctx expiry
+// the call returns ctx.Err() and the response, if it ever arrives, is
+// discarded. A deadline-expired call is retryable (the peer may be slow or
+// dead); a canceled one is not.
+func (c *Client) CallContext(ctx context.Context, kind string, req interface{}, out interface{}) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
@@ -285,26 +658,42 @@ func (c *Client) Call(kind string, req interface{}, out interface{}) error {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err = WriteMessage(c.nc, &Message{ID: id, Kind: kind, Body: body})
-	c.writeMu.Unlock()
+	err = c.write(&Message{ID: id, Kind: kind, Body: body})
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
 		return err
 	}
-	m, ok := <-ch
-	if !ok {
-		return ErrClosed
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return ErrClosed
+		}
+		if m.Error != "" {
+			return &RemoteError{Msg: m.Error}
+		}
+		if out != nil && len(m.Body) > 0 {
+			return json.Unmarshal(m.Body, out)
+		}
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return ctx.Err()
 	}
-	if m.Error != "" {
-		return errors.New(m.Error)
+}
+
+// Ping round-trips a liveness probe and returns its latency.
+func (c *Client) Ping(ctx context.Context) (time.Duration, error) {
+	start := time.Now()
+	if err := c.CallContext(ctx, KindPing, nil, nil); err != nil {
+		return 0, err
 	}
-	if out != nil && len(m.Body) > 0 {
-		return json.Unmarshal(m.Body, out)
-	}
-	return nil
+	rtt := time.Since(start)
+	c.rtt.Store(int64(rtt))
+	return rtt, nil
 }
 
 // Close closes the client connection.

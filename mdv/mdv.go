@@ -39,12 +39,14 @@ import (
 	"io"
 	"time"
 
+	"mdv/internal/backoff"
 	"mdv/internal/changelog"
 	"mdv/internal/client"
 	"mdv/internal/core"
 	"mdv/internal/lmr"
 	"mdv/internal/provider"
 	"mdv/internal/rdf"
+	"mdv/internal/wire"
 )
 
 // Re-exported metadata model types.
@@ -223,3 +225,47 @@ type RepositoryClient = client.LMR
 
 // DialRepository connects to a repository node's wire server.
 func DialRepository(addr string) (*RepositoryClient, error) { return client.DialLMR(addr) }
+
+// Fault-tolerant delivery (DESIGN.md §7): heartbeats, I/O deadlines,
+// bounded per-subscriber send queues, and retry classification.
+type (
+	// WireConfig tunes a wire server's fault tolerance: heartbeat
+	// interval, idle and write deadlines, and the per-connection send
+	// queue bound. The zero value uses the package defaults
+	// (Provider.ServeConfig / RepositoryNode.ServeConfig accept it).
+	WireConfig = wire.Config
+	// ClientConfig tunes a network client's fault tolerance: heartbeat
+	// interval, idle and write deadlines, and a default per-call timeout.
+	ClientConfig = client.Config
+	// DeliveryStats reports per-subscriber delivery health from an MDP
+	// (ProviderClient.DeliveryStats, or the provider's DeliveryStats).
+	DeliveryStats = wire.DeliveryStatsResponse
+	// SubscriberDelivery is one subscriber's delivery counters: queue
+	// depth, drops, disconnects, heartbeat RTT, and publish lag.
+	SubscriberDelivery = wire.SubscriberDelivery
+	// Backoff computes jittered exponential retry delays; its zero value
+	// is ready to use. Both the LMR reconnect loop and Retry use it.
+	Backoff = backoff.Backoff
+)
+
+// DialProviderWithConfig connects to a provider's wire server with
+// explicit fault-tolerance settings.
+func DialProviderWithConfig(addr string, cfg ClientConfig) (*ProviderClient, error) {
+	return client.DialMDPConfig(addr, cfg)
+}
+
+// DialRepositoryWithConfig connects to a repository node's wire server
+// with explicit fault-tolerance settings.
+func DialRepositoryWithConfig(addr string, cfg ClientConfig) (*RepositoryClient, error) {
+	return client.DialLMRConfig(addr, cfg)
+}
+
+// IsRetryable reports whether err is a transient transport failure worth
+// retrying on a fresh connection, as opposed to an application error
+// reported by the remote handler (which a retry would only repeat).
+func IsRetryable(err error) bool { return client.IsRetryable(err) }
+
+// Retry runs fn until it succeeds, fails with a non-retryable error, the
+// attempt budget is exhausted (0 = unlimited), or ctx is done, sleeping a
+// jittered backoff between attempts.
+var Retry = backoff.Retry
