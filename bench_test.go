@@ -38,6 +38,7 @@ import (
 	"testing"
 
 	"mdv/internal/core"
+	"mdv/internal/rdf"
 	"mdv/internal/workload"
 )
 
@@ -85,14 +86,18 @@ func getState(b *testing.B, cfg benchConfig) *benchState {
 }
 
 // runBatches is the shared measurement loop: each iteration registers one
-// batch of fresh documents.
+// batch of fresh documents. All batches are generated up front, outside the
+// timed region, so us/doc measures only the filter.
 func runBatches(b *testing.B, cfg benchConfig, batch int) {
 	st := getState(b, cfg)
+	batches := make([][]*rdf.Document, b.N)
+	for i := range batches {
+		batches[i] = st.gen.Batch(st.offset, batch)
+		st.offset += batch
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		docs := st.gen.Batch(st.offset, batch)
-		st.offset += batch
-		if _, err := st.engine.RegisterDocuments(docs); err != nil {
+		if _, err := st.engine.RegisterDocuments(batches[i]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -218,13 +223,15 @@ func BenchmarkBaselineNaive(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		offset := 0
+		batches := make([][]*rdf.Document, b.N)
+		for i := range batches {
+			batches[i] = gen.Batch(i*batch, batch)
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := naive.Register(gen.Batch(offset, batch)); err != nil {
+			if _, err := naive.Register(batches[i]); err != nil {
 				b.Fatal(err)
 			}
-			offset += batch
 		}
 		b.StopTimer()
 		perDoc := float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch) / 1e3

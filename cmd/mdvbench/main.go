@@ -24,9 +24,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -40,7 +42,34 @@ var (
 	scaleFlag = flag.String("scale", "paper", "rule base scale: paper|small")
 	repsFlag  = flag.Int("reps", 1, "repetitions per measurement (median reported)")
 	batchFlag = flag.String("batches", "1,2,5,10,20,50,100,200,500,1000", "comma-separated batch sizes")
+	jsonFlag  = flag.String("json", "", "write measurements as a JSON array to this path")
 )
+
+// record is one measurement cell in the -json output.
+type record struct {
+	Figure   string  `json:"figure"`
+	Label    string  `json:"label"`
+	RuleType string  `json:"rule_type"`
+	Rules    int     `json:"rules"`
+	Pct      float64 `json:"pct"`
+	Batch    int     `json:"batch"`
+	UsPerDoc float64 `json:"us_per_doc"`
+	Reps     int     `json:"reps"`
+}
+
+var records []record
+
+func writeJSON(path string) {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mdvbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mdvbench: wrote %d records to %s\n", len(records), path)
+}
 
 func main() {
 	flag.Parse()
@@ -64,19 +93,19 @@ func main() {
 	}
 
 	if run("11") {
-		figure("Figure 11 — OID rules: avg registration time per document",
+		figure("11", "Figure 11 — OID rules: avg registration time per document",
 			configsFor(workload.OID, 0, []int{10000 / div, 100000 / div}), batches)
 	}
 	if run("12") {
-		figure("Figure 12 — PATH rules: avg registration time per document",
+		figure("12", "Figure 12 — PATH rules: avg registration time per document",
 			configsFor(workload.PATH, 0, []int{1000 / div, 10000 / div}), batches)
 	}
 	if run("13") {
-		figure("Figure 13 — COMP rules (10% of rule base matches)",
+		figure("13", "Figure 13 — COMP rules (10% of rule base matches)",
 			configsFor(workload.COMP, 0.10, []int{1000 / div, 10000 / div}), batches)
 	}
 	if run("14") {
-		figure("Figure 14 — JOIN rules: avg registration time per document",
+		figure("14", "Figure 14 — JOIN rules: avg registration time per document",
 			configsFor(workload.JOIN, 0, []int{1000 / div, 10000 / div}), batches)
 	}
 	if run("15") {
@@ -87,7 +116,7 @@ func main() {
 				gen:   workload.Generator{Type: workload.COMP, RuleBase: 10000 / div, MatchPercent: pct},
 			})
 		}
-		figure(fmt.Sprintf("Figure 15 — %d COMP rules: varying batch size and matched percentage", 10000/div), cfgs, batches)
+		figure("15", fmt.Sprintf("Figure 15 — %d COMP rules: varying batch size and matched percentage", 10000/div), cfgs, batches)
 	}
 	if run("ablation") {
 		cfgs := []config{
@@ -101,13 +130,30 @@ func main() {
 		// The unshared JOIN configuration costs seconds per document (that
 		// is the point of the ablation); cap its batches so the sweep stays
 		// tractable.
-		figure("Ablation — rule groups (§3.3.3) and dependency-graph sharing (§3.3.2)", cfgs,
+		figure("ablation", "Ablation — rule groups (§3.3.3) and dependency-graph sharing (§3.3.2)", cfgs,
 			capBatches(batches, 20))
+
+		// Typed operator indexes (§3.3.4) vs. CAST reconversion at the
+		// paper's largest comparison-heavy rule bases, where the CAST path's
+		// linear triggering scans dominate.
+		typedCfgs := []config{
+			{label: "PATH typed", gen: workload.Generator{Type: workload.PATH, RuleBase: 10000 / div}},
+			{label: "PATH cast", gen: workload.Generator{Type: workload.PATH, RuleBase: 10000 / div},
+				opts: core.Options{DisableTypedIndexes: true}},
+			{label: "JOIN typed", gen: workload.Generator{Type: workload.JOIN, RuleBase: 10000 / div}},
+			{label: "JOIN cast", gen: workload.Generator{Type: workload.JOIN, RuleBase: 10000 / div},
+				opts: core.Options{DisableTypedIndexes: true}},
+		}
+		figure("ablation", "Ablation — typed operator indexes (§3.3.4) vs. CAST reconversion", typedCfgs,
+			capBatches(batches, 100))
 	}
 	if run("baseline") {
 		// The naive baseline costs ~100 ms/doc at a 1,000-rule base; cap
 		// its batches as well.
 		baseline(1000/div, capBatches(batches, 100))
+	}
+	if *jsonFlag != "" {
+		writeJSON(*jsonFlag)
 	}
 }
 
@@ -171,12 +217,29 @@ func setup(gen workload.Generator, opts core.Options) *core.Engine {
 	return engine
 }
 
-// measureCell prepares a fresh engine and registers reps distinct batches,
-// returning the median per-document time in microseconds.
+// measureCell prepares a fresh engine, registers one small untimed warm-up
+// batch (touching code paths once so lazily built state — prepared
+// statements, index structure growth — does not land in the first
+// measurement; capped well below the measured batch so high-match
+// workloads, whose cost grows with accumulated materialization, are not
+// distorted), then registers reps distinct timed batches and returns the
+// median per-document time in microseconds. The engines of previous cells
+// are garbage before each measurement; collect them so one cell's heap
+// does not tax the next cell's allocations.
 func measureCell(cfg config, batch, reps int) float64 {
 	engine := setup(cfg.gen, cfg.opts)
+	runtime.GC()
 	times := make([]float64, 0, reps)
 	offset := 0
+	warmN := batch
+	if warmN > 16 {
+		warmN = 16
+	}
+	warm := cfg.gen.Batch(offset, warmN)
+	offset += warmN
+	if _, err := engine.RegisterDocuments(warm); err != nil {
+		panic(err)
+	}
 	for r := 0; r < reps; r++ {
 		docs := cfg.gen.Batch(offset, batch)
 		offset += batch
@@ -190,7 +253,7 @@ func measureCell(cfg config, batch, reps int) float64 {
 	return times[len(times)/2]
 }
 
-func figure(title string, cfgs []config, batches []int) {
+func figure(id, title string, cfgs []config, batches []int) {
 	fmt.Printf("\n%s\n", title)
 	fmt.Printf("%-8s", "batch")
 	for _, c := range cfgs {
@@ -202,6 +265,16 @@ func figure(title string, cfgs []config, batches []int) {
 		for _, c := range cfgs {
 			us := measureCell(c, batch, *repsFlag)
 			fmt.Printf("  %-15.1f", us)
+			records = append(records, record{
+				Figure:   id,
+				Label:    strings.TrimSpace(c.label),
+				RuleType: c.gen.Type.String(),
+				Rules:    c.gen.RuleBase,
+				Pct:      c.gen.MatchPercent,
+				Batch:    batch,
+				UsPerDoc: us,
+				Reps:     *repsFlag,
+			})
 		}
 		fmt.Println()
 		os.Stdout.Sync()
@@ -236,6 +309,12 @@ func baseline(ruleBase int, batches []int) {
 			naiveTimes = append(naiveTimes, float64(time.Since(t0).Microseconds())/float64(batch))
 		}
 		sort.Float64s(naiveTimes)
-		fmt.Printf("%-8d  %-15.1f  %-15.1f\n", batch, filterUS, naiveTimes[len(naiveTimes)/2])
+		naiveUS := naiveTimes[len(naiveTimes)/2]
+		fmt.Printf("%-8d  %-15.1f  %-15.1f\n", batch, filterUS, naiveUS)
+		records = append(records,
+			record{Figure: "baseline", Label: "filter", RuleType: gen.Type.String(),
+				Rules: ruleBase, Batch: batch, UsPerDoc: filterUS, Reps: *repsFlag},
+			record{Figure: "baseline", Label: "naive", RuleType: gen.Type.String(),
+				Rules: ruleBase, Batch: batch, UsPerDoc: naiveUS, Reps: *repsFlag})
 	}
 }

@@ -2,12 +2,29 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"mdv/internal/rdb"
 	"mdv/internal/rdf"
 	"mdv/internal/rules"
 )
+
+// numValue parses a lexical into the typed numeric column value, mirroring
+// CAST(x AS FLOAT) exactly (same trimming, same accepted forms, so Inf and
+// NaN lexicals of float-typed properties round-trip). Text that does not
+// parse yields NULL, which no comparison matches — where CAST would abort
+// the whole query instead. The two are indistinguishable through the public
+// API: schema validation guarantees numeric-typed properties hold parseable
+// lexicals, and the rule normalizer rejects ordering operators on
+// non-numeric operands.
+func numValue(s string) rdb.Value {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return rdb.Null()
+	}
+	return rdb.NewFloat(f)
+}
 
 // Atomic rule kinds stored in AtomicRules.kind.
 const (
@@ -189,12 +206,20 @@ func (e *Engine) internTrigger(spec triggerSpec, ctx *internCtx) (int64, error) 
 	if err != nil {
 		return 0, err
 	}
-	if spec.any {
+	switch {
+	case spec.any:
 		if _, err := e.db.Exec(`INSERT INTO FilterRulesANY (rule_id, class) VALUES (?, ?)`,
 			rdb.NewInt(id), rdb.NewText(spec.class)); err != nil {
 			return 0, err
 		}
-	} else {
+	case numericFilterTable(table):
+		if _, err := e.db.Exec(
+			`INSERT INTO `+table+` (rule_id, class, property, value, num_value) VALUES (?, ?, ?, ?, ?)`,
+			rdb.NewInt(id), rdb.NewText(spec.class), rdb.NewText(spec.property),
+			rdb.NewText(spec.value.Lexical()), numValue(spec.value.Lexical())); err != nil {
+			return 0, err
+		}
+	default:
 		if _, err := e.db.Exec(
 			`INSERT INTO `+table+` (rule_id, class, property, value) VALUES (?, ?, ?, ?)`,
 			rdb.NewInt(id), rdb.NewText(spec.class), rdb.NewText(spec.property),
@@ -208,6 +233,17 @@ func (e *Engine) internTrigger(spec triggerSpec, ctx *internCtx) (int64, error) 
 		return 0, err
 	}
 	return id, nil
+}
+
+// numericFilterTable reports whether a FilterRules table carries the typed
+// num_value column (every table whose comparison reconverts numerically).
+func numericFilterTable(table string) bool {
+	switch table {
+	case "FilterRulesEQN", "FilterRulesNEN", "FilterRulesLT",
+		"FilterRulesLE", "FilterRulesGT", "FilterRulesGE":
+		return true
+	}
+	return false
 }
 
 // filterTableFor maps a triggering rule to its FilterRules table (§3.3.4).
@@ -290,12 +326,68 @@ func (e *Engine) internJoin(spec joinSpec, ctx *internCtx) (int64, error) {
 			return 0, err
 		}
 	}
+	// Group feed edges (deduplicated; self groups have a single input side).
+	if err := e.addGroupFeed(spec.leftRule, 'L', groupID); err != nil {
+		return 0, err
+	}
+	if !spec.self {
+		if err := e.addGroupFeed(spec.rightRule, 'R', groupID); err != nil {
+			return 0, err
+		}
+	}
 	ctx.interned = append(ctx.interned, id)
 	ctx.created = append(ctx.created, id)
 	if err := e.initializeJoin(id, spec); err != nil {
 		return 0, err
 	}
 	return id, nil
+}
+
+// addGroupFeed records that an atomic rule feeds one side of a join-rule
+// group, deduplicating on (source, side, group).
+func (e *Engine) addGroupFeed(source int64, side byte, groupID int64) error {
+	rows, err := e.db.Query(
+		`SELECT group_id FROM GroupFeeds WHERE source_rule = ? AND side = ? AND group_id = ? LIMIT 1`,
+		rdb.NewInt(source), rdb.NewText(string(side)), rdb.NewInt(groupID))
+	if err != nil {
+		return err
+	}
+	if !rows.Empty() {
+		return nil
+	}
+	_, err = e.db.Exec(`INSERT INTO GroupFeeds (source_rule, side, group_id) VALUES (?, ?, ?)`,
+		rdb.NewInt(source), rdb.NewText(string(side)), rdb.NewInt(groupID))
+	return err
+}
+
+// rebuildGroupFeeds re-derives a group's feed edges from its remaining
+// members (after a join rule was swept).
+func (e *Engine) rebuildGroupFeeds(gid int64) error {
+	if _, err := e.db.Exec(`DELETE FROM GroupFeeds WHERE group_id = ?`, rdb.NewInt(gid)); err != nil {
+		return err
+	}
+	rows, err := e.db.Query(`SELECT left_rule, right_rule FROM JoinRules WHERE group_id = ?`, rdb.NewInt(gid))
+	if err != nil {
+		return err
+	}
+	if rows.Empty() {
+		return nil
+	}
+	g, err := e.groupByID(gid)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows.Data {
+		if err := e.addGroupFeed(r[0].Int, 'L', gid); err != nil {
+			return err
+		}
+		if !g.self {
+			if err := e.addGroupFeed(r[1].Int, 'R', gid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // internGroup finds or creates the rule group for a join rule (§3.3.3).
@@ -620,13 +712,20 @@ func (e *Engine) initializeTrigger(id int64, spec triggerSpec) error {
 	} else {
 		cmp, cast := sqlCompare(spec.op, spec.numeric)
 		lhs, rhs := "value", "?"
+		cmpParam := rdb.NewText(spec.value.Lexical())
 		if cast {
-			lhs, rhs = "CAST(value AS FLOAT)", "CAST(? AS FLOAT)"
+			if e.opts.DisableTypedIndexes {
+				lhs, rhs = "CAST(value AS FLOAT)", "CAST(? AS FLOAT)"
+			} else {
+				// Typed path: the (class, property, num_value) statement
+				// index answers this with a point lookup or range scan.
+				lhs = "num_value"
+				cmpParam = numValue(spec.value.Lexical())
+			}
 		}
 		q = `SELECT uri_reference FROM Statements WHERE class = ? AND property = ? AND ` +
 			lhs + " " + cmp + " " + rhs
-		params = append(params, rdb.NewText(spec.class), rdb.NewText(spec.property),
-			rdb.NewText(spec.value.Lexical()))
+		params = append(params, rdb.NewText(spec.class), rdb.NewText(spec.property), cmpParam)
 	}
 	// Collect first: materialize issues writes, which must not run inside
 	// the streaming read query.

@@ -748,11 +748,15 @@ func TestAblationsAgree(t *testing.T) {
 	base := run(Options{})
 	noGroups := run(Options{DisableRuleGroups: true})
 	noSharing := run(Options{DisableSharing: true})
+	noTyped := run(Options{DisableTypedIndexes: true})
 	if fmt.Sprint(base) != fmt.Sprint(noGroups) {
 		t.Errorf("rule-group ablation changed results:\n%v\n%v", base, noGroups)
 	}
 	if fmt.Sprint(base) != fmt.Sprint(noSharing) {
 		t.Errorf("sharing ablation changed results:\n%v\n%v", base, noSharing)
+	}
+	if fmt.Sprint(base) != fmt.Sprint(noTyped) {
+		t.Errorf("typed-index ablation changed results:\n%v\n%v", base, noTyped)
 	}
 }
 

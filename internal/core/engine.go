@@ -38,6 +38,11 @@ type Options struct {
 	// instead of merging equivalent ones into the global dependency graph
 	// (ablation of §3.3.2).
 	DisableSharing bool
+	// DisableTypedIndexes makes numeric comparisons reconvert string-stored
+	// constants via CAST at match time, as the paper's prototype does
+	// (§3.3.4), instead of comparing the typed num_value columns through
+	// their ordered indexes. Ablation of the sub-linear triggering path.
+	DisableTypedIndexes bool
 }
 
 // Stats counts engine work, exposed for the performance experiments.
@@ -143,16 +148,21 @@ func (e *Engine) ResetStats() {
 // ddl is the engine's relational schema (paper §3.3.4 and Figure 4/7/8/9).
 var ddl = []string{
 	// All metadata atoms ever registered: the MDP's database (RDF mapped to
-	// tables per Florescu/Kossmann [14]).
+	// tables per Florescu/Kossmann [14]). num_value is the typed numeric
+	// shadow of value (NULL when the lexical does not parse as a float); it
+	// backs the ordered (class, property, num_value) index so numeric
+	// comparisons run as range scans instead of CAST-reconverting scans.
 	`CREATE TABLE Statements (
 		uri_reference TEXT NOT NULL,
 		class TEXT NOT NULL,
 		property TEXT NOT NULL,
 		value TEXT NOT NULL,
+		num_value FLOAT,
 		is_ref BOOL NOT NULL
 	)`,
 	`CREATE INDEX idx_stmt_uri ON Statements (uri_reference, property)`,
 	`CREATE INDEX idx_stmt_cpv ON Statements (class, property, value)`,
+	`CREATE INDEX idx_stmt_cpn ON Statements (class, property, num_value)`,
 	`CREATE INDEX idx_stmt_value ON Statements (value)`,
 
 	// Resource catalog: which document owns each resource.
@@ -204,6 +214,16 @@ var ddl = []string{
 	`CREATE INDEX idx_jr_right ON JoinRules (right_rule)`,
 	`CREATE INDEX idx_jr_lr ON JoinRules (left_rule, right_rule)`,
 
+	// Deduplicated edges from an input atomic rule to the join-rule groups
+	// it feeds, one row per (source rule, side, group). The filter's
+	// affected-group collection probes this by source rule, so its cost is
+	// proportional to the number of distinct groups a delta feeds — not to
+	// the number of join rules sharing those groups (JoinRules holds one
+	// row per rule; a shared triggering rule can feed tens of thousands).
+	`CREATE TABLE GroupFeeds (source_rule INT NOT NULL, side TEXT NOT NULL, group_id INT NOT NULL)`,
+	`CREATE UNIQUE INDEX idx_gf_pk ON GroupFeeds (source_rule, side, group_id)`,
+	`CREATE INDEX idx_gf_group ON GroupFeeds (group_id)`,
+
 	// Rule groups: the shared where-part of equally shaped join rules.
 	`CREATE TABLE RuleGroups (
 		group_id INT PRIMARY KEY,
@@ -219,31 +239,34 @@ var ddl = []string{
 	`CREATE UNIQUE INDEX idx_rg_key ON RuleGroups (group_key) USING HASH`,
 
 	// Triggering-rule filter tables (paper §3.3.4, Figure 8). One table per
-	// operator; numeric constants are stored as strings and reconverted at
-	// join time via CAST. EQ is split: string equality (EQ) joins through
-	// the value index; numeric equality (EQN) must reconvert and therefore
-	// scans the (class, property) prefix — the same asymmetry the paper's
-	// prototype exhibits between OID and PATH rules.
+	// operator. The paper stores numeric constants as strings and
+	// reconverts them at join time via CAST; the numeric tables
+	// (EQN/NEN/LT/LE/GT/GE) additionally keep the parsed constant in
+	// num_value, and their ordered (class, property, num_value) indexes let
+	// a document atom resolve its matching rules with a point lookup (EQN)
+	// or range scan (LT/LE/GT/GE) — O(log R + matches) instead of a
+	// Θ(rule base) scan. The string column stays authoritative for rule
+	// texts and the CAST ablation (Options.DisableTypedIndexes).
 	`CREATE TABLE FilterRulesANY (rule_id INT NOT NULL, class TEXT NOT NULL)`,
 	`CREATE INDEX idx_fr_any ON FilterRulesANY (class)`,
 	`CREATE TABLE FilterRulesEQ (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
 	`CREATE INDEX idx_fr_eq ON FilterRulesEQ (class, property, value)`,
-	`CREATE TABLE FilterRulesEQN (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
-	`CREATE INDEX idx_fr_eqn ON FilterRulesEQN (class, property)`,
+	`CREATE TABLE FilterRulesEQN (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL, num_value FLOAT)`,
+	`CREATE INDEX idx_fr_eqn ON FilterRulesEQN (class, property, num_value)`,
 	`CREATE TABLE FilterRulesNE (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
 	`CREATE INDEX idx_fr_ne ON FilterRulesNE (class, property)`,
-	`CREATE TABLE FilterRulesNEN (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
-	`CREATE INDEX idx_fr_nen ON FilterRulesNEN (class, property)`,
+	`CREATE TABLE FilterRulesNEN (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL, num_value FLOAT)`,
+	`CREATE INDEX idx_fr_nen ON FilterRulesNEN (class, property, num_value)`,
 	`CREATE TABLE FilterRulesCON (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
 	`CREATE INDEX idx_fr_con ON FilterRulesCON (class, property)`,
-	`CREATE TABLE FilterRulesLT (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
-	`CREATE INDEX idx_fr_lt ON FilterRulesLT (class, property)`,
-	`CREATE TABLE FilterRulesLE (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
-	`CREATE INDEX idx_fr_le ON FilterRulesLE (class, property)`,
-	`CREATE TABLE FilterRulesGT (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
-	`CREATE INDEX idx_fr_gt ON FilterRulesGT (class, property)`,
-	`CREATE TABLE FilterRulesGE (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL)`,
-	`CREATE INDEX idx_fr_ge ON FilterRulesGE (class, property)`,
+	`CREATE TABLE FilterRulesLT (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL, num_value FLOAT)`,
+	`CREATE INDEX idx_fr_lt ON FilterRulesLT (class, property, num_value)`,
+	`CREATE TABLE FilterRulesLE (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL, num_value FLOAT)`,
+	`CREATE INDEX idx_fr_le ON FilterRulesLE (class, property, num_value)`,
+	`CREATE TABLE FilterRulesGT (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL, num_value FLOAT)`,
+	`CREATE INDEX idx_fr_gt ON FilterRulesGT (class, property, num_value)`,
+	`CREATE TABLE FilterRulesGE (rule_id INT NOT NULL, class TEXT NOT NULL, property TEXT NOT NULL, value TEXT NOT NULL, num_value FLOAT)`,
+	`CREATE INDEX idx_fr_ge ON FilterRulesGE (class, property, num_value)`,
 
 	// Materialized results of every atomic rule (paper §3.4).
 	`CREATE TABLE RuleResults (rule_id INT NOT NULL, uri_reference TEXT NOT NULL)`,
@@ -251,12 +274,14 @@ var ddl = []string{
 	`CREATE INDEX idx_rr_rule ON RuleResults (rule_id)`,
 	`CREATE INDEX idx_rr_uri ON RuleResults (uri_reference)`,
 
-	// Transient per-run input atoms (paper Figure 4).
+	// Transient per-run input atoms (paper Figure 4). num_value mirrors
+	// Statements.num_value for the typed triggering joins.
 	`CREATE TABLE FilterData (
 		uri_reference TEXT NOT NULL,
 		class TEXT NOT NULL,
 		property TEXT NOT NULL,
 		value TEXT NOT NULL,
+		num_value FLOAT,
 		is_ref BOOL NOT NULL
 	)`,
 	`CREATE INDEX idx_fd_cp ON FilterData (class, property)`,
@@ -295,16 +320,28 @@ func (e *Engine) bootstrap() error {
 func (e *Engine) prepare() {
 	p := &e.prep
 	p.insStatement = e.db.MustPrepare(
-		`INSERT INTO Statements (uri_reference, class, property, value, is_ref) VALUES (?, ?, ?, ?, ?)`)
+		`INSERT INTO Statements (uri_reference, class, property, value, num_value, is_ref) VALUES (?, ?, ?, ?, ?, ?)`)
 	p.delStatements = e.db.MustPrepare(`DELETE FROM Statements WHERE uri_reference = ?`)
 	p.insResource = e.db.MustPrepare(
 		`INSERT INTO Resources (uri_reference, doc_uri, class) VALUES (?, ?, ?)`)
 	p.delResource = e.db.MustPrepare(`DELETE FROM Resources WHERE uri_reference = ?`)
 	p.insFilterData = e.db.MustPrepare(
-		`INSERT INTO FilterData (uri_reference, class, property, value, is_ref) VALUES (?, ?, ?, ?, ?)`)
+		`INSERT INTO FilterData (uri_reference, class, property, value, num_value, is_ref) VALUES (?, ?, ?, ?, ?, ?)`)
 	p.clearFilter = e.db.MustPrepare(`DELETE FROM FilterData`)
 	p.stmtsOfURI = e.db.MustPrepare(
 		`SELECT uri_reference, class, property, value, is_ref FROM Statements WHERE uri_reference = ?`)
+
+	// numCmp renders one numeric triggering comparison. The typed form
+	// compares the parsed num_value columns, which the planner turns into a
+	// point lookup (=) or a prefix + range scan (< <= > >=) on the filter
+	// table's ordered (class, property, num_value) index; the CAST form is
+	// the paper's string-reconverting scan, kept as an ablation.
+	numCmp := func(op string) string {
+		if e.opts.DisableTypedIndexes {
+			return "CAST(fd.value AS FLOAT) " + op + " CAST(fr.value AS FLOAT)"
+		}
+		return "fd.num_value " + op + " fr.num_value"
+	}
 
 	// Triggering-rule determination (paper §3.4, "Determination of Affected
 	// Triggering Rules"): FilterData joined against each filter table.
@@ -317,33 +354,33 @@ func (e *Engine) prepare() {
 	p.trigEQN = e.db.MustPrepare(`
 		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesEQN fr
 		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND CAST(fd.value AS FLOAT) = CAST(fr.value AS FLOAT)`)
+		  AND ` + numCmp("="))
 	p.trigNE = e.db.MustPrepare(`
 		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesNE fr
 		WHERE fr.class = fd.class AND fr.property = fd.property AND fd.value != fr.value`)
 	p.trigNEN = e.db.MustPrepare(`
 		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesNEN fr
 		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND CAST(fd.value AS FLOAT) != CAST(fr.value AS FLOAT)`)
+		  AND ` + numCmp("!="))
 	p.trigCON = e.db.MustPrepare(`
 		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesCON fr
 		WHERE fr.class = fd.class AND fr.property = fd.property AND fd.value CONTAINS fr.value`)
 	p.trigLT = e.db.MustPrepare(`
 		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesLT fr
 		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND CAST(fd.value AS FLOAT) < CAST(fr.value AS FLOAT)`)
+		  AND ` + numCmp("<"))
 	p.trigLE = e.db.MustPrepare(`
 		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesLE fr
 		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND CAST(fd.value AS FLOAT) <= CAST(fr.value AS FLOAT)`)
+		  AND ` + numCmp("<="))
 	p.trigGT = e.db.MustPrepare(`
 		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesGT fr
 		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND CAST(fd.value AS FLOAT) > CAST(fr.value AS FLOAT)`)
+		  AND ` + numCmp(">"))
 	p.trigGE = e.db.MustPrepare(`
 		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesGE fr
 		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND CAST(fd.value AS FLOAT) >= CAST(fr.value AS FLOAT)`)
+		  AND ` + numCmp(">="))
 
 	p.resultHas = e.db.MustPrepare(
 		`SELECT rule_id FROM RuleResults WHERE rule_id = ? AND uri_reference = ? LIMIT 1`)

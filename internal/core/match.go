@@ -101,7 +101,7 @@ func (e *Engine) runFilter(atoms []rdf.Statement, mode filterMode) (*matchSet, e
 	for _, a := range atoms {
 		if _, err := e.prep.insFilterData.Exec(
 			rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
-			rdb.NewText(a.Value), rdb.NewBool(a.IsRef)); err != nil {
+			rdb.NewText(a.Value), numValue(a.Value), rdb.NewBool(a.IsRef)); err != nil {
 			return nil, err
 		}
 	}
@@ -218,12 +218,15 @@ func (e *Engine) evaluateDependentGroups(all *matchSet, mode filterMode) ([]matc
 		}
 		return nil
 	}
-	if err := collect(`SELECT DISTINCT jr.group_id FROM JoinRules jr, ResultObjects ro
-		WHERE jr.left_rule = ro.rule_id`, 'L'); err != nil {
+	// GroupFeeds holds one row per (input rule, side, group), so this scans
+	// the groups the delta actually feeds — not every join rule sharing
+	// them (a shared triggering rule can feed the whole rule base).
+	if err := collect(`SELECT DISTINCT gf.group_id FROM GroupFeeds gf, ResultObjects ro
+		WHERE gf.source_rule = ro.rule_id AND gf.side = 'L'`, 'L'); err != nil {
 		return nil, err
 	}
-	if err := collect(`SELECT DISTINCT jr.group_id FROM JoinRules jr, ResultObjects ro
-		WHERE jr.right_rule = ro.rule_id`, 'R'); err != nil {
+	if err := collect(`SELECT DISTINCT gf.group_id FROM GroupFeeds gf, ResultObjects ro
+		WHERE gf.source_rule = ro.rule_id AND gf.side = 'R'`, 'R'); err != nil {
 		return nil, err
 	}
 	// Deterministic evaluation order.
@@ -272,7 +275,7 @@ func (e *Engine) evaluateDependentGroups(all *matchSet, mode filterMode) ([]matc
 // and the materialized results on the other (§3.4, "Evaluation of Join
 // Rules").
 func (e *Engine) evalGroupDelta(g *groupInfo, deltaSide byte) ([]matchPair, error) {
-	text, params := buildGroupSQL(g, deltaSide)
+	text, params := e.buildGroupSQL(g, deltaSide)
 	st, err := e.cachedStmt(text)
 	if err != nil {
 		return nil, err
@@ -289,7 +292,7 @@ func (e *Engine) evalGroupDelta(g *groupInfo, deltaSide byte) ([]matchPair, erro
 // of both inputs (used when a new rule is registered, to bootstrap its own
 // materialization against already stored metadata).
 func (e *Engine) evalJoinFull(g *groupInfo, leftRule, rightRule int64) ([]string, error) {
-	text, params := buildFullJoinSQL(g, leftRule, rightRule)
+	text, params := e.buildFullJoinSQL(g, leftRule, rightRule)
 	st, err := e.cachedStmt(text)
 	if err != nil {
 		return nil, err
@@ -302,15 +305,29 @@ func (e *Engine) evalJoinFull(g *groupInfo, leftRule, rightRule int64) ([]string
 	return out, err
 }
 
-// compareSQL renders "<lhs> <op> <rhs>" with CAST reconversion for numeric
-// comparisons (paper §3.3.4: constants are stored as strings).
-func compareSQL(lhs, rhs string, op rules.Op, numeric bool) string {
+// compareSQL renders "<lhs> <op> <rhs>". Numeric comparisons use the typed
+// num_value columns (backed by ordered indexes) unless the engine runs the
+// CAST ablation, which reconverts the string-stored values at match time
+// (paper §3.3.4).
+func (e *Engine) compareSQL(lhs, rhs string, op rules.Op, numeric bool) string {
 	cmp, cast := sqlCompare(op, numeric)
 	if cast {
-		lhs = "CAST(" + lhs + " AS FLOAT)"
-		rhs = "CAST(" + rhs + " AS FLOAT)"
+		if e.opts.DisableTypedIndexes {
+			lhs = "CAST(" + lhs + " AS FLOAT)"
+			rhs = "CAST(" + rhs + " AS FLOAT)"
+		} else {
+			lhs, rhs = numCol(lhs), numCol(rhs)
+		}
 	}
 	return lhs + " " + cmp + " " + rhs
+}
+
+// numCol rewrites a Statements value expression to its typed numeric
+// column. Numeric comparisons always compare property values (the rule
+// normalizer types bare URIs as strings), so the operand is always a
+// "<alias>.value" reference.
+func numCol(expr string) string {
+	return strings.TrimSuffix(expr, ".value") + ".num_value"
 }
 
 // buildGroupSQL constructs the delta-evaluation query of one rule group.
@@ -318,14 +335,17 @@ func compareSQL(lhs, rhs string, op rules.Op, numeric bool) string {
 // equi-joins the query starts from the delta resources, resolves the join
 // partner through value indexes, and only then probes JoinRules by both
 // rule ids — so the cost is proportional to the delta and its join fan-out,
-// not to the number of join rules in the group. For non-equality
-// comparisons no index can resolve the partner, so the query enumerates the
-// group members first and their materialized inputs after (the same
-// rule-base-size dependence the paper measures for COMP-style predicates).
+// not to the number of join rules in the group. With typed indexes, numeric
+// equi-joins resolve the partner the same way through the (class, property,
+// num_value) statement index; only the CAST ablation falls back to
+// enumerating group members. For non-equality comparisons the query
+// enumerates the group members first and their materialized inputs after
+// (the same rule-base-size dependence the paper measures for COMP-style
+// predicates), though typed engines at least skip the per-row CAST.
 //
 // Classes and property names are parameters; only the operator and operand
 // shapes are baked into the text, so the statement cache stays small.
-func buildGroupSQL(g *groupInfo, deltaSide byte) (string, []rdb.Value) {
+func (e *Engine) buildGroupSQL(g *groupInfo, deltaSide byte) (string, []rdb.Value) {
 	// View the join from the delta side: d* is the delta input, f* the full
 	// (materialized) side.
 	dProp, fProp := g.leftProp, g.rightProp
@@ -352,7 +372,7 @@ func buildGroupSQL(g *groupInfo, deltaSide byte) (string, []rdb.Value) {
 		where = append(where,
 			"s1.uri_reference = ro.uri_reference", "s1.property = ?",
 			"s2.uri_reference = ro.uri_reference", "s2.property = ?",
-			compareSQL("s1.value", "s2.value", g.op, g.numeric),
+			e.compareSQL("s1.value", "s2.value", g.op, g.numeric),
 			"jr.group_id = ?", dRule+" = ro.rule_id")
 		params = append(params, rdb.NewText(g.leftProp), rdb.NewText(g.rightProp), rdb.NewInt(g.id))
 		text := "SELECT jr.rule_id, ro.uri_reference FROM " + strings.Join(from, ", ") +
@@ -372,12 +392,16 @@ func buildGroupSQL(g *groupInfo, deltaSide byte) (string, []rdb.Value) {
 	// Orient the comparison as originally written (left op right).
 	cmp := func(dv, fv string) string {
 		if flipped {
-			return compareSQL(fv, dv, op, g.numeric)
+			return e.compareSQL(fv, dv, op, g.numeric)
 		}
-		return compareSQL(dv, fv, op, g.numeric)
+		return e.compareSQL(dv, fv, op, g.numeric)
 	}
 
-	eqJoin := op == rules.OpEq && !g.numeric
+	// Equi-joins resolve the partner through an index: string equality via
+	// the (class, property, value) statement index, numeric equality via
+	// the typed (class, property, num_value) one (unavailable under the
+	// CAST ablation, which must reconvert and therefore enumerate).
+	eqJoin := op == rules.OpEq && (!g.numeric || !e.opts.DisableTypedIndexes)
 	var outFull string
 	if eqJoin {
 		// Resolve the full-side resource through value indexes, then check
@@ -387,11 +411,15 @@ func buildGroupSQL(g *groupInfo, deltaSide byte) (string, []rdb.Value) {
 			from = append(from, "RuleResults rr")
 			where = append(where, "rr.uri_reference = "+deltaVal)
 		} else {
-			// Full side joined by property value: (class, property, value)
-			// statement index finds the partner, then its RuleResults rows.
+			// Full side joined by property value: the statement index finds
+			// the partner, then its RuleResults rows.
+			join := "sf.value = " + deltaVal
+			if g.numeric {
+				join = "sf.num_value = " + numCol(deltaVal)
+			}
 			from = append(from, "Statements sf", "RuleResults rr")
 			where = append(where,
-				"sf.class = ?", "sf.property = ?", "sf.value = "+deltaVal,
+				"sf.class = ?", "sf.property = ?", join,
 				"rr.uri_reference = sf.uri_reference")
 			params = append(params, rdb.NewText(fClass), rdb.NewText(fProp))
 		}
@@ -426,7 +454,7 @@ func buildGroupSQL(g *groupInfo, deltaSide byte) (string, []rdb.Value) {
 
 // buildFullJoinSQL constructs the full-evaluation query for one join rule
 // (both sides from RuleResults), used at rule registration time.
-func buildFullJoinSQL(g *groupInfo, leftRule, rightRule int64) (string, []rdb.Value) {
+func (e *Engine) buildFullJoinSQL(g *groupInfo, leftRule, rightRule int64) (string, []rdb.Value) {
 	var from []string
 	var where []string
 	var params []rdb.Value
@@ -436,7 +464,7 @@ func buildFullJoinSQL(g *groupInfo, leftRule, rightRule int64) (string, []rdb.Va
 		where = append(where, "rl.rule_id = ?",
 			"s1.uri_reference = rl.uri_reference", "s1.property = ?",
 			"s2.uri_reference = rl.uri_reference", "s2.property = ?",
-			compareSQL("s1.value", "s2.value", g.op, g.numeric))
+			e.compareSQL("s1.value", "s2.value", g.op, g.numeric))
 		params = append(params, rdb.NewInt(leftRule), rdb.NewText(g.leftProp), rdb.NewText(g.rightProp))
 		return "SELECT rl.uri_reference FROM " + strings.Join(from, ", ") +
 			" WHERE " + strings.Join(where, " AND "), params
@@ -453,7 +481,7 @@ func buildFullJoinSQL(g *groupInfo, leftRule, rightRule int64) (string, []rdb.Va
 		leftVal = "sl.value"
 	}
 
-	eqJoin := g.op == rules.OpEq && !g.numeric
+	eqJoin := g.op == rules.OpEq && (!g.numeric || !e.opts.DisableTypedIndexes)
 	var rightURI string
 	switch {
 	case eqJoin && g.rightProp == "":
@@ -462,9 +490,13 @@ func buildFullJoinSQL(g *groupInfo, leftRule, rightRule int64) (string, []rdb.Va
 		params = append(params, rdb.NewInt(rightRule))
 		rightURI = "rr.uri_reference"
 	case eqJoin && g.rightProp != "":
+		join := "sr.value = " + leftVal
+		if g.numeric {
+			join = "sr.num_value = " + numCol(leftVal)
+		}
 		from = append(from, "Statements sr", "RuleResults rr")
 		where = append(where,
-			"sr.class = ?", "sr.property = ?", "sr.value = "+leftVal,
+			"sr.class = ?", "sr.property = ?", join,
 			"rr.rule_id = ?", "rr.uri_reference = sr.uri_reference")
 		params = append(params, rdb.NewText(g.rightClass), rdb.NewText(g.rightProp), rdb.NewInt(rightRule))
 		rightURI = "rr.uri_reference"
@@ -479,7 +511,7 @@ func buildFullJoinSQL(g *groupInfo, leftRule, rightRule int64) (string, []rdb.Va
 			params = append(params, rdb.NewText(g.rightProp))
 			rightVal = "sr.value"
 		}
-		where = append(where, compareSQL(leftVal, rightVal, g.op, g.numeric))
+		where = append(where, e.compareSQL(leftVal, rightVal, g.op, g.numeric))
 		rightURI = "rr.uri_reference"
 	}
 

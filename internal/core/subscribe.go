@@ -229,6 +229,9 @@ func (e *Engine) releaseInterned(interned []int64) error {
 		}
 		if !grows.Empty() {
 			gid := grows.Data[0][0].Int
+			if err := e.rebuildGroupFeeds(gid); err != nil {
+				return err
+			}
 			mrows, err := e.db.Query(`SELECT COUNT(*) FROM JoinRules WHERE group_id = ?`, rdb.NewInt(gid))
 			if err != nil {
 				return err

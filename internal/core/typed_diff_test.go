@@ -1,0 +1,216 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mdv/internal/core"
+	"mdv/internal/rdf"
+)
+
+// Differential test for the typed operator indexes (§3.3.4): the engine with
+// typed num_value columns and ordered-index range scans must produce exactly
+// the matches of the ablated engine that reconverts string-stored constants
+// via CAST at match time, over randomized operator/constant mixes that lean
+// on the awkward numeric lexicals — leading zeros ("007" vs "7"), trailing
+// decimals ("7.0"), scientific notation ("1e2"), signed zero ("-0"),
+// negatives, NaN and the infinities — plus non-numeric string constants on
+// numeric properties (which must route to the lexical EQ/NE tables in both
+// engines) and all four workload rule shapes (OID, PATH, COMP, JOIN).
+
+func typedDiffSchema() *rdf.Schema {
+	s := rdf.NewSchema()
+	s.MustAddProperty("Host", rdf.PropertyDef{Name: "load", Type: rdf.TypeFloat})
+	s.MustAddProperty("Host", rdf.PropertyDef{Name: "mem", Type: rdf.TypeInteger})
+	s.MustAddProperty("Host", rdf.PropertyDef{Name: "tag", Type: rdf.TypeString})
+	s.MustAddProperty("Host", rdf.PropertyDef{
+		Name: "info", Type: rdf.TypeResource, RefClass: "Info", RefKind: rdf.StrongRef})
+	s.MustAddProperty("Info", rdf.PropertyDef{Name: "cpu", Type: rdf.TypeInteger})
+	s.MustAddProperty("Info", rdf.PropertyDef{Name: "temp", Type: rdf.TypeFloat})
+	return s
+}
+
+// Lexical pools. Every entry must pass schema validation for its type; the
+// float pool deliberately contains several spellings of the same number so
+// that typed parsing and CAST reconversion must agree on coercion, and the
+// non-finite values so that both paths must agree on the NaN/±Inf total
+// order.
+var (
+	diffFloats = []string{
+		"007", "7", "7.0", "7.25", "0", "-0", "-3.5", "40", "1e2", "NaN", "Inf", "-Inf"}
+	diffInts = []string{"-3", "0", "7", "007", "12", "40"}
+	diffTags = []string{"abc", "007", "xylophone", "ab"}
+)
+
+func typedDiffRule(rng *rand.Rand) string {
+	op := randomOp(rng)
+	switch rng.Intn(10) {
+	case 0: // OID point rule
+		return fmt.Sprintf(`search Host h register h where h = 'doc%d.rdf#host'`, rng.Intn(12))
+	case 1: // COMP on a float property, integer constant
+		return fmt.Sprintf(`search Host h register h where h.load %s %d`, op, rng.Intn(40))
+	case 2: // COMP on a float property, decimal constant
+		return fmt.Sprintf(`search Host h register h where h.load %s %d.25`, op, rng.Intn(40))
+	case 3: // COMP on an integer property
+		return fmt.Sprintf(`search Host h register h where h.mem %s %d`, op, rng.Intn(40))
+	case 4: // PATH through a reference
+		return fmt.Sprintf(`search Host h register h where h.info.cpu %s %d`, op, rng.Intn(40))
+	case 5: // PATH to a float property
+		return fmt.Sprintf(`search Host h register h where h.info.temp %s %d`, op, rng.Intn(40))
+	case 6: // string constant on a numeric property: lexical EQ/NE semantics
+		eq := []string{"=", "!="}[rng.Intn(2)]
+		consts := append([]string{"abc", "", " 7"}, diffInts...)
+		return fmt.Sprintf(`search Host h register h where h.mem %s '%s'`,
+			eq, consts[rng.Intn(len(consts))])
+	case 7: // plain string matching
+		return fmt.Sprintf(`search Host h register h where h.tag contains '%s'`,
+			diffTags[rng.Intn(len(diffTags))])
+	case 8: // reference join with a numeric side predicate
+		return fmt.Sprintf(
+			`search Host h, Info i register i where h.info = i and h.mem %s %d`,
+			op, rng.Intn(40))
+	default: // conjunction mixing float and integer comparisons
+		return fmt.Sprintf(
+			`search Host h register h where h.load %s %d and h.info.cpu %s %d`,
+			op, rng.Intn(40), randomOp(rng), rng.Intn(40))
+	}
+}
+
+func typedDiffDoc(rng *rand.Rand, i int) *rdf.Document {
+	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
+	host := doc.NewResource("host", "Host")
+	host.Add("load", rdf.Lit(diffFloats[rng.Intn(len(diffFloats))]))
+	host.Add("mem", rdf.Lit(diffInts[rng.Intn(len(diffInts))]))
+	host.Add("tag", rdf.Lit(diffTags[rng.Intn(len(diffTags))]))
+	if rng.Intn(4) > 0 {
+		if rng.Intn(4) == 0 { // cross-document reference, possibly dangling
+			host.Add("info", rdf.Ref(fmt.Sprintf("doc%d.rdf#info", rng.Intn(12))))
+		} else {
+			host.Add("info", rdf.Ref(doc.QualifyID("info")))
+		}
+		info := doc.NewResource("info", "Info")
+		info.Add("cpu", rdf.Lit(diffInts[rng.Intn(len(diffInts))]))
+		info.Add("temp", rdf.Lit(diffFloats[rng.Intn(len(diffFloats))]))
+	}
+	return doc
+}
+
+// TestTypedIndexDifferential runs identical randomized workloads through a
+// typed-index engine and a CAST-ablated engine and requires identical match
+// sets for every subscription after every mutation.
+func TestTypedIndexDifferential(t *testing.T) {
+	seeds := []int64{3, 11, 42, 271, 9001, 123456}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := typedDiffSchema()
+			typed, err := core.NewEngine(schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cast, err := core.NewEngineWithOptions(schema, core.Options{DisableTypedIndexes: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			type sub struct {
+				typedID, castID int64
+				rule            string
+			}
+			var subs []sub
+			addSub := func() {
+				rule := typedDiffRule(rng)
+				tid, _, err := typed.Subscribe("lmr", rule)
+				if err != nil {
+					t.Fatalf("typed subscribe %q: %v", rule, err)
+				}
+				cid, _, err := cast.Subscribe("lmr", rule)
+				if err != nil {
+					t.Fatalf("cast subscribe %q: %v", rule, err)
+				}
+				subs = append(subs, sub{typedID: tid, castID: cid, rule: rule})
+			}
+			for i := 0; i < 10; i++ {
+				addSub()
+			}
+
+			check := func(step string) {
+				t.Helper()
+				for _, s := range subs {
+					got := engineMatches(t, typed, s.typedID)
+					want := engineMatches(t, cast, s.castID)
+					if strings.Join(got, ",") != strings.Join(want, ",") {
+						t.Fatalf("%s: rule %q:\n typed %v\n cast  %v",
+							step, s.rule, got, want)
+					}
+				}
+			}
+
+			live := map[int]bool{}
+			nextDoc := 0
+			for step := 0; step < 25; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5 || len(live) == 0: // register a fresh batch
+					n := 1 + rng.Intn(3)
+					var docs []*rdf.Document
+					for i := 0; i < n; i++ {
+						docs = append(docs, typedDiffDoc(rng, nextDoc))
+						live[nextDoc] = true
+						nextDoc++
+					}
+					if _, err := typed.RegisterDocuments(docs); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := cast.RegisterDocuments(docs); err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("step %d register %d", step, n))
+				case op < 8: // rewrite an existing document with new values
+					num := pickLive(rng, live)
+					d := typedDiffDoc(rng, num)
+					if _, err := typed.RegisterDocument(d); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := cast.RegisterDocument(d); err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("step %d update doc%d", step, num))
+				case op < 9: // delete a document
+					num := pickLive(rng, live)
+					delete(live, num)
+					uri := fmt.Sprintf("doc%d.rdf", num)
+					if _, err := typed.DeleteDocument(uri); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := cast.DeleteDocument(uri); err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("step %d delete %s", step, uri))
+				default: // subscribe mid-stream (exercises initializeTrigger)
+					addSub()
+					check(fmt.Sprintf("step %d subscribe", step))
+				}
+			}
+		})
+	}
+}
+
+func pickLive(rng *rand.Rand, live map[int]bool) int {
+	nums := make([]int, 0, len(live))
+	for n := range live {
+		nums = append(nums, n)
+	}
+	// Deterministic order so the rng draw is reproducible.
+	for i := 1; i < len(nums); i++ {
+		for j := i; j > 0 && nums[j] < nums[j-1]; j-- {
+			nums[j], nums[j-1] = nums[j-1], nums[j]
+		}
+	}
+	return nums[rng.Intn(len(nums))]
+}

@@ -135,7 +135,7 @@ func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
 			for _, a := range singleResourceAtoms(r) {
 				if _, err := e.prep.insStatement.Exec(
 					rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
-					rdb.NewText(a.Value), rdb.NewBool(a.IsRef)); err != nil {
+					rdb.NewText(a.Value), numValue(a.Value), rdb.NewBool(a.IsRef)); err != nil {
 					return nil, err
 				}
 			}

@@ -173,8 +173,24 @@ func (p *selectPlan) bindRel(i int, env []rdb.Value, params []rdb.Value, emit fu
 		return scanErr
 
 	case accessIndexRange:
-		low := rdb.Key{rdb.MinSentinel()}
-		high := rdb.Key{rdb.MaxSentinel()}
+		// The scan covers the equality prefix (keyExprs, possibly empty)
+		// plus low/high bounds on the next index column. A prefix-only end
+		// is inclusive of every key sharing the prefix (ScanRange truncates
+		// the comparison to the bound's length); with no prefix an open end
+		// falls back to a sentinel.
+		prefix := make(rdb.Key, 0, len(rel.access.keyExprs)+1)
+		for _, ce := range rel.access.keyExprs {
+			v, err := ce(env, params)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return nil // NULL never equals anything: no matches
+			}
+			prefix = append(prefix, v)
+		}
+		low := append(rdb.Key{}, prefix...)
+		high := append(rdb.Key{}, prefix...)
 		if rel.access.lowExpr != nil {
 			v, err := rel.access.lowExpr(env, params)
 			if err != nil {
@@ -183,7 +199,9 @@ func (p *selectPlan) bindRel(i int, env []rdb.Value, params []rdb.Value, emit fu
 			if v.IsNull() {
 				return nil
 			}
-			low = rdb.Key{v}
+			low = append(low, v)
+		} else if len(prefix) == 0 {
+			low = rdb.Key{rdb.MinSentinel()}
 		}
 		if rel.access.highExpr != nil {
 			v, err := rel.access.highExpr(env, params)
@@ -193,7 +211,9 @@ func (p *selectPlan) bindRel(i int, env []rdb.Value, params []rdb.Value, emit fu
 			if v.IsNull() {
 				return nil
 			}
-			high = rdb.Key{v}
+			high = append(high, v)
+		} else if len(prefix) == 0 {
+			high = rdb.Key{rdb.MaxSentinel()}
 		}
 		var scanErr error
 		err := rel.access.index.ScanRange(low, high, func(_ rdb.Key, rowID int64) bool {

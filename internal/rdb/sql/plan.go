@@ -72,10 +72,12 @@ type accessPath struct {
 	kind  accessKind
 	index *rdb.Index
 	// keyExprs computes the lookup key (point/prefix) from the already-bound
-	// environment and parameters.
+	// environment and parameters. For range access it is the equality prefix
+	// (possibly empty) preceding the ranged column.
 	keyExprs []cexpr
-	// Range bounds on the first index column (range access only); nil bound
-	// means open. Exclusive bounds are enforced by the residual filter.
+	// Range bounds on the index column immediately after the keyExprs prefix
+	// (range access only); nil bound means open. Exclusive bounds are
+	// enforced by the residual filter.
 	lowExpr, highExpr cexpr
 }
 
@@ -402,11 +404,27 @@ func (p *selectPlan) planAccess(i int, rel *relPlan, conjuncts []*conjunct) erro
 		}
 	}
 
-	// Choose the index covering the longest equality prefix.
+	// Choose the index covering the longest equality prefix. Ties prefer a
+	// full-key point lookup, then an ordered index whose next column carries
+	// a range bound (prefix + range beats a plain prefix scan), then a
+	// unique index.
 	type choice struct {
 		index   *rdb.Index
 		covered []eqCandidate // one per covered prefix column
 		point   bool
+		ranged  bool
+	}
+	better := func(c, b *choice) bool {
+		if len(c.covered) != len(b.covered) {
+			return len(c.covered) > len(b.covered)
+		}
+		if c.point != b.point {
+			return c.point
+		}
+		if c.ranged != b.ranged {
+			return c.ranged
+		}
+		return c.index.Def.Unique && !b.index.Def.Unique
 	}
 	var best *choice
 	indexes := rel.table.Indexes()
@@ -436,10 +454,10 @@ func (p *selectPlan) planAccess(i int, rel *relPlan, conjuncts []*conjunct) erro
 			continue // hash index needs the full key
 		}
 		c := &choice{index: ix, covered: covered, point: point}
-		if best == nil ||
-			len(c.covered) > len(best.covered) ||
-			(len(c.covered) == len(best.covered) && c.point && !best.point) ||
-			(len(c.covered) == len(best.covered) && c.point == best.point && c.index.Def.Unique && !best.index.Def.Unique) {
+		if !point {
+			c.ranged = hasRangeOn(ranges, cols[len(covered)])
+		}
+		if best == nil || better(c, best) {
 			best = c
 		}
 	}
@@ -453,11 +471,23 @@ func (p *selectPlan) planAccess(i int, rel *relPlan, conjuncts []*conjunct) erro
 			keyExprs[k] = ce
 			eq.cj.usedKey = true
 		}
-		kind := accessIndexPoint
+		ap := accessPath{kind: accessIndexPoint, index: best.index, keyExprs: keyExprs}
 		if !best.point {
-			kind = accessIndexPrefix
+			ap.kind = accessIndexPrefix
+			// An ordered index narrows further with range bounds on the
+			// column right after the equality prefix. The range conjuncts
+			// stay in the filter list (bounds are applied inclusively;
+			// exclusivity and NULL semantics are re-checked).
+			if best.ranged {
+				low, high, err := p.rangeBoundExprs(ranges, best.index.ColumnPositions()[len(best.covered)])
+				if err != nil {
+					return err
+				}
+				ap.kind = accessIndexRange
+				ap.lowExpr, ap.highExpr = low, high
+			}
 		}
-		rel.access = accessPath{kind: kind, index: best.index, keyExprs: keyExprs}
+		rel.access = ap
 		return nil
 	}
 
@@ -469,46 +499,62 @@ func (p *selectPlan) planAccess(i int, rel *relPlan, conjuncts []*conjunct) erro
 			continue
 		}
 		first := ix.ColumnPositions()[0]
-		var low, high Expr
-		for _, rc := range ranges {
-			if rc.colIdx != first {
-				continue
-			}
-			switch rc.op {
-			case ">", ">=":
-				if low == nil {
-					low = rc.value
-				}
-			case "<", "<=":
-				if high == nil {
-					high = rc.value
-				}
-			}
-		}
-		if low == nil && high == nil {
+		if !hasRangeOn(ranges, first) {
 			continue
 		}
-		ap := accessPath{kind: accessIndexRange, index: ix}
-		if low != nil {
-			ce, err := compileExpr(low, p.sc, nil)
-			if err != nil {
-				return err
-			}
-			ap.lowExpr = ce
+		low, high, err := p.rangeBoundExprs(ranges, first)
+		if err != nil {
+			return err
 		}
-		if high != nil {
-			ce, err := compileExpr(high, p.sc, nil)
-			if err != nil {
-				return err
-			}
-			ap.highExpr = ce
-		}
-		rel.access = ap
+		rel.access = accessPath{kind: accessIndexRange, index: ix, lowExpr: low, highExpr: high}
 		return nil
 	}
 
 	rel.access = accessPath{kind: accessFullScan}
 	return nil
+}
+
+// hasRangeOn reports whether any range conjunct bounds the given column.
+func hasRangeOn(ranges []rangeCandidate, colIdx int) bool {
+	for _, rc := range ranges {
+		if rc.colIdx == colIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeBoundExprs compiles the low/high bound expressions available for one
+// index column from the range candidates. A nil result means that end is
+// open.
+func (p *selectPlan) rangeBoundExprs(ranges []rangeCandidate, colIdx int) (low, high cexpr, err error) {
+	var lowE, highE Expr
+	for _, rc := range ranges {
+		if rc.colIdx != colIdx {
+			continue
+		}
+		switch rc.op {
+		case ">", ">=":
+			if lowE == nil {
+				lowE = rc.value
+			}
+		case "<", "<=":
+			if highE == nil {
+				highE = rc.value
+			}
+		}
+	}
+	if lowE != nil {
+		if low, err = compileExpr(lowE, p.sc, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	if highE != nil {
+		if high, err = compileExpr(highE, p.sc, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	return low, high, nil
 }
 
 func flipOp(op string) string {
