@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +37,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat ping interval; a provider silent for 3x this is declared dead (0 disables)")
 		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-message write deadline and default request timeout (0 disables)")
 		sendQueue  = flag.Int("send-queue", 256, "bounded per-client send queue on the LMR's own server")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
 	)
 	flag.Parse()
 
@@ -42,6 +45,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lmr: -mdp and -schema are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("lmr: pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("lmr: pprof: %v", err)
+			}
+		}()
 	}
 	f, err := os.Open(*schemaPath)
 	if err != nil {

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +50,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat ping interval; peers silent for 3x this are disconnected (0 disables)")
 		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-message write deadline on subscriber connections (0 disables)")
 		sendQueue  = flag.Int("send-queue", 256, "bounded per-subscriber send queue; overflow disconnects the subscriber")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 		peers      peerList
 	)
 	flag.Var(&peers, "peer", "backbone peer address (repeatable)")
@@ -69,6 +72,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mdp: unknown -wal-sync %q (want group, always, or none)\n", *walSync)
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("mdp: pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("mdp: pprof: %v", err)
+			}
+		}()
 	}
 	f, err := os.Open(*schemaPath)
 	if err != nil {

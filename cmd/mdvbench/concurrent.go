@@ -1,0 +1,207 @@
+// Concurrency figures (DESIGN.md §8): aggregate query throughput against
+// reader goroutine count, and the pipelined publish stage against
+// sequential filter+delivery. These mirror BenchmarkConcurrentQuery and
+// BenchmarkPublishPipelined in the root package, but with mdvbench's
+// fresh-setup-per-cell methodology and -json records.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdv/internal/core"
+	"mdv/internal/lmr"
+	"mdv/internal/provider"
+	"mdv/internal/rdf"
+	"mdv/internal/workload"
+)
+
+// cqQuery is a single-table scan matching 11 of the cached documents
+// (host39 plus host390..host399 when 400 documents are cached); the
+// writer only rewrites synthValue, so the result set is stable.
+const cqQuery = `search CycleProvider c register c where c.serverHost contains 'host39'`
+
+// rewriteDoc rewrites document i with a fresh synthValue so every writer
+// registration produces a real changeset without changing which documents
+// cqQuery matches.
+func rewriteDoc(i, v int) *rdf.Document {
+	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
+	host := doc.NewResource("host", "CycleProvider")
+	host.Add("serverHost", rdf.Lit(fmt.Sprintf("host%d.uni-passau.de", i)))
+	host.Add("serverPort", rdf.Lit("5874"))
+	host.Add("synthValue", rdf.Lit(fmt.Sprint(v)))
+	host.Add("serverInformation", rdf.Ref(doc.QualifyID("info")))
+	info := doc.NewResource("info", "ServerInformation")
+	info.Add("memory", rdf.Lit(fmt.Sprint(i)))
+	info.Add("cpu", rdf.Lit("600"))
+	return doc
+}
+
+// figureConcurrent measures aggregate LMR query throughput at 1/2/4/8
+// reader goroutines, with and without a concurrent writer re-registering
+// documents. The read path takes only shared locks; on multi-core
+// hardware the readonly column scales with readers until cores saturate,
+// and on any hardware neither extra readers nor the writer may collapse
+// throughput.
+func figureConcurrent(div, reps int) {
+	docs := 400 / div
+	queries := 200 * reps
+	prov, err := provider.New("mdp", workload.Schema())
+	if err != nil {
+		panic(err)
+	}
+	node, err := lmr.New("lmr", workload.Schema(), prov)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := node.AddSubscription(
+		`search CycleProvider c register c where c.serverPort >= 0`); err != nil {
+		panic(err)
+	}
+	gen := workload.Generator{Type: workload.PATH}
+	if err := prov.RegisterDocuments(gen.Batch(0, docs)); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\nConcurrency — aggregate LMR query throughput (%d cached documents, %d queries per cell)\n", docs, queries)
+	fmt.Printf("%-8s  %-22s  %-22s\n", "readers", "readonly (us/query)", "with writer (us/query)")
+	for _, readers := range []int{1, 2, 4, 8} {
+		fmt.Printf("%-8d", readers)
+		for _, withWriter := range []bool{false, true} {
+			stop := make(chan struct{})
+			var wwg sync.WaitGroup
+			if withWriter {
+				wwg.Add(1)
+				go func() {
+					defer wwg.Done()
+					for v := 0; ; v++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := prov.RegisterDocument(rewriteDoc(v%(docs/8), v)); err != nil {
+							panic(err)
+						}
+						time.Sleep(500 * time.Microsecond)
+					}
+				}()
+			}
+			var wg sync.WaitGroup
+			t0 := time.Now()
+			for r := 0; r < readers; r++ {
+				n := queries / readers
+				if r < queries%readers {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := node.Query(cqQuery); err != nil {
+							panic(err)
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			elapsed := time.Since(t0)
+			close(stop)
+			wwg.Wait()
+			us := float64(elapsed.Microseconds()) / float64(queries)
+			qps := float64(queries) / elapsed.Seconds()
+			fmt.Printf("  %-9.1f %9.0f/s", us, qps)
+			label := "readonly"
+			if withWriter {
+				label = "writer"
+			}
+			records = append(records, record{
+				Figure: "concurrent", Label: label, RuleType: "QUERY",
+				Batch: readers, UsPerDoc: us, Reps: reps,
+			})
+		}
+		fmt.Println()
+	}
+}
+
+// figurePipeline compares sequential filter+delivery against the
+// turnstile pipeline: a subscriber needing ~10ms per changeset, documents
+// registered in batches of 40 over a PATH rule base. Delivery cost is
+// wall-time (a blocked peer), not CPU, so the pipelined column approaches
+// max(filter, delivery) instead of their sum — on single-proc machines
+// GOMAXPROCS is raised to 2 so the sleeping deliverer's timer wakeup does
+// not have to wait out the running filter chunk.
+func figurePipeline(div, reps int) {
+	const batch = 40
+	const deliveryCost = 10 * time.Millisecond
+	ruleBase := 1000 / div
+	ops := 20 * reps
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+
+	fmt.Printf("\nPipeline — per-registration cost, batches of %d over a %d-rule PATH base, %.0fms delivery\n",
+		batch, ruleBase, float64(deliveryCost.Milliseconds()))
+	fmt.Printf("%-12s  %-12s  %-12s   (per op / per doc)\n", "mode", "us/op", "us/doc")
+	for _, mode := range []struct {
+		name    string
+		writers int
+		deliver bool
+	}{
+		{"filterOnly", 1, false},
+		{"sequential", 1, true},
+		{"pipelined", 4, true},
+	} {
+		prov, err := provider.New("mdp", workload.Schema())
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.Generator{Type: workload.PATH, RuleBase: ruleBase}
+		for i := 0; i < ruleBase; i++ {
+			if _, _, err := prov.Subscribe("rules", gen.Rule(i)); err != nil {
+				panic(err)
+			}
+		}
+		if mode.deliver {
+			if err := prov.Attach("lmr", func(uint64, bool, *core.Changeset) error {
+				time.Sleep(deliveryCost)
+				return nil
+			}); err != nil {
+				panic(err)
+			}
+			if _, _, err := prov.Subscribe("lmr",
+				`search CycleProvider c register c where c.serverPort >= 0`); err != nil {
+				panic(err)
+			}
+		}
+		var next int64 = int64(ruleBase)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < mode.writers; w++ {
+			n := ops / mode.writers
+			if w < ops%mode.writers {
+				n++
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					base := atomic.AddInt64(&next, batch) - batch
+					if err := prov.RegisterDocuments(gen.Batch(int(base), batch)); err != nil {
+						panic(err)
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		usPerOp := float64(time.Since(t0).Microseconds()) / float64(ops)
+		fmt.Printf("%-12s  %-12.0f  %-12.1f\n", mode.name, usPerOp, usPerOp/batch)
+		records = append(records, record{
+			Figure: "pipeline", Label: mode.name, RuleType: workload.PATH.String(),
+			Rules: ruleBase, Batch: batch, UsPerDoc: usPerOp / batch, Reps: reps,
+		})
+	}
+}

@@ -1,6 +1,6 @@
 // mdvbench regenerates the performance experiments of the paper's §4
-// (Figures 11-15) plus the ablation and baseline comparisons described in
-// DESIGN.md. For every figure it prints the series the paper plots: the
+// (Figures 11-15) plus the ablation, baseline, and concurrency
+// comparisons described in DESIGN.md. For every figure it prints the series the paper plots: the
 // average registration time of a single RDF document (total filter runtime
 // of a batch divided by the batch size) against the batch size, for each
 // rule base configuration.
@@ -38,7 +38,7 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "figure to reproduce: 11|12|13|14|15|ablation|baseline|all")
+	figFlag   = flag.String("fig", "all", "figure to reproduce: 11|12|13|14|15|ablation|baseline|concurrent|pipeline|all")
 	scaleFlag = flag.String("scale", "paper", "rule base scale: paper|small")
 	repsFlag  = flag.Int("reps", 1, "repetitions per measurement (median reported)")
 	batchFlag = flag.String("batches", "1,2,5,10,20,50,100,200,500,1000", "comma-separated batch sizes")
@@ -151,6 +151,12 @@ func main() {
 		// The naive baseline costs ~100 ms/doc at a 1,000-rule base; cap
 		// its batches as well.
 		baseline(1000/div, capBatches(batches, 100))
+	}
+	if run("concurrent") {
+		figureConcurrent(div, *repsFlag)
+	}
+	if run("pipeline") {
+		figurePipeline(div, *repsFlag)
 	}
 	if *jsonFlag != "" {
 		writeJSON(*jsonFlag)

@@ -1,0 +1,235 @@
+// Benchmarks for the concurrent read path and the pipelined publish
+// stage (DESIGN.md §8).
+//
+// BenchmarkConcurrentQuery measures aggregate LMR query throughput as the
+// number of reader goroutines grows, with and without a concurrent
+// writer. The read path (repository View -> query evaluator -> rdb
+// ReadTxn) takes only shared locks, so on multi-core hardware aggregate
+// throughput scales with readers until cores saturate. On a single-core
+// machine the useful signal is flatness: adding readers or a concurrent
+// writer must not collapse throughput, which it would under the old
+// exclusive-lock read path where every query serialized behind every
+// other query and behind whole filter runs.
+//
+// BenchmarkPublishPipelined measures per-registration cost when delivery
+// fan-out is expensive (a subscriber that needs ~10ms per changeset —
+// think a slow wire peer). In "sequential" mode one goroutine registers
+// batches back-to-back: every operation pays filter + delivery. In
+// "pipelined" mode four goroutines publish concurrently: delivery
+// happens outside the publish lock (behind the order-preserving
+// turnstile), so one operation's filter run overlaps another's delivery
+// and the per-operation cost approaches max(filter, delivery) instead of
+// their sum. The "filterOnly" mode (no attached subscriber) is the floor.
+// Delivery here is wall-time, not CPU, so the overlap pays off even on
+// one core — but it needs GOMAXPROCS >= 2: with a single P the sleeping
+// deliverer's timer wakeup has to wait out the running filter chunk,
+// which re-serializes stages the architecture allows to overlap. The
+// benchmark raises GOMAXPROCS to 2 on single-proc machines; real
+// multi-core deployments need no such help.
+package mdv_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdv/internal/core"
+	"mdv/internal/lmr"
+	"mdv/internal/provider"
+	"mdv/internal/rdf"
+	"mdv/internal/workload"
+)
+
+const cqDocs = 400
+
+// cqQuery is a single-table scan matching the 11 documents whose host
+// name starts with host39 (doc 39 and docs 390..399); writerDoc below
+// rewrites only synthValue, so the result set is stable across
+// iterations and variants.
+const cqQuery = `search CycleProvider c register c where c.serverHost contains 'host39'`
+
+var (
+	cqMu   sync.Mutex
+	cqProv *provider.Provider
+	cqNode *lmr.Node
+)
+
+// concurrentQueryState builds (once) a provider + LMR pair with cqDocs
+// documents cached, mirroring the cached-engine idiom of bench_test.go so
+// repeated harness invocations with growing b.N skip the setup.
+func concurrentQueryState(b *testing.B) (*provider.Provider, *lmr.Node) {
+	b.Helper()
+	cqMu.Lock()
+	defer cqMu.Unlock()
+	if cqNode != nil {
+		return cqProv, cqNode
+	}
+	prov, err := provider.New("mdp", workload.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, err := lmr.New("lmr", workload.Schema(), prov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := node.AddSubscription(
+		`search CycleProvider c register c where c.serverPort >= 0`); err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.Generator{Type: workload.PATH}
+	if err := prov.RegisterDocuments(gen.Batch(0, cqDocs)); err != nil {
+		b.Fatal(err)
+	}
+	cqProv, cqNode = prov, node
+	return prov, node
+}
+
+// writerDoc rewrites document i (i < 50) with a fresh synthValue so every
+// registration produces a real changeset delivered to the LMR, without
+// changing which documents cqQuery matches.
+func writerDoc(i, v int) *rdf.Document {
+	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
+	host := doc.NewResource("host", "CycleProvider")
+	host.Add("serverHost", rdf.Lit(fmt.Sprintf("host%d.uni-passau.de", i)))
+	host.Add("serverPort", rdf.Lit("5874"))
+	host.Add("synthValue", rdf.Lit(fmt.Sprint(v)))
+	host.Add("serverInformation", rdf.Ref(doc.QualifyID("info")))
+	info := doc.NewResource("info", "ServerInformation")
+	info.Add("memory", rdf.Lit(fmt.Sprint(i)))
+	info.Add("cpu", rdf.Lit("600"))
+	return doc
+}
+
+func BenchmarkConcurrentQuery(b *testing.B) {
+	for _, withWriter := range []bool{false, true} {
+		variant := "readonly"
+		if withWriter {
+			variant = "withWriter"
+		}
+		b.Run(variant, func(b *testing.B) {
+			for _, readers := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+					prov, node := concurrentQueryState(b)
+					stop := make(chan struct{})
+					var wwg sync.WaitGroup
+					if withWriter {
+						wwg.Add(1)
+						go func() {
+							defer wwg.Done()
+							for v := 0; ; v++ {
+								select {
+								case <-stop:
+									return
+								default:
+								}
+								if err := prov.RegisterDocument(writerDoc(v%50, v)); err != nil {
+									b.Error(err)
+									return
+								}
+								// A steady publish load, not a saturating one:
+								// the writer models ongoing metadata churn.
+								time.Sleep(500 * time.Microsecond)
+							}
+						}()
+					}
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for r := 0; r < readers; r++ {
+						n := b.N / readers
+						if r < b.N%readers {
+							n++
+						}
+						wg.Add(1)
+						go func(n int) {
+							defer wg.Done()
+							for i := 0; i < n; i++ {
+								if _, err := node.Query(cqQuery); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(n)
+					}
+					wg.Wait()
+					b.StopTimer()
+					close(stop)
+					wwg.Wait()
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+				})
+			}
+		})
+	}
+}
+
+const (
+	ppRuleBase     = 1000
+	ppBatch        = 40 // documents per registration: filter ~ delivery cost
+	ppDeliveryCost = 10 * time.Millisecond
+)
+
+// publishPipelinedRun registers b.N batches across the given number of
+// writers against a fresh provider carrying a PATH rule base. With
+// deliver=true one subscriber receives every changeset at ppDeliveryCost
+// apiece; document indexes start past the rule base so each operation is
+// a full triggering run plus exactly that one delivery.
+func publishPipelinedRun(b *testing.B, writers int, deliver bool) {
+	// The benchmark runner re-applies GOMAXPROCS around every sub-benchmark
+	// run, so the bump has to happen inside it.
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+	prov, err := provider.New("mdp", workload.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.Generator{Type: workload.PATH, RuleBase: ppRuleBase}
+	for i := 0; i < ppRuleBase; i++ {
+		if _, _, err := prov.Subscribe("rules", gen.Rule(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if deliver {
+		if err := prov.Attach("lmr", func(uint64, bool, *core.Changeset) error {
+			time.Sleep(ppDeliveryCost)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := prov.Subscribe("lmr",
+			`search CycleProvider c register c where c.serverPort >= 0`); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next int64 = ppRuleBase
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		n := b.N / writers
+		if w < b.N%writers {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				base := atomic.AddInt64(&next, ppBatch) - ppBatch
+				if err := prov.RegisterDocuments(gen.Batch(int(base), ppBatch)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N), "us/op")
+}
+
+func BenchmarkPublishPipelined(b *testing.B) {
+	b.Run("filterOnly", func(b *testing.B) { publishPipelinedRun(b, 1, false) })
+	b.Run("sequential", func(b *testing.B) { publishPipelinedRun(b, 1, true) })
+	b.Run("pipelined", func(b *testing.B) { publishPipelinedRun(b, 4, true) })
+}

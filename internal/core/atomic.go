@@ -819,6 +819,12 @@ func (e *Engine) unmaterialize(rule int64, uri string) error {
 // RuleResultsOf returns the materialized matches of an atomic rule, for
 // tests and the initial cache fill on subscription.
 func (e *Engine) RuleResultsOf(rule int64) ([]string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ruleResultsOfLocked(rule)
+}
+
+func (e *Engine) ruleResultsOfLocked(rule int64) ([]string, error) {
 	rows, err := e.db.Query(`SELECT uri_reference FROM RuleResults WHERE rule_id = ? ORDER BY uri_reference`,
 		rdb.NewInt(rule))
 	if err != nil {

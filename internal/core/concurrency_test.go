@@ -69,6 +69,47 @@ func TestConcurrentRegistrationsAndQueries(t *testing.T) {
 			}
 		}()
 	}
+	// Concurrent engine readers: the RW-locked read surface (browse,
+	// stats, subscription listings, match evaluation) must run in parallel
+	// with the writers without torn reads.
+	engine := prov.Engine()
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := engine.Browse("CycleProvider", "h.example"); err != nil {
+					t.Errorf("browse: %v", err)
+					return
+				}
+				st := engine.Stats()
+				if st.DocumentsRegistered < 0 {
+					t.Error("stats: negative counter")
+					return
+				}
+				subs, err := engine.Subscriptions()
+				if err != nil {
+					t.Errorf("subscriptions: %v", err)
+					return
+				}
+				for _, s := range subs {
+					if _, err := engine.MatchingResources(s.ID); err != nil {
+						t.Errorf("matching resources: %v", err)
+						return
+					}
+				}
+				if _, err := engine.DocumentURIs(); err != nil {
+					t.Errorf("document uris: %v", err)
+					return
+				}
+			}
+		}()
+	}
 	// Concurrent subscriber churn.
 	wg.Add(1)
 	go func() {

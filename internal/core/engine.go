@@ -59,8 +59,20 @@ type Stats struct {
 }
 
 // Engine is the MDV filter engine of one Metadata Provider.
+//
+// Concurrency: mu is a reader/writer lock. Mutating operations
+// (RegisterDocuments, DeleteDocument, Subscribe, Unsubscribe,
+// RegisterNamedRule, Save) hold it exclusively; read-only inspection
+// (Subscriptions, SubscriptionsOf, EndRulesOf, MatchingResources,
+// NamedRules, Stats, Browse, GetResource, StoredDocument, DocumentURIs,
+// RuleResultsOf, ResubscribeFill, the counters) holds it shared, so any
+// number of readers run concurrently and block only while a writer is in
+// its exclusive section. Internal helpers suffixed "Locked" assume the
+// caller holds mu in the required mode. The stats counters are mutated
+// only under the exclusive lock, so a shared lock suffices for a
+// consistent snapshot.
 type Engine struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	db     *sql.DB
 	schema *rdf.Schema
 	opts   Options
@@ -131,10 +143,12 @@ func (e *Engine) DB() *sql.DB { return e.db }
 // Schema returns the engine's metadata schema.
 func (e *Engine) Schema() *rdf.Schema { return e.schema }
 
-// Stats returns a copy of the engine's counters.
+// Stats returns a consistent copy of the engine's counters. Counters are
+// only mutated under the exclusive lock, so the shared lock guarantees the
+// copy does not tear against a concurrent registration.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.stats
 }
 
@@ -402,6 +416,8 @@ func (e *Engine) prepare() {
 
 // scalar counts for introspection and tests.
 func (e *Engine) count(table string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	rows, err := e.db.Query(`SELECT COUNT(*) FROM ` + table)
 	if err != nil {
 		return -1

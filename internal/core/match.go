@@ -7,19 +7,26 @@ import (
 
 	"mdv/internal/rdb"
 	"mdv/internal/rdb/sql"
-	"mdv/internal/rdf"
 	"mdv/internal/rules"
 )
 
 // stmtCache caches prepared statements for the dynamically shaped join
 // queries (shape depends on operator and which operands access properties;
-// classes and property names are passed as parameters).
+// classes and property names are passed as parameters). It is RW-locked so
+// concurrent readers resolving an already cached shape never serialize;
+// only a cache miss takes the exclusive lock to prepare and insert.
 type stmtCache struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[string]*sql.Stmt
 }
 
 func (e *Engine) cachedStmt(text string) (*sql.Stmt, error) {
+	e.cache.mu.RLock()
+	st, ok := e.cache.m[text]
+	e.cache.mu.RUnlock()
+	if ok {
+		return st, nil
+	}
 	e.cache.mu.Lock()
 	defer e.cache.mu.Unlock()
 	if e.cache.m == nil {
@@ -93,15 +100,16 @@ const (
 // then iteratively evaluates dependent join rules until no new results
 // appear. It returns every (atomic rule, resource) match derived in this
 // run.
-func (e *Engine) runFilter(atoms []rdf.Statement, mode filterMode) (*matchSet, error) {
+func (e *Engine) runFilter(atoms []preparedAtom, mode filterMode) (*matchSet, error) {
 	e.stats.FilterRuns++
 	if _, err := e.prep.clearFilter.Exec(); err != nil {
 		return nil, err
 	}
-	for _, a := range atoms {
+	for _, pa := range atoms {
+		a := pa.stmt
 		if _, err := e.prep.insFilterData.Exec(
 			rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
-			rdb.NewText(a.Value), numValue(a.Value), rdb.NewBool(a.IsRef)); err != nil {
+			rdb.NewText(a.Value), pa.num, rdb.NewBool(a.IsRef)); err != nil {
 			return nil, err
 		}
 	}

@@ -166,7 +166,7 @@ func (e *Engine) buildPublishSet(before, after *matchSet, updated, deleted []*rd
 				continue
 			}
 			cs := ps.changesetFor(subscriber)
-			cur, ok, err := e.GetResource(r.URIRef)
+			cur, ok, err := e.getResourceLocked(r.URIRef)
 			if err != nil {
 				return nil, err
 			}
@@ -220,7 +220,7 @@ func (e *Engine) buildPublishSet(before, after *matchSet, updated, deleted []*rd
 
 // buildUpsert assembles an upsert with its strong-reference closure.
 func (e *Engine) buildUpsert(uri string, subIDs map[int64]bool) (*Upsert, error) {
-	res, ok, err := e.GetResource(uri)
+	res, ok, err := e.getResourceLocked(uri)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +262,7 @@ func (e *Engine) strongClosure(res *rdf.Resource) ([]*rdf.Resource, error) {
 				continue
 			}
 			visited[target] = true
-			tres, ok, err := e.GetResource(target)
+			tres, ok, err := e.getResourceLocked(target)
 			if err != nil {
 				return nil, err
 			}

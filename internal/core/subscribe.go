@@ -70,7 +70,7 @@ func (e *Engine) Subscribe(subscriber, ruleText string) (int64, *Changeset, erro
 	cs := &Changeset{}
 	delivered := map[string]bool{}
 	for _, end := range endRules {
-		uris, err := e.RuleResultsOf(end)
+		uris, err := e.ruleResultsOfLocked(end)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -97,8 +97,8 @@ func (e *Engine) Subscribe(subscriber, ruleText string) (int64, *Changeset, erro
 // changeset when it cannot prove a gap-free changelog replay for a
 // resuming subscriber (e.g. after truncation).
 func (e *Engine) ResubscribeFill(subscriber string) (*Changeset, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	subRows, err := e.db.Query(`SELECT sub_id FROM Subscriptions WHERE subscriber = ?`,
 		rdb.NewText(subscriber))
 	if err != nil {
@@ -113,7 +113,7 @@ func (e *Engine) ResubscribeFill(subscriber string) (*Changeset, error) {
 			return nil, err
 		}
 		for _, er := range endRows.Data {
-			uris, err := e.RuleResultsOf(er[0].Int)
+			uris, err := e.ruleResultsOfLocked(er[0].Int)
 			if err != nil {
 				return nil, err
 			}
@@ -248,6 +248,8 @@ func (e *Engine) releaseInterned(interned []int64) error {
 
 // Subscriptions lists all registered subscriptions, sorted by id.
 func (e *Engine) Subscriptions() ([]Subscription, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	rows, err := e.db.Query(`SELECT sub_id, subscriber, rule_text FROM Subscriptions ORDER BY sub_id`)
 	if err != nil {
 		return nil, err
@@ -261,6 +263,8 @@ func (e *Engine) Subscriptions() ([]Subscription, error) {
 
 // SubscriptionsOf lists a subscriber's subscriptions.
 func (e *Engine) SubscriptionsOf(subscriber string) ([]Subscription, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	rows, err := e.db.Query(
 		`SELECT sub_id, subscriber, rule_text FROM Subscriptions WHERE subscriber = ? ORDER BY sub_id`,
 		rdb.NewText(subscriber))
@@ -304,8 +308,8 @@ func (e *Engine) RegisterNamedRule(name, ruleText string) error {
 
 // NamedRules lists the registered rule names, sorted.
 func (e *Engine) NamedRules() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]string, 0, len(e.named))
 	for name := range e.named {
 		out = append(out, name)
@@ -321,6 +325,12 @@ func (e *Engine) resolveNamed(name string) (*rules.NormalRule, bool) {
 
 // EndRulesOf returns the end atomic rules of a subscription (tests).
 func (e *Engine) EndRulesOf(subID int64) ([]int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.endRulesOfLocked(subID)
+}
+
+func (e *Engine) endRulesOfLocked(subID int64) ([]int64, error) {
 	rows, err := e.db.Query(`SELECT end_rule FROM SubscriptionEndRules WHERE sub_id = ? ORDER BY end_rule`,
 		rdb.NewInt(subID))
 	if err != nil {
@@ -336,14 +346,16 @@ func (e *Engine) EndRulesOf(subID int64) ([]int64, error) {
 // MatchingResources evaluates which resources currently match a
 // subscription (the union of its end rules' materialized results).
 func (e *Engine) MatchingResources(subID int64) ([]*rdf.Resource, error) {
-	ends, err := e.EndRulesOf(subID)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ends, err := e.endRulesOfLocked(subID)
 	if err != nil {
 		return nil, err
 	}
 	seen := map[string]bool{}
 	var out []*rdf.Resource
 	for _, end := range ends {
-		uris, err := e.RuleResultsOf(end)
+		uris, err := e.ruleResultsOfLocked(end)
 		if err != nil {
 			return nil, err
 		}
@@ -352,7 +364,7 @@ func (e *Engine) MatchingResources(subID int64) ([]*rdf.Resource, error) {
 				continue
 			}
 			seen[uri] = true
-			res, ok, err := e.GetResource(uri)
+			res, ok, err := e.getResourceLocked(uri)
 			if err != nil {
 				return nil, err
 			}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"mdv/internal/rdb"
 	"mdv/internal/rdf"
@@ -23,21 +25,34 @@ func (e *Engine) RegisterDocument(doc *rdf.Document) (*PublishSet, error) {
 // strong-reference closures), removals for resources that no longer match
 // a subscription, and forced deletes for resources removed at the source.
 func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
-	var added, updatedNew, updatedOld, deleted []*rdf.Resource
-	var changes []docChange
-
+	// The CPU-bound per-document work — schema validation, serialization,
+	// atom decomposition (§3.2), numeric-shadow parsing — is fanned out
+	// across a worker pool BEFORE the exclusive section, so the engine
+	// lock covers only the stored-version diff, table mutation, and the
+	// filter run, and concurrent readers are blocked for less of each
+	// registration.
 	seen := map[string]bool{}
 	for _, doc := range docs {
 		if seen[doc.URI] {
 			return nil, fmt.Errorf("core: duplicate document %s in batch", doc.URI)
 		}
 		seen[doc.URI] = true
-		if err := e.schema.ValidateDocument(doc); err != nil {
-			return nil, err
+	}
+	prep := e.prepareBatch(docs)
+	for _, pd := range prep {
+		if pd.err != nil {
+			return nil, pd.err
 		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	var added, updatedNew, updatedOld, deleted []*rdf.Resource
+	var changes []docChange
+	atoms := map[*rdf.Resource][]preparedAtom{}
+
+	for i, doc := range docs {
 		old, isNew, err := e.loadStoredDocument(doc.URI)
 		if err != nil {
 			return nil, err
@@ -47,7 +62,10 @@ func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
 		updatedNew = append(updatedNew, diff.Updated...)
 		updatedOld = append(updatedOld, diff.OldUpdated...)
 		deleted = append(deleted, diff.Deleted...)
-		changes = append(changes, docChange{doc: doc, content: rdf.DocumentString(doc), isNew: isNew})
+		changes = append(changes, docChange{doc: doc, content: prep[i].content, isNew: isNew})
+		for r, pa := range prep[i].atoms {
+			atoms[r] = pa
+		}
 	}
 
 	// Reject cross-document URI collisions for added resources.
@@ -86,7 +104,10 @@ func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
 	// the old data — and their materializations are retracted.
 	var before *matchSet
 	if len(updatedOld)+len(deleted) > 0 {
-		oldAtoms := resourceAtoms(append(append([]*rdf.Resource{}, updatedOld...), deleted...))
+		var oldAtoms []preparedAtom
+		for _, r := range append(append([]*rdf.Resource{}, updatedOld...), deleted...) {
+			oldAtoms = append(oldAtoms, atomsOf(atoms, r)...)
+		}
 		m, err := e.runFilter(oldAtoms, modeCollect)
 		if err != nil {
 			return nil, err
@@ -132,10 +153,11 @@ func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
 				rdb.NewText(r.URIRef), rdb.NewText(docURI), rdb.NewText(r.Class)); err != nil {
 				return nil, err
 			}
-			for _, a := range singleResourceAtoms(r) {
+			for _, pa := range atomsOf(atoms, r) {
+				a := pa.stmt
 				if _, err := e.prep.insStatement.Exec(
 					rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
-					rdb.NewText(a.Value), numValue(a.Value), rdb.NewBool(a.IsRef)); err != nil {
+					rdb.NewText(a.Value), pa.num, rdb.NewBool(a.IsRef)); err != nil {
 					return nil, err
 				}
 			}
@@ -147,7 +169,10 @@ func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
 	// materializing the derived matches.
 	var after *matchSet
 	if len(added)+len(updatedNew) > 0 {
-		newAtoms := resourceAtoms(append(append([]*rdf.Resource{}, added...), updatedNew...))
+		var newAtoms []preparedAtom
+		for _, r := range append(append([]*rdf.Resource{}, added...), updatedNew...) {
+			newAtoms = append(newAtoms, atomsOf(atoms, r)...)
+		}
 		m, err := e.runFilter(newAtoms, modeMaterialize)
 		if err != nil {
 			return nil, err
@@ -227,22 +252,106 @@ func (e *Engine) docURIOf(changes []docChange, uriRef string) (string, error) {
 	return "", fmt.Errorf("core: resource %s not found in batch", uriRef)
 }
 
-// resourceAtoms decomposes resources into statements (paper §3.2).
-func resourceAtoms(rs []*rdf.Resource) []rdf.Statement {
-	var out []rdf.Statement
-	for _, r := range rs {
-		out = append(out, singleResourceAtoms(r)...)
-	}
-	return out
-}
-
 func singleResourceAtoms(r *rdf.Resource) []rdf.Statement {
 	d := rdf.Document{Resources: []*rdf.Resource{r}}
 	return d.Statements()
 }
 
+// preparedAtom is one decomposed statement (paper §3.2) together with its
+// pre-parsed numeric shadow value (what the Statements and FilterData
+// num_value columns store).
+type preparedAtom struct {
+	stmt rdf.Statement
+	num  rdb.Value
+}
+
+// decomposeResource decomposes one resource into prepared atoms.
+func decomposeResource(r *rdf.Resource) []preparedAtom {
+	as := singleResourceAtoms(r)
+	out := make([]preparedAtom, len(as))
+	for i, a := range as {
+		out[i] = preparedAtom{stmt: a, num: numValue(a.Value)}
+	}
+	return out
+}
+
+// atomsOf returns a resource's precomputed decomposition, computing it on
+// the spot when the resource was not part of the prepared batch (the old
+// version of an updated resource, loaded from the Documents table).
+func atomsOf(m map[*rdf.Resource][]preparedAtom, r *rdf.Resource) []preparedAtom {
+	if pa, ok := m[r]; ok {
+		return pa
+	}
+	return decomposeResource(r)
+}
+
+// preparedDoc is the per-document output of prepareBatch: everything a
+// registration needs that does not depend on engine state.
+type preparedDoc struct {
+	content string
+	atoms   map[*rdf.Resource][]preparedAtom
+	err     error
+}
+
+// prepareBatch fans the CPU-bound per-document work of a registration
+// batch — schema validation, serialization for the Documents table, and
+// atom decomposition with numeric parsing — across a runtime.NumCPU()
+// worker pool. It touches no engine state, so it runs outside the lock.
+func (e *Engine) prepareBatch(docs []*rdf.Document) []preparedDoc {
+	out := make([]preparedDoc, len(docs))
+	workers := runtime.NumCPU()
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers <= 1 {
+		for i, doc := range docs {
+			out[i] = e.prepareDoc(doc)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.prepareDoc(docs[i])
+			}
+		}()
+	}
+	for i := range docs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func (e *Engine) prepareDoc(doc *rdf.Document) preparedDoc {
+	pd := preparedDoc{}
+	if err := e.schema.ValidateDocument(doc); err != nil {
+		pd.err = err
+		return pd
+	}
+	pd.content = rdf.DocumentString(doc)
+	pd.atoms = make(map[*rdf.Resource][]preparedAtom, len(doc.Resources))
+	for _, r := range doc.Resources {
+		pd.atoms[r] = decomposeResource(r)
+	}
+	return pd
+}
+
 // GetResource reconstructs a resource from the Statements table.
 func (e *Engine) GetResource(uriRef string) (*rdf.Resource, bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.getResourceLocked(uriRef)
+}
+
+// getResourceLocked is GetResource for callers already holding e.mu in
+// either mode.
+func (e *Engine) getResourceLocked(uriRef string) (*rdf.Resource, bool, error) {
 	rows, err := e.prep.stmtsOfURI.Query(rdb.NewText(uriRef))
 	if err != nil {
 		return nil, false, err
@@ -268,6 +377,8 @@ func (e *Engine) GetResource(uriRef string) (*rdf.Resource, bool, error) {
 
 // DocumentURIs lists all registered document URIs.
 func (e *Engine) DocumentURIs() ([]string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	rows, err := e.db.Query(`SELECT uri FROM Documents ORDER BY uri`)
 	if err != nil {
 		return nil, err
@@ -281,8 +392,8 @@ func (e *Engine) DocumentURIs() ([]string, error) {
 
 // StoredDocument returns the stored serialized form of a document.
 func (e *Engine) StoredDocument(uri string) (*rdf.Document, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	doc, isNew, err := e.loadStoredDocument(uri)
 	if err != nil {
 		return nil, err
@@ -297,8 +408,8 @@ func (e *Engine) StoredDocument(uri string) (*rdf.Document, error) {
 // their serialized properties — the MDP-side browsing facility real users
 // use to select metadata for caching (paper §2.2, Figure 2).
 func (e *Engine) Browse(class, contains string) ([]*rdf.Resource, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	rows, err := e.db.Query(`SELECT uri_reference FROM Resources WHERE class = ? ORDER BY uri_reference`,
 		rdb.NewText(class))
 	if err != nil {
@@ -306,7 +417,7 @@ func (e *Engine) Browse(class, contains string) ([]*rdf.Resource, error) {
 	}
 	var out []*rdf.Resource
 	for _, row := range rows.Data {
-		res, ok, err := e.GetResource(row[0].Str)
+		res, ok, err := e.getResourceLocked(row[0].Str)
 		if err != nil {
 			return nil, err
 		}

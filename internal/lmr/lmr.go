@@ -40,7 +40,10 @@ type Node struct {
 	eval *query.Evaluator
 	prov ProviderAPI
 
-	mu       sync.Mutex
+	// mu guards the node's own bookkeeping (subscriptions, ack cursor,
+	// provider handle). Reads take it shared; it is never held across
+	// provider calls or query evaluation.
+	mu       sync.RWMutex
 	subs     map[int64]string // subID -> rule text
 	attached bool
 	// ackSeq is the highest applied sequence queued for acknowledgment;
@@ -145,8 +148,8 @@ func (n *Node) ackLoop() {
 
 // AckedSeq returns the highest sequence acknowledged to the provider.
 func (n *Node) AckedSeq() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.ackSent
 }
 
@@ -224,8 +227,8 @@ func (n *Node) RemoveSubscription(subID int64) error {
 
 // Subscriptions lists the node's subscriptions (id -> rule text).
 func (n *Node) Subscriptions() map[int64]string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make(map[int64]string, len(n.subs))
 	for id, rule := range n.subs {
 		out[id] = rule
@@ -235,9 +238,20 @@ func (n *Node) Subscriptions() map[int64]string {
 
 // Query evaluates an MDV query against the local cache only (§2.2: "LMRs
 // cache global metadata and use only locally available metadata for query
-// processing").
+// processing"). Evaluation runs under the repository's shared lock:
+// concurrent queries proceed in parallel and block only while a pushed
+// changeset is being applied.
 func (n *Node) Query(q string) ([]*rdf.Resource, error) {
-	return n.eval.Evaluate(q)
+	var out []*rdf.Resource
+	err := n.repo.View(func() error {
+		var err error
+		out, err = n.eval.Evaluate(q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RegisterLocalDocument stores LMR-private metadata.

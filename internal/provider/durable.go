@@ -424,8 +424,11 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 	if p.dur == nil {
 		return 0, nil
 	}
+	// Collect the replay (or the reset fill) under pubMu — it must match
+	// the log position exactly — then deliver through the turnstile like
+	// any publish, so the replay slots into the total order without
+	// blocking concurrent registrations during its fan-out.
 	p.pubMu.Lock()
-	defer p.pubMu.Unlock()
 	latest := p.dur.log.LastSeq()
 	// A cursor inside the crash-lost range points at pushes whose records
 	// no longer exist (they were delivered, then died unsynced): the
@@ -433,39 +436,47 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 	// reset restores convergence.
 	lost := p.dur.lostHi != 0 && fromSeq >= p.dur.lostLo && fromSeq <= p.dur.lostHi
 	if fromSeq == latest && !lost {
+		p.pubMu.Unlock()
 		return latest, nil // already current
 	}
 	// latest becomes the subscriber's new cursor; it must be claimed like
 	// any delivered sequence before it is handed out.
 	if err := p.claimDeliveredLocked(latest); err != nil {
+		p.pubMu.Unlock()
 		return 0, err
 	}
 	gapFree := !lost && fromSeq < latest && fromSeq+1 >= p.dur.log.OldestSeq()
+	var dels []delivery
 	if !gapFree {
 		fill, err := p.engine.ResubscribeFill(subscriber)
 		if err != nil {
+			p.pubMu.Unlock()
 			return 0, err
 		}
-		p.deliverLocked(subscriber, latest, true, fill, true)
-		return latest, nil
-	}
-	err := p.dur.log.Replay(fromSeq+1, func(seq uint64, payload []byte) error {
-		var rec logRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return fmt.Errorf("provider: changelog record %d: %w", seq, err)
-		}
-		if rec.Kind != recPub || rec.Subscriber != subscriber || rec.Changeset == nil {
+		dels = append(dels, delivery{subscriber: subscriber, seq: latest, reset: true, cs: fill, sync: true})
+	} else {
+		err := p.dur.log.Replay(fromSeq+1, func(seq uint64, payload []byte) error {
+			var rec logRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return fmt.Errorf("provider: changelog record %d: %w", seq, err)
+			}
+			if rec.Kind != recPub || rec.Subscriber != subscriber || rec.Changeset == nil {
+				return nil
+			}
+			// Replays block on queue backpressure (sync) rather than drop:
+			// the backlog can exceed any queue bound, and the resuming
+			// subscriber is actively draining it.
+			dels = append(dels, delivery{subscriber: subscriber, seq: seq, cs: rec.Changeset, sync: true})
 			return nil
+		})
+		if err != nil {
+			p.pubMu.Unlock()
+			return 0, err
 		}
-		// Replays block on queue backpressure (sync) rather than drop: the
-		// backlog can exceed any queue bound, and the resuming subscriber
-		// is actively draining it.
-		p.deliverLocked(subscriber, seq, false, rec.Changeset, true)
-		return nil
-	})
-	if err != nil {
-		return 0, err
 	}
+	t := p.turn.ticket()
+	p.pubMu.Unlock()
+	p.deliverInTurn(t, dels)
 	return latest, nil
 }
 

@@ -58,13 +58,18 @@ type Provider struct {
 	OnDeliveryError func(subscriber string, err error)
 
 	// pubMu imposes a total order on everything a subscriber observes:
-	// registrations/deletions hold it across the engine run and the
-	// delivery of the resulting changesets, and Subscribe holds it across
-	// rule registration and the delivery of the initial cache fill. Without
-	// it, a changeset computed after a subscription could be delivered
-	// before the subscription's initial fill and be overwritten by stale
-	// data.
+	// registrations/deletions hold it across the engine run, the changelog
+	// append, and the sequence assignment of the resulting changesets, and
+	// Subscribe holds it across rule registration and the sequencing of the
+	// initial cache fill. Delivery itself happens OUTSIDE pubMu: each
+	// operation takes a delivery ticket while still holding the lock (so
+	// ticket order equals publish order), releases pubMu, and then performs
+	// its deliveries when the turnstile serves its ticket. The next
+	// operation's filter run overlaps with this one's delivery fan-out,
+	// while every subscriber still observes changesets in publish order.
 	pubMu sync.Mutex
+	// turn is the delivery turnstile sequencing the delivery stage.
+	turn deliveryTurnstile
 	// pubPending counts operations queued for or holding pubMu. The
 	// changelog's group-commit leader reads it (via DurableOptions' busy
 	// hook) to decide whether delaying its fsync would let more operations
@@ -88,6 +93,74 @@ func (p *Provider) unlockPub() {
 	p.pubPending.Add(-1)
 }
 
+// deliveryTurnstile hands the publish order over to the delivery stage.
+// Tickets are issued under pubMu, so ticket order equals publish order;
+// holders then deliver outside the lock, one at a time, in ticket order.
+type deliveryTurnstile struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	next  uint64 // next ticket to issue
+	serve uint64 // ticket currently allowed to deliver
+}
+
+// ticket issues the next delivery ticket. Call while holding pubMu.
+func (t *deliveryTurnstile) ticket() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	t.next++
+	return n
+}
+
+// wait blocks until ticket n is served.
+func (t *deliveryTurnstile) wait(n uint64) {
+	t.mu.Lock()
+	for t.serve != n {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}
+
+// done passes the turn to the next ticket.
+func (t *deliveryTurnstile) done() {
+	t.mu.Lock()
+	t.serve++
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// delivery is one changeset delivery collected under pubMu and performed
+// by the delivery stage.
+type delivery struct {
+	subscriber string
+	seq        uint64
+	reset      bool
+	cs         *core.Changeset
+	sync       bool
+}
+
+// deliverInTurn waits for the operation's turn at the delivery stage,
+// performs its deliveries in order, and passes the turn on. The ticket
+// must have been issued while the operation still held pubMu.
+func (p *Provider) deliverInTurn(t uint64, dels []delivery) {
+	p.turn.wait(t)
+	defer p.turn.done()
+	for _, d := range dels {
+		p.deliver(d.subscriber, d.seq, d.reset, d.cs, d.sync)
+	}
+}
+
+// unlockPubAndDeliver releases the publish lock and performs the collected
+// deliveries in publish order. Deliveries stay synchronous from the
+// caller's point of view — the operation returns only after its changesets
+// reached every attached channel — but they no longer hold pubMu, so the
+// next operation's filter run proceeds concurrently.
+func (p *Provider) unlockPubAndDeliver(dels []delivery) {
+	t := p.turn.ticket()
+	p.unlockPub()
+	p.deliverInTurn(t, dels)
+}
+
 // New creates an MDP with a fresh filter engine.
 func New(name string, schema *rdf.Schema) (*Provider, error) {
 	return NewWithOptions(name, schema, core.Options{})
@@ -105,13 +178,15 @@ func NewWithOptions(name string, schema *rdf.Schema, opts core.Options) (*Provid
 // NewFromEngine wraps an existing engine (e.g. one restored from a
 // snapshot via core.Load) as a provider.
 func NewFromEngine(name string, engine *core.Engine) *Provider {
-	return &Provider{
+	p := &Provider{
 		name:       name,
 		engine:     engine,
 		attached:   map[string][]ApplyFunc{},
 		wireAttach: map[string][]*wire.ServerConn{},
 		delStats:   map[string]*subscriberCounters{},
 	}
+	p.turn.cond = sync.NewCond(&p.turn.mu)
+	return p
 }
 
 // subscriberCounters are one subscriber's cumulative delivery health
@@ -176,19 +251,23 @@ func (p *Provider) attachWire(subscriber string, conn *wire.ServerConn) {
 	p.wireAttach[subscriber] = append(p.wireAttach[subscriber], conn)
 }
 
-// publishLocked fans a publish set out to the attached subscribers. The
-// caller must hold pubMu. On a durable provider, every non-empty
-// changeset is first appended to the changelog as a publish record; the
+// publishLocked sequences a publish set: on a durable provider, every
+// changeset is appended to the changelog as a publish record and the
+// delivered-watermark is claimed over its sequence. The caller must hold
+// pubMu. The collected deliveries are returned for the delivery stage (see
+// unlockPubAndDeliver) — nothing is handed to a subscriber here, so the
+// claim-before-handoff invariant holds: by the time a delivery leaves this
+// operation's turnstile turn, its sequence is durably claimed. The
 // returned sequence is the highest one appended (0 otherwise), which the
-// caller passes to WaitDurable before acknowledging the operation.
-// Delivery failures are reported through OnDeliveryError and the failing
-// wire channel is detached; they do not fail the registration (the
-// metadata is already committed).
-func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, error) {
+// caller passes to WaitDurable before acknowledging the operation. On a
+// mid-batch error the deliveries collected so far are still returned; the
+// caller delivers them (their publish records exist) and then fails.
+func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, []delivery, error) {
 	if ps == nil {
-		return 0, nil
+		return 0, nil, nil
 	}
 	var maxSeq uint64
+	var dels []delivery
 	// Deterministic subscriber order keeps publish records replayable in a
 	// stable order across recovery runs.
 	for _, subscriber := range ps.Subscribers() {
@@ -198,32 +277,33 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, error) {
 			var err error
 			seq, err = p.appendPubLocked(subscriber, cs)
 			if err != nil {
-				return maxSeq, err
+				return maxSeq, dels, err
 			}
 			maxSeq = seq
-			// The push below reaches the subscriber before this operation's
+			// The push reaches the subscriber before this operation's
 			// group-commit fsync returns, so the delivered-watermark must
 			// durably cover its sequence first (no-op within a claimed chunk).
 			if err := p.claimDeliveredLocked(seq); err != nil {
-				return maxSeq, err
+				return maxSeq, dels, err
 			}
 		}
-		p.deliverLocked(subscriber, seq, false, cs, false)
+		dels = append(dels, delivery{subscriber: subscriber, seq: seq, cs: cs})
 	}
-	return maxSeq, nil
+	return maxSeq, dels, nil
 }
 
-// deliverLocked pushes one changeset to every attached channel of the
-// subscriber. The caller must hold pubMu (delivery order is the published
-// order). Wire delivery is asynchronous: the changeset is queued on the
-// connection's bounded outbound queue and a writer goroutine drains it, so
-// the publish path never blocks on a peer's TCP window. With sync false
-// (live publishes) a full queue means a slow subscriber: the connection is
+// deliver pushes one changeset to every attached channel of the
+// subscriber. Callers run on the delivery stage (deliverInTurn), which
+// serializes deliveries in publish order without holding pubMu. Wire
+// delivery is asynchronous: the changeset is queued on the connection's
+// bounded outbound queue and a writer goroutine drains it, so the publish
+// path never blocks on a peer's TCP window. With sync false (live
+// publishes) a full queue means a slow subscriber: the connection is
 // dropped and the changeset with it — the subscriber reconnects and
 // resumes gap-free from its changelog cursor. With sync true (resume
 // replays, which can exceed any queue bound while the receiver is actively
 // draining) the enqueue blocks instead.
-func (p *Provider) deliverLocked(subscriber string, seq uint64, reset bool, cs *core.Changeset, sync bool) {
+func (p *Provider) deliver(subscriber string, seq uint64, reset bool, cs *core.Changeset, sync bool) {
 	p.mu.Lock()
 	fns := append([]ApplyFunc(nil), p.attached[subscriber]...)
 	conns := append([]*wire.ServerConn(nil), p.wireAttach[subscriber]...)
@@ -297,13 +377,13 @@ func (p *Provider) registerDocuments(docs []*rdf.Document, replicated bool) erro
 		p.unlockPub()
 		return err
 	}
-	pubSeq, err := p.publishLocked(ps)
-	p.unlockPub()
+	pubSeq, dels, pubErr := p.publishLocked(ps)
+	p.unlockPubAndDeliver(dels)
 	if pubSeq > durSeq {
 		durSeq = pubSeq
 	}
-	if err != nil {
-		return err
+	if pubErr != nil {
+		return pubErr
 	}
 	if err := p.awaitDurable(durSeq); err != nil {
 		return err
@@ -338,13 +418,13 @@ func (p *Provider) deleteDocument(uri string, replicated bool) error {
 		p.unlockPub()
 		return err
 	}
-	pubSeq, err := p.publishLocked(ps)
-	p.unlockPub()
+	pubSeq, dels, pubErr := p.publishLocked(ps)
+	p.unlockPubAndDeliver(dels)
 	if pubSeq > durSeq {
 		durSeq = pubSeq
 	}
-	if err != nil {
-		return err
+	if pubErr != nil {
+		return pubErr
 	}
 	if err := p.awaitDurable(durSeq); err != nil {
 		return err
@@ -390,18 +470,21 @@ func (p *Provider) Subscribe(subscriber, rule string) (int64, *core.Changeset, e
 		p.unlockPub()
 		return 0, nil, err
 	}
+	var dels []delivery
 	if initial != nil && !initial.Empty() {
 		ps := &core.PublishSet{Changesets: map[string]*core.Changeset{subscriber: initial}}
-		pubSeq, err := p.publishLocked(ps)
+		var pubSeq uint64
+		var pubErr error
+		pubSeq, dels, pubErr = p.publishLocked(ps)
 		if pubSeq > durSeq {
 			durSeq = pubSeq
 		}
-		if err != nil {
-			p.unlockPub()
-			return 0, nil, err
+		if pubErr != nil {
+			p.unlockPubAndDeliver(dels)
+			return 0, nil, pubErr
 		}
 	}
-	p.unlockPub()
+	p.unlockPubAndDeliver(dels)
 	if err := p.awaitDurable(durSeq); err != nil {
 		return 0, nil, err
 	}

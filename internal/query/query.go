@@ -34,27 +34,49 @@ func NewEvaluator(db *sql.DB, schema *rdf.Schema) *Evaluator {
 
 // Evaluate runs a query in the MDV query language and returns the matching
 // resources, sorted by URI reference. OR queries evaluate each disjunct and
-// union the results.
+// union the results. The whole evaluation — disjunct queries plus resource
+// reconstruction — runs inside one read transaction, so concurrent queries
+// execute in parallel and each sees a single writer-free snapshot.
 func (ev *Evaluator) Evaluate(src string) ([]*rdf.Resource, error) {
-	uris, err := ev.EvaluateURIs(src)
+	var out []*rdf.Resource
+	err := ev.db.View(func(txn *sql.ReadTxn) error {
+		uris, err := ev.evaluateURIsTxn(txn, src)
+		if err != nil {
+			return err
+		}
+		out = make([]*rdf.Resource, 0, len(uris))
+		for _, uri := range uris {
+			res, ok, err := ev.getResource(txn, uri)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, res)
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]*rdf.Resource, 0, len(uris))
-	for _, uri := range uris {
-		res, ok, err := ev.getResource(uri)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, res)
-		}
 	}
 	return out, nil
 }
 
 // EvaluateURIs runs a query and returns the matching URI references.
 func (ev *Evaluator) EvaluateURIs(src string) ([]string, error) {
+	var out []string
+	err := ev.db.View(func(txn *sql.ReadTxn) error {
+		var err error
+		out, err = ev.evaluateURIsTxn(txn, src)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) evaluateURIsTxn(txn *sql.ReadTxn, src string) ([]string, error) {
 	q, err := rules.Parse(src)
 	if err != nil {
 		return nil, err
@@ -70,7 +92,7 @@ func (ev *Evaluator) EvaluateURIs(src string) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		err = ev.db.QueryFunc(text, params, func(row []rdb.Value) error {
+		err = txn.QueryFunc(text, params, func(row []rdb.Value) error {
 			uri := row[0].Str
 			if !seen[uri] {
 				seen[uri] = true
@@ -86,8 +108,8 @@ func (ev *Evaluator) EvaluateURIs(src string) ([]string, error) {
 	return out, nil
 }
 
-func (ev *Evaluator) getResource(uriRef string) (*rdf.Resource, bool, error) {
-	rows, err := ev.db.Query(
+func (ev *Evaluator) getResource(txn *sql.ReadTxn, uriRef string) (*rdf.Resource, bool, error) {
+	rows, err := txn.Query(
 		`SELECT property, value, is_ref, class FROM CacheStatements WHERE uri_reference = ?`,
 		rdb.NewText(uriRef))
 	if err != nil {

@@ -11,7 +11,11 @@ func lowerName(s string) string { return strings.ToLower(s) }
 
 // Database is a catalog of tables. All catalog operations (create/drop) and
 // table lookups are safe for concurrent use; row-level operations are
-// synchronized per table.
+// synchronized per table through each Table's RWMutex, so scans of
+// different goroutines run concurrently and block only on mutations of the
+// same table. The SQL layer above adds statement-level read/write
+// scheduling (sql.DB.stmtMu) and multi-statement read views (sql.ReadTxn)
+// on top of these per-table locks.
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table

@@ -4,22 +4,26 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mdv/internal/rdb"
 )
 
 // DB wraps an rdb.Database with a SQL interface. Statements are serialized
-// at statement granularity: reader statements (SELECT) run concurrently,
-// writer statements (DDL and DML) run exclusively. This, together with the
-// materialize-before-mutate execution of DML, makes every statement
-// deadlock-free and atomic with respect to other statements.
+// at statement granularity: reader statements (SELECT) run concurrently
+// under the shared statement lock, writer statements (DDL and DML) run
+// exclusively. This, together with the materialize-before-mutate execution
+// of DML, makes every statement deadlock-free and atomic with respect to
+// other statements. Compiled SELECT plans are immutable and allocate all
+// cursor state per execution, so any number of goroutines may run the same
+// prepared statement concurrently; multi-statement read consistency is
+// available through BeginRead/View.
 type DB struct {
 	raw *rdb.Database
 	// stmtMu gives readers shared and writers exclusive access per statement.
 	stmtMu sync.RWMutex
-	// planMu guards the prepared-plan cache of Stmt values handed out.
-	planVersion uint64
-	planVerMu   sync.Mutex
+	// planVersion invalidates cached prepared-statement plans after DDL.
+	planVersion atomic.Uint64
 }
 
 // NewDB wraps an existing engine database.
@@ -33,18 +37,7 @@ func Open() *DB { return NewDB(rdb.NewDatabase()) }
 func (d *DB) Raw() *rdb.Database { return d.raw }
 
 // bumpPlanVersion invalidates cached plans after DDL.
-func (d *DB) bumpPlanVersion() {
-	d.planVerMu.Lock()
-	d.planVersion++
-	d.planVerMu.Unlock()
-}
-
-func (d *DB) currentPlanVersion() uint64 {
-	d.planVerMu.Lock()
-	v := d.planVersion
-	d.planVerMu.Unlock()
-	return v
-}
+func (d *DB) bumpPlanVersion() { d.planVersion.Add(1) }
 
 // Rows is a fully materialized query result.
 type Rows struct {
@@ -483,13 +476,22 @@ func (d *DB) execDelete(s *DeleteStmt, params []rdb.Value) (int, error) {
 
 // Stmt is a prepared statement: the parse tree is cached, and for SELECTs
 // the compiled plan is cached too and re-validated against catalog changes.
+// A Stmt is safe for concurrent use: plans are immutable once built and
+// every execution allocates its own cursor state, so concurrent Query /
+// QueryFunc calls share the cached plan without any per-execution lock.
 type Stmt struct {
 	db  *DB
 	ast Statement
 
-	mu      sync.Mutex
-	plan    *selectPlan
-	planVer uint64
+	// cached is the compiled SELECT plan tagged with the catalog version
+	// it was built against. Racing rebuilds after DDL are benign: the
+	// plans are equivalent and the last store wins.
+	cached atomic.Pointer[cachedPlan]
+}
+
+type cachedPlan struct {
+	plan *selectPlan
+	ver  uint64
 }
 
 // Prepare parses a statement for repeated execution.
@@ -514,18 +516,15 @@ func (d *DB) MustPrepare(query string) *Stmt {
 // selectPlanFor returns a cached plan for the prepared SELECT, rebuilding it
 // if DDL has run since it was compiled.
 func (s *Stmt) selectPlanFor(sel *SelectStmt) (*selectPlan, error) {
-	ver := s.db.currentPlanVersion()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.plan != nil && s.planVer == ver {
-		return s.plan, nil
+	ver := s.db.planVersion.Load()
+	if c := s.cached.Load(); c != nil && c.ver == ver {
+		return c.plan, nil
 	}
 	plan, err := buildSelectPlan(s.db.raw, sel)
 	if err != nil {
 		return nil, err
 	}
-	s.plan = plan
-	s.planVer = ver
+	s.cached.Store(&cachedPlan{plan: plan, ver: ver})
 	return plan, nil
 }
 
@@ -584,4 +583,89 @@ func (d *DB) MustExec(query string, params ...rdb.Value) int {
 		panic(fmt.Sprintf("sql: MustExec(%q): %v", query, err))
 	}
 	return n
+}
+
+// ReadTxn is a multi-statement read-only view of the database: it holds the
+// shared statement lock for its whole lifetime, so no writer statement (DML
+// or DDL) interleaves between its queries, while other readers — including
+// other ReadTxns — proceed concurrently. Obtain one with BeginRead and
+// release it with End (or use View). The owning goroutine must not run
+// writer statements, nor plain DB/Stmt query methods (they would re-acquire
+// the read lock and can deadlock behind a waiting writer), between
+// BeginRead and End; use the ReadTxn's own methods instead.
+type ReadTxn struct {
+	db   *DB
+	done bool
+}
+
+// BeginRead opens a read-only transaction, blocking until no writer
+// statement is running.
+func (d *DB) BeginRead() *ReadTxn {
+	d.stmtMu.RLock()
+	return &ReadTxn{db: d}
+}
+
+// End releases the transaction's shared lock. Safe to call twice.
+func (t *ReadTxn) End() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.db.stmtMu.RUnlock()
+}
+
+// View runs fn inside a read transaction: every query fn issues through the
+// transaction sees the same writer-free snapshot of the database.
+func (d *DB) View(fn func(*ReadTxn) error) error {
+	t := d.BeginRead()
+	defer t.End()
+	return fn(t)
+}
+
+// Query parses and executes a SELECT inside the transaction.
+func (t *ReadTxn) Query(query string, params ...rdb.Value) (*Rows, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
+	}
+	plan, err := buildSelectPlan(t.db.raw, sel)
+	if err != nil {
+		return nil, err
+	}
+	return runPlan(plan, params)
+}
+
+// QueryFunc executes a SELECT inside the transaction, streaming each row to
+// visit.
+func (t *ReadTxn) QueryFunc(query string, params []rdb.Value, visit func(row []rdb.Value) error) error {
+	st, err := Parse(query)
+	if err != nil {
+		return err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return fmt.Errorf("sql: QueryFunc requires a SELECT statement")
+	}
+	plan, err := buildSelectPlan(t.db.raw, sel)
+	if err != nil {
+		return err
+	}
+	return plan.run(params, visit)
+}
+
+// QueryStmt executes a prepared SELECT inside the transaction.
+func (t *ReadTxn) QueryStmt(s *Stmt, params ...rdb.Value) (*Rows, error) {
+	sel, ok := s.ast.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: prepared statement is not a SELECT")
+	}
+	plan, err := s.selectPlanFor(sel)
+	if err != nil {
+		return nil, err
+	}
+	return runPlan(plan, params)
 }

@@ -27,8 +27,14 @@ import (
 )
 
 // Repository is one LMR's cache and bookkeeping state.
+//
+// Concurrency: mu is an RWMutex. Changeset application, local-document
+// registration, unsubscription, and GC take it exclusively; reads (Len,
+// Has, Get, CreditsOf, Resources, Stats, LastSeq, View) take it shared, so
+// any number of client queries run concurrently and block only while a
+// changeset is being applied.
 type Repository struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	name   string
 	schema *rdf.Schema
 	db     *sql.DB
@@ -144,13 +150,25 @@ func (r *Repository) DB() *sql.DB { return r.db }
 
 // Stats returns a copy of the counters.
 func (r *Repository) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.stats
+}
+
+// View runs fn under the repository's shared lock: no changeset is applied
+// while fn executes, so multi-statement reads (query evaluation) see one
+// consistent cache state. fn must not call locking Repository methods
+// (Get/Has/ApplyPush/...) — the lock is not reentrant.
+func (r *Repository) View(fn func() error) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fn()
 }
 
 // Len returns the number of cached resources (global + local).
 func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	rows, err := r.db.Query(`SELECT COUNT(*) FROM Cache`)
 	if err != nil {
 		return -1
@@ -161,15 +179,19 @@ func (r *Repository) Len() int {
 
 // Has reports whether a resource is cached.
 func (r *Repository) Has(uriRef string) bool {
-	rows, err := r.prep.getCache.Query(rdb.NewText(uriRef))
-	if err != nil {
-		return false
-	}
-	return !rows.Empty()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hasLocked(uriRef)
 }
 
 // Get reconstructs a cached resource.
 func (r *Repository) Get(uriRef string) (*rdf.Resource, bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.getLocked(uriRef)
+}
+
+func (r *Repository) getLocked(uriRef string) (*rdf.Resource, bool, error) {
 	rows, err := r.prep.getCache.Query(rdb.NewText(uriRef))
 	if err != nil {
 		return nil, false, err
@@ -198,6 +220,8 @@ func (r *Repository) Get(uriRef string) (*rdf.Resource, bool, error) {
 
 // CreditsOf returns the subscription ids crediting a cached resource.
 func (r *Repository) CreditsOf(uriRef string) ([]int64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	rows, err := r.prep.creditsOf.Query(rdb.NewText(uriRef))
 	if err != nil {
 		return nil, err
@@ -262,8 +286,8 @@ func (r *Repository) dropResource(uriRef string) error {
 // LastSeq returns the highest changelog sequence applied: the cursor a
 // reconnecting LMR resumes the changeset stream from.
 func (r *Repository) LastSeq() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.lastSeq
 }
 
@@ -533,6 +557,8 @@ func (r *Repository) gcLocked() error {
 
 // Resources lists all cached resources of a class (empty class = all).
 func (r *Repository) Resources(class string) ([]*rdf.Resource, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	q := `SELECT uri_reference FROM Cache ORDER BY uri_reference`
 	var params []rdb.Value
 	if class != "" {
@@ -545,7 +571,7 @@ func (r *Repository) Resources(class string) ([]*rdf.Resource, error) {
 	}
 	var out []*rdf.Resource
 	for _, row := range rows.Data {
-		res, ok, err := r.Get(row[0].Str)
+		res, ok, err := r.getLocked(row[0].Str)
 		if err != nil {
 			return nil, err
 		}
