@@ -20,7 +20,6 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
@@ -38,6 +37,7 @@ func main() {
 		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-message write deadline and default request timeout (0 disables)")
 		sendQueue  = flag.Int("send-queue", 256, "bounded per-client send queue on the LMR's own server")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
+		metricsOn  = flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. localhost:6061; shares the pprof mux; empty disables)")
 	)
 	flag.Parse()
 
@@ -87,6 +87,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("lmr: %v", err)
 	}
+	if *metricsOn != "" {
+		reg := mdv.NewMetricsRegistry()
+		node.EnableMetrics(reg)
+		http.Handle("/metrics", reg.Handler())
+		if *metricsOn == *pprofAddr {
+			// The pprof listener already serves the default mux.
+			log.Printf("lmr: metrics on http://%s/metrics (pprof mux)", *metricsOn)
+		} else {
+			go func() {
+				log.Printf("lmr: metrics listening on http://%s/metrics", *metricsOn)
+				if err := http.ListenAndServe(*metricsOn, nil); err != nil {
+					log.Printf("lmr: metrics: %v", err)
+				}
+			}()
+		}
+	}
 
 	if *rulesPath != "" {
 		rf, err := os.Open(*rulesPath)
@@ -134,55 +150,22 @@ func main() {
 		log.Printf("lmr: resumed changeset stream (current to seq %d)", seq)
 	}
 
-	// Reconnect loop: when the provider connection drops, redial with
+	// Reconnect supervisor: when the provider connection drops, redial with
 	// backoff, re-attach, and resume the stream from the last applied
 	// sequence. A durable MDP replays the missed changesets; a restarted
-	// non-durable one falls back to a full-state reset. provMu guards prov
-	// against the final Close racing a swap by the reconnect goroutine.
-	var provMu sync.Mutex
+	// non-durable one falls back to a full-state reset. The supervisor owns
+	// the provider handle from here on and closes it on shutdown.
 	stop := make(chan struct{})
+	supDone := make(chan struct{})
 	go func() {
-		b := &mdv.Backoff{} // jittered exponential: decorrelates a herd of redialing LMRs
-		for {
-			provMu.Lock()
-			cur := prov
-			provMu.Unlock()
-			select {
-			case <-stop:
-				return
-			case <-cur.Done():
-			}
-			log.Printf("lmr: provider connection lost, reconnecting to %s", *mdpAddr)
-			for {
-				select {
-				case <-stop:
-					return
-				case <-time.After(b.Next()):
-				}
-				next, err := mdv.DialProviderWithConfig(*mdpAddr, cliCfg)
-				if err != nil {
-					log.Printf("lmr: redial: %v (attempt %d)", err, b.Attempts())
-					continue
-				}
-				if err := node.Reconnect(next); err != nil {
-					log.Printf("lmr: resume after reconnect: %v", err)
-					next.Close()
-					if !mdv.IsRetryable(err) {
-						// An application-level rejection will not fix itself
-						// by redialing faster; keep trying, but say why.
-						log.Printf("lmr: resume rejected by provider (will keep retrying): %v", err)
-					}
-					continue
-				}
-				provMu.Lock()
-				prov = next
-				provMu.Unlock()
-				cur.Close() // release the dead connection
-				b.Reset()
-				log.Printf("lmr: reconnected to %s (current to seq %d)", *mdpAddr, node.Repository().LastSeq())
-				break
-			}
-		}
+		defer close(supDone)
+		node.Supervise(stop, prov, mdv.SuperviseConfig{
+			Dial: func() (mdv.ReconnectableProvider, error) {
+				return mdv.DialProviderWithConfig(*mdpAddr, cliCfg)
+			},
+			Retryable: mdv.IsRetryable,
+			Logf:      log.Printf,
+		})
 	}()
 
 	sig := make(chan os.Signal, 1)
@@ -191,7 +174,5 @@ func main() {
 	log.Print("lmr: shutting down")
 	close(stop)
 	node.Close()
-	provMu.Lock()
-	prov.Close()
-	provMu.Unlock()
+	<-supDone
 }

@@ -51,6 +51,8 @@ func main() {
 		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-message write deadline on subscriber connections (0 disables)")
 		sendQueue  = flag.Int("send-queue", 256, "bounded per-subscriber send queue; overflow disconnects the subscriber")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+		metricsOn  = flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. localhost:6060; shares the pprof mux; empty disables)")
+		slowThresh = flag.Duration("slow-threshold", 0, "log publishes slower than this, with the dominating rule groups and statements (0 disables)")
 		peers      peerList
 	)
 	flag.Var(&peers, "peer", "backbone peer address (repeatable)")
@@ -120,6 +122,25 @@ func main() {
 		if err != nil {
 			log.Fatalf("mdp: %v", err)
 		}
+	}
+	if *metricsOn != "" {
+		reg := mdv.NewMetricsRegistry()
+		prov.EnableMetrics(reg)
+		http.Handle("/metrics", reg.Handler())
+		if *metricsOn == *pprofAddr {
+			// The pprof listener already serves the default mux.
+			log.Printf("mdp: metrics on http://%s/metrics (pprof mux)", *metricsOn)
+		} else {
+			go func() {
+				log.Printf("mdp: metrics listening on http://%s/metrics", *metricsOn)
+				if err := http.ListenAndServe(*metricsOn, nil); err != nil {
+					log.Printf("mdp: metrics: %v", err)
+				}
+			}()
+		}
+	}
+	if *slowThresh > 0 {
+		prov.Engine().SetSlowOpLog(*slowThresh, log.Printf)
 	}
 	wireCfg := mdv.WireConfig{
 		HeartbeatInterval: *heartbeat,

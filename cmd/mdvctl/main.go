@@ -8,6 +8,7 @@
 //	mdvctl get       -mdp host:7171 -uri doc1.rdf
 //	mdvctl stats     -mdp host:7171
 //	mdvctl delivery  -mdp host:7171
+//	mdvctl metrics   -mdp host:7171   (or -lmr host:7272)
 //
 // Repository access (against an LMR):
 //
@@ -37,8 +38,9 @@ commands against a metadata provider (-mdp host:port):
   delete     delete a document by URI (-uri)
   browse     list resources of a class (-class, optional -contains)
   get        print a registered document (-uri)
-  stats      print engine counters
+  stats      print engine counters (plus the metrics registry when enabled)
   delivery   print per-subscriber delivery health (queues, drops, heartbeat RTT, lag)
+  metrics    print the node's Prometheus metrics text (-mdp or -lmr)
 
 commands against a repository (-lmr host:port):
   query        evaluate an MDV query
@@ -168,6 +170,36 @@ func main() {
 		fmt.Printf("join matches:          %d\n", st.JoinMatches)
 		fmt.Printf("atomic rules created:  %d\n", st.AtomicRulesCreated)
 		fmt.Printf("atomic rules shared:   %d\n", st.AtomicRulesShared)
+		// A provider run with -metrics also serves its full registry; print
+		// it when present (the same text /metrics exposes).
+		if text, err := c.Metrics(); err == nil && text != "" {
+			fmt.Printf("\n# metrics registry\n%s", text)
+		}
+
+	case "metrics":
+		// Raw Prometheus text from either tier (empty if metrics disabled).
+		var text string
+		var err error
+		switch {
+		case *mdpAddr != "":
+			c := needMDP()
+			defer c.Close()
+			text, err = c.Metrics()
+		case *lmrAddr != "":
+			c := needLMR()
+			defer c.Close()
+			text, err = c.Metrics()
+		default:
+			fail(fmt.Errorf("metrics requires -mdp or -lmr"))
+		}
+		if err != nil {
+			fail(err)
+		}
+		if text == "" {
+			fmt.Println("(metrics not enabled on the node)")
+		} else {
+			fmt.Print(text)
+		}
 
 	case "delivery":
 		c := needMDP()

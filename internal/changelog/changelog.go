@@ -122,6 +122,10 @@ type Log struct {
 	syncMu  sync.Mutex
 	durable atomic.Uint64 // highest sequence known fsynced
 	syncs   atomic.Uint64 // fsyncs issued (observability: group commit ratio)
+
+	appends   atomic.Uint64 // records appended (observability)
+	truncated atomic.Uint64 // segment files removed by TruncateBelow
+	met       atomic.Pointer[logMetrics]
 }
 
 // SyncCount returns how many fsyncs the log has issued. Against the number
@@ -352,6 +356,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	l.nextSeq++
 	l.written = seq
+	l.appends.Add(1)
 	l.size += int64(headerSize) + int64(len(payload))
 	if l.opts.Sync == SyncAlways {
 		if err := l.w.Flush(); err != nil {
@@ -363,7 +368,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			l.failed = err
 			return 0, err
 		}
+		prev := l.durable.Load()
 		l.advanceDurable(seq)
+		l.observeBatch(prev, seq)
 	}
 	if l.size >= l.opts.SegmentSize {
 		if err := l.rotate(); err != nil {
@@ -449,7 +456,9 @@ func (l *Log) WaitDurable(seq uint64) error {
 		l.mu.Unlock()
 		return err
 	}
+	prev := l.durable.Load()
 	l.advanceDurable(target)
+	l.observeBatch(prev, target)
 	return nil
 }
 
@@ -481,7 +490,9 @@ func (l *Log) Sync() error {
 		l.failed = err
 		return err
 	}
+	prev := l.durable.Load()
 	l.advanceDurable(l.written)
+	l.observeBatch(prev, l.written)
 	return nil
 }
 
@@ -576,6 +587,7 @@ func (l *Log) TruncateBelow(seq uint64) (int, error) {
 		l.segments = l.segments[1:]
 		removed++
 	}
+	l.truncated.Add(uint64(removed))
 	return removed, nil
 }
 

@@ -1,0 +1,58 @@
+package changelog
+
+import (
+	"mdv/internal/metrics"
+)
+
+// logMetrics holds the instruments that need observation at write time;
+// scalar counters are scraped lazily via sample functions instead, so the
+// append/fsync hot path only pays for the group-commit batch histogram.
+type logMetrics struct {
+	// batch records how many log records each fsync made durable — the
+	// group-commit amortization distribution (1 means no batching).
+	batch *metrics.Histogram
+}
+
+// EnableMetrics registers the log's instruments on reg. Counters that the
+// log already tracks (appends, fsyncs, truncations, segment count) are
+// exported as scrape-time samples; only the group-commit batch histogram
+// observes inline.
+func (l *Log) EnableMetrics(reg *metrics.Registry) {
+	m := &logMetrics{
+		batch: reg.Histogram("mdv_changelog_group_commit_records",
+			"log records made durable per fsync (group-commit batch size)",
+			metrics.SizeBuckets),
+	}
+	l.met.Store(m)
+	one := func(v func() float64) func() []metrics.Sample {
+		return func() []metrics.Sample { return []metrics.Sample{{Value: v()}} }
+	}
+	reg.SampleFunc("mdv_changelog_appends_total",
+		"records appended to the changelog", metrics.TypeCounter,
+		one(func() float64 { return float64(l.appends.Load()) }))
+	reg.SampleFunc("mdv_changelog_fsyncs_total",
+		"fsyncs issued by the changelog (vs appends: group-commit ratio)",
+		metrics.TypeCounter,
+		one(func() float64 { return float64(l.syncs.Load()) }))
+	reg.SampleFunc("mdv_changelog_truncated_segments_total",
+		"segment files removed by ack/snapshot truncation", metrics.TypeCounter,
+		one(func() float64 { return float64(l.truncated.Load()) }))
+	reg.GaugeFunc("mdv_changelog_segments", "live changelog segment files",
+		func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(len(l.segments))
+		})
+	reg.GaugeFunc("mdv_changelog_durable_seq",
+		"highest sequence number known fsynced",
+		func() float64 { return float64(l.durable.Load()) })
+}
+
+// observeBatch records one fsync's batch size (records newly durable).
+func (l *Log) observeBatch(prevDurable, target uint64) {
+	m := l.met.Load()
+	if m == nil || target <= prevDurable {
+		return
+	}
+	m.batch.Observe(float64(target - prevDurable))
+}

@@ -9,9 +9,11 @@ import (
 	"context"
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mdv/internal/core"
+	"mdv/internal/metrics"
 	"mdv/internal/rdf"
 	"mdv/internal/wire"
 )
@@ -59,6 +61,8 @@ type MDP struct {
 	// applyFns receive pushed changesets per attached subscriber.
 	mu       sync.Mutex
 	applyFns map[string]ApplyFunc
+	// prop is the propagation-lag histogram, nil until EnablePushMetrics.
+	prop atomic.Pointer[metrics.Histogram]
 }
 
 // DialMDP connects to an MDP server with a zero Config.
@@ -108,6 +112,13 @@ func (c *MDP) onPush(kind string, body json.RawMessage) {
 	}
 	if push.Changeset == nil {
 		return
+	}
+	if h := c.prop.Load(); h != nil && push.PubUnixNano > 0 {
+		lag := time.Since(time.Unix(0, push.PubUnixNano)).Seconds()
+		if lag < 0 {
+			lag = 0
+		}
+		h.Observe(lag)
 	}
 	c.mu.Lock()
 	fns := make([]ApplyFunc, 0, len(c.applyFns))
@@ -246,6 +257,27 @@ func (c *MDP) SubscribeContext(ctx context.Context, subscriber, rule string) (in
 	return resp.SubID, resp.Initial, nil
 }
 
+// EnablePushMetrics registers the end-to-end propagation-lag histogram on
+// reg and observes it for every live push carrying a publish timestamp.
+// Resume replays (PubUnixNano == 0) are excluded: their delay measures how
+// long the subscriber was away, not pipeline health. The lag spans two
+// machines' wall clocks; their skew is the measurement's error bar.
+func (c *MDP) EnablePushMetrics(reg *metrics.Registry) {
+	c.prop.Store(reg.Histogram("mdv_lmr_propagation_seconds",
+		"publish-to-receipt delay of live pushed changesets (cross-clock; skew is the error bar)",
+		metrics.TimeBuckets))
+}
+
+// Metrics fetches the provider's metrics registry rendered as Prometheus
+// text (empty when the provider runs with metrics disabled).
+func (c *MDP) Metrics() (string, error) {
+	var resp wire.MetricsResponse
+	if err := c.call(wire.KindMetrics, nil, &resp); err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
 // DeliveryStats fetches the provider's per-subscriber delivery health.
 func (c *MDP) DeliveryStats() (*wire.DeliveryStatsResponse, error) {
 	var resp wire.DeliveryStatsResponse
@@ -327,6 +359,16 @@ func (c *LMR) RemoveSubscription(subID int64) error {
 // RegisterLocalDocument stores LMR-private metadata.
 func (c *LMR) RegisterLocalDocument(doc *rdf.Document) error {
 	return c.call(wire.KindRegisterLocal, &wire.Doc{URI: doc.URI, XML: rdf.DocumentString(doc)}, nil)
+}
+
+// Metrics fetches the LMR node's metrics registry rendered as Prometheus
+// text (empty when the node runs with metrics disabled).
+func (c *LMR) Metrics() (string, error) {
+	var resp wire.MetricsResponse
+	if err := c.call(wire.KindMetrics, nil, &resp); err != nil {
+		return "", err
+	}
+	return resp.Text, nil
 }
 
 // Resources lists cached resources of a class (empty = all).

@@ -91,6 +91,10 @@ type Engine struct {
 
 	prep  prepared
 	cache stmtCache
+
+	// obs holds the optional metrics and slow-publish-log hooks; zero value
+	// means fully disabled (one atomic nil load per instrumented site).
+	obs engineObs
 }
 
 // prepared holds the engine's prepared statements (the filter issues a

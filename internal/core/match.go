@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"mdv/internal/rdb"
 	"mdv/internal/rdb/sql"
@@ -118,14 +119,17 @@ func (e *Engine) runFilter(atoms []preparedAtom, mode filterMode) (*matchSet, er
 	var delta []matchPair
 
 	// Phase 1: affected triggering rules (Figure 9, initial iteration).
+	tTrig := time.Now()
 	trigStmts := []*sql.Stmt{
 		e.prep.trigANY, e.prep.trigEQ, e.prep.trigEQN, e.prep.trigNE, e.prep.trigNEN,
 		e.prep.trigCON, e.prep.trigLT, e.prep.trigLE, e.prep.trigGT, e.prep.trigGE,
 	}
+	trigNames := []string{"ANY", "EQ", "EQN", "NE", "NEN", "CON", "LT", "LE", "GT", "GE"}
 	// Collect matches first, then do the materialization bookkeeping:
 	// mutating statements must not run inside a streaming query.
 	var trigPairs []matchPair
-	for _, st := range trigStmts {
+	for i, st := range trigStmts {
+		t0 := time.Now()
 		err := st.QueryFunc(nil, func(row []rdb.Value) error {
 			trigPairs = append(trigPairs, matchPair{rule: row[0].Int, uri: row[1].Str})
 			return nil
@@ -133,6 +137,7 @@ func (e *Engine) runFilter(atoms []preparedAtom, mode filterMode) (*matchSet, er
 		if err != nil {
 			return nil, err
 		}
+		e.traceTrig(trigNames[i], time.Since(t0))
 	}
 	for _, p := range trigPairs {
 		if !all.add(p.rule, p.uri) {
@@ -147,10 +152,12 @@ func (e *Engine) runFilter(atoms []preparedAtom, mode filterMode) (*matchSet, er
 			delta = append(delta, p)
 		}
 	}
+	e.observeStage(stageTriggering, tTrig)
 
 	// Phase 2: iterate dependent join rules through ResultObjects until a
 	// fixpoint (the dependency graph is a DAG, so this terminates after at
 	// most longest-path iterations; §3.4).
+	tJoin := time.Now()
 	for len(delta) > 0 {
 		if err := e.loadResultObjects(delta); err != nil {
 			return nil, err
@@ -160,6 +167,17 @@ func (e *Engine) runFilter(atoms []preparedAtom, mode filterMode) (*matchSet, er
 			return nil, err
 		}
 		delta = next
+	}
+	e.observeStage(stageJoin, tJoin)
+	// Drop the run's scratch. It is also cleared defensively at run start,
+	// but leaving it resident would hold the last batch's atoms in memory
+	// between publishes and leave residue that keeps the engine's quiescent
+	// state from being byte-identical across a subscribe/unsubscribe cycle.
+	if _, err := e.prep.clearFilter.Exec(); err != nil {
+		return nil, err
+	}
+	if _, err := e.db.Exec(`DELETE FROM ResultObjects`); err != nil {
+		return nil, err
 	}
 	return all, nil
 }
@@ -258,10 +276,12 @@ func (e *Engine) evaluateDependentGroups(all *matchSet, mode filterMode) ([]matc
 			continue // self groups have a single input side
 		}
 		e.stats.JoinEvaluations++
+		t0 := time.Now()
 		pairs, err := e.evalGroupDelta(g, t.side)
 		if err != nil {
 			return nil, err
 		}
+		e.traceGroup(t.group, time.Since(t0))
 		for _, p := range pairs {
 			if !all.add(p.rule, p.uri) {
 				continue

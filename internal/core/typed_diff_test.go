@@ -23,6 +23,7 @@ import (
 func typedDiffSchema() *rdf.Schema {
 	s := rdf.NewSchema()
 	s.MustAddProperty("Host", rdf.PropertyDef{Name: "load", Type: rdf.TypeFloat})
+	s.MustAddProperty("Host", rdf.PropertyDef{Name: "peak", Type: rdf.TypeFloat})
 	s.MustAddProperty("Host", rdf.PropertyDef{Name: "mem", Type: rdf.TypeInteger})
 	s.MustAddProperty("Host", rdf.PropertyDef{Name: "tag", Type: rdf.TypeString})
 	s.MustAddProperty("Host", rdf.PropertyDef{
@@ -46,7 +47,7 @@ var (
 
 func typedDiffRule(rng *rand.Rand) string {
 	op := randomOp(rng)
-	switch rng.Intn(10) {
+	switch rng.Intn(12) {
 	case 0: // OID point rule
 		return fmt.Sprintf(`search Host h register h where h = 'doc%d.rdf#host'`, rng.Intn(12))
 	case 1: // COMP on a float property, integer constant
@@ -71,6 +72,12 @@ func typedDiffRule(rng *rand.Rand) string {
 		return fmt.Sprintf(
 			`search Host h, Info i register i where h.info = i and h.mem %s %d`,
 			op, rng.Intn(40))
+	case 9: // float-vs-float range JOIN: the only way a non-finite bound
+		// reaches a range comparison (the grammar rejects non-finite
+		// constants), probing the ordered index with NaN/±Inf values.
+		return fmt.Sprintf(`search Host h, Info i register i where h.load %s i.temp`, op)
+	case 10: // float-vs-float range SELF predicate, same non-finite exposure
+		return fmt.Sprintf(`search Host h register h where h.load %s h.peak`, op)
 	default: // conjunction mixing float and integer comparisons
 		return fmt.Sprintf(
 			`search Host h register h where h.load %s %d and h.info.cpu %s %d`,
@@ -82,6 +89,7 @@ func typedDiffDoc(rng *rand.Rand, i int) *rdf.Document {
 	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
 	host := doc.NewResource("host", "Host")
 	host.Add("load", rdf.Lit(diffFloats[rng.Intn(len(diffFloats))]))
+	host.Add("peak", rdf.Lit(diffFloats[rng.Intn(len(diffFloats))]))
 	host.Add("mem", rdf.Lit(diffInts[rng.Intn(len(diffInts))]))
 	host.Add("tag", rdf.Lit(diffTags[rng.Intn(len(diffTags))]))
 	if rng.Intn(4) > 0 {
@@ -198,6 +206,108 @@ func TestTypedIndexDifferential(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestTypedIndexNonFiniteRanges pins down the NaN/±Inf total-order contract
+// exhaustively rather than probabilistically: every ordered operator over
+// every pair of non-finite and boundary-finite float values, compared
+// between the typed ordered indexes and the CAST ablation, both for rules
+// subscribed before the data arrives (the delta path through the operator
+// index) and after (initializeJoin over materialized results). The rule
+// grammar rejects non-finite constants, so the self predicate
+// h.load OP h.peak is the direct route to a range comparison with
+// non-finite operands on both sides.
+func TestTypedIndexNonFiniteRanges(t *testing.T) {
+	values := []string{"NaN", "Inf", "-Inf", "0", "-0", "7.25", "-3.5", "1e2"}
+	ops := []string{"<", "<=", ">", ">=", "=", "!="}
+	schema := typedDiffSchema()
+	typed, err := core.NewEngine(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cast, err := core.NewEngineWithOptions(schema, core.Options{DisableTypedIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rules subscribed before any data: matches flow through the delta path.
+	type sub struct {
+		typedID, castID int64
+		rule            string
+	}
+	var subs []sub
+	subscribe := func(rule string) {
+		t.Helper()
+		tid, _, err := typed.Subscribe("lmr", rule)
+		if err != nil {
+			t.Fatalf("typed subscribe %q: %v", rule, err)
+		}
+		cid, _, err := cast.Subscribe("lmr", rule)
+		if err != nil {
+			t.Fatalf("cast subscribe %q: %v", rule, err)
+		}
+		subs = append(subs, sub{typedID: tid, castID: cid, rule: rule})
+	}
+	for _, op := range ops {
+		subscribe(fmt.Sprintf(`search Host h register h where h.load %s h.peak`, op))
+		subscribe(fmt.Sprintf(`search Host h, Info i register i where h.load %s i.temp`, op))
+	}
+
+	// One document per value pair: load=a, peak=b, plus an Info resource
+	// with temp=b reached by reference, covering self and join shapes.
+	n := 0
+	for _, a := range values {
+		for _, b := range values {
+			doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", n))
+			host := doc.NewResource("host", "Host")
+			host.Add("load", rdf.Lit(a))
+			host.Add("peak", rdf.Lit(b))
+			host.Add("mem", rdf.Lit("1"))
+			host.Add("tag", rdf.Lit("t"))
+			host.Add("info", rdf.Ref(doc.QualifyID("info")))
+			info := doc.NewResource("info", "Info")
+			info.Add("cpu", rdf.Lit("1"))
+			info.Add("temp", rdf.Lit(b))
+			if _, err := typed.RegisterDocument(doc); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cast.RegisterDocument(doc); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+
+	// Rules subscribed after the data: matches come from initializeTrigger/
+	// initializeJoin scans over the stored values.
+	for _, op := range ops {
+		subscribe(fmt.Sprintf(`search Host h register h where h.peak %s h.load`, op))
+		subscribe(fmt.Sprintf(`search Host h, Info i register i where i.temp %s h.load`, op))
+	}
+
+	for _, s := range subs {
+		got := engineMatches(t, typed, s.typedID)
+		want := engineMatches(t, cast, s.castID)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("rule %q:\n typed %v\n cast  %v", s.rule, got, want)
+		}
+	}
+
+	// Non-finite range constants must be rejected at the language level by
+	// both engines alike (quoted strings fail the numeric-operand check;
+	// bare NaN/Inf are not number tokens).
+	for _, rule := range []string{
+		`search Host h register h where h.load < 'NaN'`,
+		`search Host h register h where h.load >= 'Inf'`,
+		`search Host h register h where h.load > NaN`,
+	} {
+		if _, _, err := typed.Subscribe("lmr", rule); err == nil {
+			t.Errorf("typed engine accepted %q, want rejection", rule)
+		}
+		if _, _, err := cast.Subscribe("lmr", rule); err == nil {
+			t.Errorf("cast engine accepted %q, want rejection", rule)
+		}
 	}
 }
 

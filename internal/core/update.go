@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"mdv/internal/rdb"
 	"mdv/internal/rdf"
@@ -31,6 +32,7 @@ func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
 	// lock covers only the stored-version diff, table mutation, and the
 	// filter run, and concurrent readers are blocked for less of each
 	// registration.
+	tStart := time.Now()
 	seen := map[string]bool{}
 	for _, doc := range docs {
 		if seen[doc.URI] {
@@ -44,9 +46,31 @@ func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
 			return nil, pd.err
 		}
 	}
+	e.observeStage(stagePrepare, tStart)
 
+	tLock := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.observeStage(stageLockWait, tLock)
+
+	// Slow-publish attribution: arm the per-statement trace for this
+	// registration only when the slow log is configured (the trace maps cost
+	// allocations the hot path should not pay otherwise).
+	sl := e.obs.slow.Load()
+	if sl != nil {
+		e.obs.trace = &publishTrace{trig: map[string]time.Duration{}, group: map[int64]time.Duration{}}
+		defer func() { e.obs.trace = nil }()
+	}
+	defer func() {
+		total := time.Since(tStart)
+		if m := e.obs.met.Load(); m != nil {
+			m.publish.Observe(total.Seconds())
+			m.batchDocs.Observe(float64(len(docs)))
+		}
+		if sl != nil && total >= sl.threshold {
+			logSlowPublish(sl, len(docs), total, e.obs.trace)
+		}
+	}()
 
 	var added, updatedNew, updatedOld, deleted []*rdf.Resource
 	var changes []docChange
@@ -186,7 +210,13 @@ func (e *Engine) RegisterDocuments(docs []*rdf.Document) (*PublishSet, error) {
 	// candidate (rule, resource) from phase 1 is a "wrong candidate" iff it
 	// is materialized again — either re-derived in phase 3 or never really
 	// retracted. RuleResults membership after phase 3 is exactly that test.
-	return e.buildPublishSet(before, after, updatedNew, deleted, holders)
+	tCS := time.Now()
+	ps, err := e.buildPublishSet(before, after, updatedNew, deleted, holders)
+	if err != nil {
+		return nil, err
+	}
+	e.observeStage(stageChangeset, tCS)
+	return ps, nil
 }
 
 // DeleteDocument removes a registered document and all its resources

@@ -8,8 +8,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mdv/internal/core"
+	"mdv/internal/metrics"
 	"mdv/internal/query"
 	"mdv/internal/rdf"
 	"mdv/internal/repository"
@@ -57,6 +59,12 @@ type Node struct {
 	ackBusy bool
 
 	server *wire.Server
+
+	// resumes/reconnects count stream recoveries; reg is the metrics
+	// registry attached via EnableMetrics (nil until then).
+	resumes    atomic.Uint64
+	reconnects atomic.Uint64
+	reg        atomic.Pointer[metrics.Registry]
 }
 
 // New creates an LMR node connected to the given provider.
@@ -167,7 +175,11 @@ func (n *Node) Resume() (uint64, error) {
 	if !ok {
 		return 0, nil
 	}
-	return res.Resume(n.name, n.repo.LastSeq())
+	seq, err := res.Resume(n.name, n.repo.LastSeq())
+	if err == nil {
+		n.resumes.Add(1)
+	}
+	return seq, err
 }
 
 // Reconnect swaps in a fresh provider connection (after a network failure
@@ -181,6 +193,12 @@ func (n *Node) Reconnect(prov ProviderAPI) error {
 	n.prov = prov
 	n.attached = false
 	n.mu.Unlock()
+	n.reconnects.Add(1)
+	if reg := n.reg.Load(); reg != nil {
+		if pm, ok := prov.(PushMetricsProvider); ok {
+			pm.EnablePushMetrics(reg)
+		}
+	}
 	_, err := n.Resume()
 	return err
 }
@@ -345,6 +363,12 @@ func (n *Node) handle(_ *wire.ServerConn, kind string, body json.RawMessage) (in
 		return &wire.ResourcesResponse{Resources: rs}, nil
 	case wire.KindLMRStats:
 		return n.repo.Stats(), nil
+	case wire.KindMetrics:
+		var text string
+		if reg := n.reg.Load(); reg != nil {
+			text = reg.Text()
+		}
+		return &wire.MetricsResponse{Text: text}, nil
 	default:
 		return nil, fmt.Errorf("lmr: unknown request kind %q", kind)
 	}

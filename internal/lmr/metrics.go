@@ -1,0 +1,57 @@
+package lmr
+
+import (
+	"mdv/internal/metrics"
+)
+
+// PushMetricsProvider is the optional capability of a provider handle:
+// observing pushed changesets as they arrive (the end-to-end
+// propagation-lag histogram, stamped from the publish-time wall clock
+// carried on the push). client.MDP implements it; the in-process provider
+// delivers without a wire hop and does not.
+type PushMetricsProvider interface {
+	EnablePushMetrics(reg *metrics.Registry)
+}
+
+// EnableMetrics attaches the node's observability instruments to reg: the
+// resume/reconnect counters, the applied/acked sequence gauges, the ack
+// worker's backlog, and — when the provider connection supports it — the
+// propagation-lag histogram. Reconnect re-enables push metrics on the
+// replacement connection automatically.
+func (n *Node) EnableMetrics(reg *metrics.Registry) {
+	n.reg.Store(reg)
+	one := func(v func() float64) func() []metrics.Sample {
+		return func() []metrics.Sample { return []metrics.Sample{{Value: v()}} }
+	}
+	reg.SampleFunc("mdv_lmr_resumes_total",
+		"changeset-stream resumes completed at the provider", metrics.TypeCounter,
+		one(func() float64 { return float64(n.resumes.Load()) }))
+	reg.SampleFunc("mdv_lmr_reconnects_total",
+		"provider connections replaced after a failure", metrics.TypeCounter,
+		one(func() float64 { return float64(n.reconnects.Load()) }))
+	reg.GaugeFunc("mdv_lmr_applied_seq",
+		"highest changelog sequence applied to the cache",
+		func() float64 { return float64(n.repo.LastSeq()) })
+	reg.GaugeFunc("mdv_lmr_acked_seq",
+		"highest sequence acknowledged to the provider",
+		func() float64 { return float64(n.AckedSeq()) })
+	reg.GaugeFunc("mdv_lmr_ack_lag",
+		"applied-but-unacknowledged pushes (ack worker backlog)",
+		func() float64 {
+			n.mu.RLock()
+			defer n.mu.RUnlock()
+			if n.ackSeq > n.ackSent {
+				return float64(n.ackSeq - n.ackSent)
+			}
+			return 0
+		})
+	n.mu.RLock()
+	prov := n.prov
+	n.mu.RUnlock()
+	if pm, ok := prov.(PushMetricsProvider); ok {
+		pm.EnablePushMetrics(reg)
+	}
+}
+
+// Metrics returns the registry attached via EnableMetrics (nil before).
+func (n *Node) Metrics() *metrics.Registry { return n.reg.Load() }

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mdv_test_total", "test counter", L("op", "x"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Idempotent registration returns the same instrument.
+	if again := r.Counter("mdv_test_total", "test counter", L("op", "x")); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("mdv_test_gauge", "test gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramMath(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mdv_test_seconds", "test histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	_, counts := h.Buckets()
+	want := []uint64{2, 1, 1, 1} // le=1: {0.5,1}; le=2: {1.5}; le=4: {3}; +Inf: {100}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], want[i], want)
+		}
+	}
+}
+
+func TestTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mdv_ops_total", "ops", L("op", "a")).Add(3)
+	r.Counter("mdv_ops_total", "ops", L("op", "b")).Add(7)
+	r.Gauge("mdv_depth", "queue \"depth\"\nmultiline").Set(42)
+	h := r.Histogram("mdv_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.SampleFunc("mdv_dyn", "dynamic", TypeGauge, func() []Sample {
+		return []Sample{{Labels: []Label{L("who", `q"x`)}, Value: 9}}
+	})
+
+	text := r.Text()
+	for _, want := range []string{
+		"# HELP mdv_ops_total ops\n",
+		"# TYPE mdv_ops_total counter\n",
+		`mdv_ops_total{op="a"} 3` + "\n",
+		`mdv_ops_total{op="b"} 7` + "\n",
+		"# TYPE mdv_depth gauge\n",
+		"mdv_depth 42\n",
+		`mdv_lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`mdv_lat_seconds_bucket{le="1"} 2` + "\n",
+		`mdv_lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"mdv_lat_seconds_sum 5.55\n",
+		"mdv_lat_seconds_count 3\n",
+		`mdv_dyn{who="q\"x"} 9` + "\n",
+		`# HELP mdv_depth queue "depth"` /* help escapes \n but not quotes */ + `\nmultiline` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Registration order is preserved.
+	if strings.Index(text, "mdv_ops_total") > strings.Index(text, "mdv_depth") {
+		t.Fatalf("families out of registration order:\n%s", text)
+	}
+}
+
+func TestNonFiniteRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("mdv_inf", "inf").Set(math.Inf(1))
+	r.Gauge("mdv_neginf", "neg inf").Set(math.Inf(-1))
+	text := r.Text()
+	if !strings.Contains(text, "mdv_inf +Inf\n") || !strings.Contains(text, "mdv_neginf -Inf\n") {
+		t.Fatalf("non-finite rendering wrong:\n%s", text)
+	}
+	h := r.Histogram("mdv_h", "h", []float64{1})
+	h.Observe(math.NaN())
+	_, counts := h.Buckets()
+	if counts[len(counts)-1] != 1 {
+		t.Fatalf("NaN observation should land in +Inf bucket, got %v", counts)
+	}
+}
+
+// TestHistogramCoherence hammers a histogram from many goroutines while a
+// reader snapshots it, asserting the invariant the scrape path depends on:
+// the derived count equals the sum of bucket counters at every snapshot
+// (no torn reads), and the final totals are exact.
+func TestHistogramCoherence(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mdv_coherence_seconds", "coherence", TimeBuckets)
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, counts := h.Buckets()
+			var sum uint64
+			for _, c := range counts {
+				sum += c
+			}
+			if got := h.Count(); got < sum {
+				// Count re-reads the buckets, so it can only be >= an
+				// earlier snapshot, never behind it.
+				t.Errorf("count %d went backwards vs snapshot sum %d", got, sum)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%7) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", got, writers*perWriter)
+	}
+}

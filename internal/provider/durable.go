@@ -64,15 +64,20 @@ const (
 
 // logRecord is the JSON payload of one changelog record.
 type logRecord struct {
-	Kind       string          `json:"kind"`
-	Docs       []wire.Doc      `json:"docs,omitempty"`       // register
-	URI        string          `json:"uri,omitempty"`        // delete
-	Subscriber string          `json:"subscriber,omitempty"` // subscribe, pub, ack
-	Rule       string          `json:"rule,omitempty"`       // subscribe
-	SubID      int64           `json:"sub_id,omitempty"`     // unsubscribe
-	AckSeq     uint64          `json:"ack_seq,omitempty"`    // ack
-	Watermark  uint64          `json:"watermark,omitempty"`  // watermark
-	Changeset  *core.Changeset `json:"changeset,omitempty"`  // pub
+	Kind       string     `json:"kind"`
+	Docs       []wire.Doc `json:"docs,omitempty"`       // register
+	URI        string     `json:"uri,omitempty"`        // delete
+	Subscriber string     `json:"subscriber,omitempty"` // subscribe, pub, ack
+	Rule       string     `json:"rule,omitempty"`       // subscribe
+	SubID      int64      `json:"sub_id,omitempty"`     // unsubscribe
+	AckSeq     uint64     `json:"ack_seq,omitempty"`    // ack
+	Watermark  uint64     `json:"watermark,omitempty"`  // watermark
+	// Lost carries the crash-lost sequence ranges (inclusive) on watermark
+	// records, so a second crash cannot forget that a range's pushes were
+	// delivered but their records died. Consolidated records (written by
+	// recovery and Compact) carry the full list.
+	Lost      [][2]uint64     `json:"lost,omitempty"`      // watermark
+	Changeset *core.Changeset `json:"changeset,omitempty"` // pub
 }
 
 // durableState is the changelog side of a durable provider.
@@ -89,12 +94,36 @@ type durableState struct {
 	// Guarded by Provider.pubMu (all delivery happens under it).
 	claim uint64
 
-	// lostLo..lostHi is the sequence range whose records died unsynced in
-	// the crash this process recovered from (empty when lostHi == 0).
-	// Pushes in it may have reached subscribers before the crash, but the
-	// records backing them no longer exist, so a cursor inside the range
-	// must take a full-state reset.
-	lostLo, lostHi uint64
+	// lost holds the [lo, hi] sequence ranges (inclusive) whose records
+	// died unsynced in past crashes. Pushes in them may have reached
+	// subscribers before the crash, but the records backing them no longer
+	// exist, so a cursor inside any range must take a full-state reset.
+	// The list is persisted in watermark records (and re-persisted by
+	// recovery and Compact), so it survives repeated crashes and
+	// truncation. Guarded by Provider.pubMu.
+	lost [][2]uint64
+}
+
+// inLost reports whether seq falls inside a crash-lost sequence range.
+func (d *durableState) inLost(seq uint64) bool {
+	for _, r := range d.lost {
+		if seq >= r[0] && seq <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// addLost records a crash-lost range, deduplicating exact repeats (each
+// consolidated watermark record carries the full list, so recovery scans
+// see every range many times).
+func (d *durableState) addLost(lo, hi uint64) {
+	for _, r := range d.lost {
+		if r[0] == lo && r[1] == hi {
+			return
+		}
+	}
+	d.lost = append(d.lost, [2]uint64{lo, hi})
 }
 
 // watermarkChunk is how far past the triggering sequence a delivered-
@@ -242,19 +271,28 @@ func (p *Provider) claimDeliveredLocked(seq uint64) error {
 		return nil
 	}
 	claim := seq + watermarkChunk
-	payload, err := json.Marshal(&logRecord{Kind: recWatermark, Watermark: claim})
-	if err != nil {
-		return fmt.Errorf("provider: marshal watermark record: %w", err)
-	}
-	wseq, err := d.log.Append(payload)
-	if err != nil {
-		return err
-	}
-	if err := d.log.WaitDurable(wseq); err != nil {
+	if err := p.appendWatermarkLocked(claim); err != nil {
 		return err
 	}
 	d.claim = claim
 	return nil
+}
+
+// appendWatermarkLocked appends one watermark record claiming delivery
+// coverage up to claim — always carrying the full crash-lost range list, so
+// any single surviving watermark record reconstructs the whole delivered-
+// watermark state — and waits for its fsync. The caller holds pubMu (or
+// runs recovery, before the provider is shared).
+func (p *Provider) appendWatermarkLocked(claim uint64) error {
+	payload, err := json.Marshal(&logRecord{Kind: recWatermark, Watermark: claim, Lost: p.dur.lost})
+	if err != nil {
+		return fmt.Errorf("provider: marshal watermark record: %w", err)
+	}
+	wseq, err := p.dur.log.Append(payload)
+	if err != nil {
+		return err
+	}
+	return p.dur.log.WaitDurable(wseq)
 }
 
 // awaitDurable blocks until the given sequence is fsynced (group commit).
@@ -311,6 +349,9 @@ func (p *Provider) recover(stats *RecoveryStats) error {
 			if rec.Watermark > claim {
 				claim = rec.Watermark
 			}
+			for _, r := range rec.Lost {
+				p.dur.addLost(r[0], r[1])
+			}
 		}
 		return nil
 	})
@@ -336,9 +377,20 @@ func (p *Provider) recover(stats *RecoveryStats) error {
 		if err := p.dur.log.Reserve(floor); err != nil {
 			return err
 		}
-		p.dur.lostLo, p.dur.lostHi = tail+1, floor
+		p.dur.addLost(tail+1, floor)
 	}
 	p.dur.claim = claim
+	// Re-persist the consolidated delivered-watermark state at the log tail.
+	// Without this, the newly computed lost range lives only in memory (a
+	// second crash would forget that its pushes were delivered), and a later
+	// Compact could truncate the segment holding the only watermark record —
+	// leaving the next recovery with claim 0 and the delivered-but-unsynced
+	// range back in circulation.
+	if claim > 0 || len(p.dur.lost) > 0 {
+		if err := p.appendWatermarkLocked(claim); err != nil {
+			return err
+		}
+	}
 	// Phase 2: re-apply in log order. Appending the regenerated publish
 	// records happens after the scan, so the replay iterator never chases
 	// its own appends.
@@ -434,7 +486,7 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 	// no longer exist (they were delivered, then died unsynced): the
 	// subscriber holds state the provider cannot account for, so only a
 	// reset restores convergence.
-	lost := p.dur.lostHi != 0 && fromSeq >= p.dur.lostLo && fromSeq <= p.dur.lostHi
+	lost := p.dur.inLost(fromSeq)
 	if fromSeq == latest && !lost {
 		p.pubMu.Unlock()
 		return latest, nil // already current
@@ -491,6 +543,14 @@ func (p *Provider) Compact() error {
 	p.pubMu.Lock()
 	seq := p.dur.log.LastSeq()
 	err := writeSnapshotFile(filepath.Join(p.dur.dir, snapshotFile), seq, p.engine)
+	if err == nil && (p.dur.claim > 0 || len(p.dur.lost) > 0) {
+		// The truncation below may drop the segment holding the latest
+		// watermark record; re-establish the delivered-watermark state at
+		// the tail first, or a post-compaction crash would recover with
+		// claim 0 and put delivered-but-unsynced sequences back in
+		// circulation.
+		err = p.appendWatermarkLocked(p.dur.claim)
+	}
 	p.pubMu.Unlock()
 	if err != nil {
 		return err

@@ -1,0 +1,125 @@
+package provider
+
+import (
+	"time"
+
+	"mdv/internal/metrics"
+)
+
+// provMetrics are the provider's delivery-stage instruments; the
+// per-subscriber counters from PR 2's delivery_stats are exported through
+// scrape-time sample functions over the same data, so the two surfaces can
+// never disagree.
+type provMetrics struct {
+	turnWait *metrics.Histogram
+	fanout   *metrics.Histogram
+}
+
+// EnableMetrics attaches the provider and everything below it — engine,
+// SQL database, and (when durable) the changelog — to the registry, and
+// exports the per-subscriber delivery health counters as labeled sample
+// families. Call before serving traffic; disabled providers pay one nil
+// pointer load per delivery batch.
+func (p *Provider) EnableMetrics(reg *metrics.Registry) {
+	m := &provMetrics{
+		turnWait: reg.Histogram("mdv_delivery_turnstile_wait_seconds",
+			"time an operation waits for its delivery turn (ordering overhead of the pipelined publish)",
+			metrics.TimeBuckets),
+		fanout: reg.Histogram("mdv_delivery_fanout_seconds",
+			"time to fan one operation's changesets out to all subscribers",
+			metrics.TimeBuckets),
+	}
+	p.met.Store(m)
+	p.reg.Store(reg)
+	p.engine.EnableMetrics(reg)
+	if p.dur != nil {
+		p.dur.log.EnableMetrics(reg)
+	}
+
+	sub := func(name string) []metrics.Label {
+		return []metrics.Label{metrics.L("subscriber", name)}
+	}
+	type col struct {
+		name string
+		help string
+		typ  string
+		val  func(sd *subscriberSample) float64
+	}
+	cols := []col{
+		{"mdv_subscriber_enqueued_total", "changesets handed to a subscriber's push queue",
+			metrics.TypeCounter, func(sd *subscriberSample) float64 { return float64(sd.enqueued) }},
+		{"mdv_subscriber_dropped_total", "changesets lost to queue-overflow disconnects",
+			metrics.TypeCounter, func(sd *subscriberSample) float64 { return float64(sd.dropped) }},
+		{"mdv_subscriber_disconnects_total", "push-channel losses, any cause",
+			metrics.TypeCounter, func(sd *subscriberSample) float64 { return float64(sd.disconnects) }},
+		{"mdv_subscriber_queue_depth", "occupancy of the subscriber's bounded send queues",
+			metrics.TypeGauge, func(sd *subscriberSample) float64 { return float64(sd.queueDepth) }},
+		{"mdv_subscriber_heartbeat_rtt_seconds", "most recent heartbeat round-trip time",
+			metrics.TypeGauge, func(sd *subscriberSample) float64 { return sd.rtt.Seconds() }},
+		{"mdv_subscriber_published_seq", "last changelog sequence published to the subscriber",
+			metrics.TypeGauge, func(sd *subscriberSample) float64 { return float64(sd.published) }},
+		{"mdv_subscriber_acked_seq", "last changelog sequence acknowledged by the subscriber",
+			metrics.TypeGauge, func(sd *subscriberSample) float64 { return float64(sd.acked) }},
+		{"mdv_subscriber_ack_lag", "published minus acknowledged sequences (0 on non-durable providers)",
+			metrics.TypeGauge, func(sd *subscriberSample) float64 { return float64(sd.lag) }},
+	}
+	for _, c := range cols {
+		val := c.val
+		reg.SampleFunc(c.name, c.help, c.typ, func() []metrics.Sample {
+			sds := p.subscriberSamples()
+			out := make([]metrics.Sample, len(sds))
+			for i := range sds {
+				out[i] = metrics.Sample{Labels: sub(sds[i].name), Value: val(&sds[i])}
+			}
+			return out
+		})
+	}
+}
+
+// Metrics returns the registry attached via EnableMetrics (nil before).
+func (p *Provider) Metrics() *metrics.Registry { return p.reg.Load() }
+
+// subscriberSample is one subscriber's delivery state at scrape time.
+type subscriberSample struct {
+	name                           string
+	enqueued, dropped, disconnects uint64
+	queueDepth                     int
+	rtt                            time.Duration
+	published, acked, lag          uint64
+}
+
+// subscriberSamples snapshots the per-subscriber delivery counters (the
+// same data DeliveryStats serves over the wire).
+func (p *Provider) subscriberSamples() []subscriberSample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make(map[string]bool, len(p.delStats)+len(p.wireAttach))
+	for name := range p.delStats {
+		names[name] = true
+	}
+	for name := range p.wireAttach {
+		names[name] = true
+	}
+	out := make([]subscriberSample, 0, len(names))
+	for name := range names {
+		c := p.countersLocked(name)
+		s := subscriberSample{
+			name: name, enqueued: c.enqueued, dropped: c.dropped,
+			disconnects: c.disconnects, published: c.lastSeq,
+		}
+		if p.dur != nil {
+			s.acked = p.dur.acked[name]
+			if s.published > s.acked {
+				s.lag = s.published - s.acked
+			}
+		}
+		for _, conn := range p.wireAttach[name] {
+			s.queueDepth += conn.QueueDepth()
+			if rtt := conn.RTT(); rtt > s.rtt {
+				s.rtt = rtt
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -14,8 +14,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mdv/internal/core"
+	"mdv/internal/metrics"
 	"mdv/internal/rdf"
 	"mdv/internal/wire"
 )
@@ -75,6 +77,11 @@ type Provider struct {
 	// hook) to decide whether delaying its fsync would let more operations
 	// share it.
 	pubPending atomic.Int32
+
+	// met/reg hold the opt-in observability hooks (see EnableMetrics);
+	// nil until enabled.
+	met atomic.Pointer[provMetrics]
+	reg atomic.Pointer[metrics.Registry]
 
 	server *wire.Server
 }
@@ -137,16 +144,31 @@ type delivery struct {
 	reset      bool
 	cs         *core.Changeset
 	sync       bool
+	// pubNano is the publish-time wall clock carried on live pushes for the
+	// receiver's end-to-end propagation-lag histogram; 0 on resume replays.
+	pubNano int64
 }
 
 // deliverInTurn waits for the operation's turn at the delivery stage,
 // performs its deliveries in order, and passes the turn on. The ticket
 // must have been issued while the operation still held pubMu.
 func (p *Provider) deliverInTurn(t uint64, dels []delivery) {
+	m := p.met.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	p.turn.wait(t)
 	defer p.turn.done()
+	if m != nil {
+		m.turnWait.ObserveSince(t0)
+		t0 = time.Now()
+	}
 	for _, d := range dels {
-		p.deliver(d.subscriber, d.seq, d.reset, d.cs, d.sync)
+		p.deliver(d)
+	}
+	if m != nil && len(dels) > 0 {
+		m.fanout.ObserveSince(t0)
 	}
 }
 
@@ -268,6 +290,7 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, []delivery, error
 	}
 	var maxSeq uint64
 	var dels []delivery
+	pubNano := time.Now().UnixNano()
 	// Deterministic subscriber order keeps publish records replayable in a
 	// stable order across recovery runs.
 	for _, subscriber := range ps.Subscribers() {
@@ -287,7 +310,7 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, []delivery, error
 				return maxSeq, dels, err
 			}
 		}
-		dels = append(dels, delivery{subscriber: subscriber, seq: seq, cs: cs})
+		dels = append(dels, delivery{subscriber: subscriber, seq: seq, cs: cs, pubNano: pubNano})
 	}
 	return maxSeq, dels, nil
 }
@@ -303,13 +326,14 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, []delivery, error
 // resumes gap-free from its changelog cursor. With sync true (resume
 // replays, which can exceed any queue bound while the receiver is actively
 // draining) the enqueue blocks instead.
-func (p *Provider) deliver(subscriber string, seq uint64, reset bool, cs *core.Changeset, sync bool) {
+func (p *Provider) deliver(d delivery) {
+	subscriber := d.subscriber
 	p.mu.Lock()
 	fns := append([]ApplyFunc(nil), p.attached[subscriber]...)
 	conns := append([]*wire.ServerConn(nil), p.wireAttach[subscriber]...)
 	counters := p.countersLocked(subscriber)
-	if seq > counters.lastSeq {
-		counters.lastSeq = seq
+	if d.seq > counters.lastSeq {
+		counters.lastSeq = d.seq
 	}
 	p.mu.Unlock()
 	report := func(err error) {
@@ -318,12 +342,12 @@ func (p *Provider) deliver(subscriber string, seq uint64, reset bool, cs *core.C
 		}
 	}
 	for _, fn := range fns {
-		report(fn(seq, reset, cs))
+		report(fn(d.seq, d.reset, d.cs))
 	}
-	push := &wire.ChangesetPush{Seq: seq, Reset: reset, Changeset: cs}
+	push := &wire.ChangesetPush{Seq: d.seq, Reset: d.reset, Changeset: d.cs, PubUnixNano: d.pubNano}
 	for _, c := range conns {
 		var err error
-		if sync {
+		if d.sync {
 			err = c.NotifySync(wire.KindChangeset, push)
 		} else {
 			err = c.Notify(wire.KindChangeset, push)
@@ -767,6 +791,12 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 		return p.engine.Stats(), nil
 	case wire.KindDeliveryStats:
 		return p.DeliveryStats(), nil
+	case wire.KindMetrics:
+		var text string
+		if reg := p.reg.Load(); reg != nil {
+			text = reg.Text()
+		}
+		return &wire.MetricsResponse{Text: text}, nil
 	default:
 		return nil, fmt.Errorf("provider: unknown request kind %q", kind)
 	}

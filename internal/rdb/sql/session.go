@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mdv/internal/rdb"
 )
@@ -24,6 +25,9 @@ type DB struct {
 	stmtMu sync.RWMutex
 	// planVersion invalidates cached prepared-statement plans after DDL.
 	planVersion atomic.Uint64
+	// met is the optional instrument bundle (see EnableMetrics); nil until
+	// metrics are enabled, making the disabled path one atomic load.
+	met atomic.Pointer[dbMetrics]
 }
 
 // NewDB wraps an existing engine database.
@@ -103,20 +107,24 @@ func (d *DB) QueryFunc(query string, params []rdb.Value, visit func(row []rdb.Va
 	if !ok {
 		return fmt.Errorf("sql: QueryFunc requires a SELECT statement")
 	}
+	t0 := time.Now()
 	plan, err := buildSelectPlan(d.raw, sel)
 	if err != nil {
 		return err
 	}
+	defer d.observeSelect(plan, t0)
 	d.stmtMu.RLock()
 	defer d.stmtMu.RUnlock()
 	return plan.run(params, visit)
 }
 
 func (d *DB) querySelect(sel *SelectStmt, params []rdb.Value) (*Rows, error) {
+	t0 := time.Now()
 	plan, err := buildSelectPlan(d.raw, sel)
 	if err != nil {
 		return nil, err
 	}
+	defer d.observeSelect(plan, t0)
 	d.stmtMu.RLock()
 	defer d.stmtMu.RUnlock()
 	return runPlan(plan, params)
@@ -144,6 +152,7 @@ func (d *DB) ExecStmt(st Statement, params []rdb.Value) (int, error) {
 		}
 		return rows.Len(), nil
 	case *CreateTableStmt:
+		defer d.observeExec(opDDL, time.Now())
 		d.stmtMu.Lock()
 		defer d.stmtMu.Unlock()
 		defer d.bumpPlanVersion()
@@ -153,6 +162,7 @@ func (d *DB) ExecStmt(st Statement, params []rdb.Value) (int, error) {
 		}
 		return 0, err
 	case *CreateIndexStmt:
+		defer d.observeExec(opDDL, time.Now())
 		d.stmtMu.Lock()
 		defer d.stmtMu.Unlock()
 		defer d.bumpPlanVersion()
@@ -162,6 +172,7 @@ func (d *DB) ExecStmt(st Statement, params []rdb.Value) (int, error) {
 		}
 		return 0, err
 	case *DropTableStmt:
+		defer d.observeExec(opDDL, time.Now())
 		d.stmtMu.Lock()
 		defer d.stmtMu.Unlock()
 		defer d.bumpPlanVersion()
@@ -171,19 +182,23 @@ func (d *DB) ExecStmt(st Statement, params []rdb.Value) (int, error) {
 		}
 		return 0, err
 	case *DropIndexStmt:
+		defer d.observeExec(opDDL, time.Now())
 		d.stmtMu.Lock()
 		defer d.stmtMu.Unlock()
 		defer d.bumpPlanVersion()
 		return 0, d.raw.DropIndex(s.Table, s.Name)
 	case *InsertStmt:
+		defer d.observeExec(opInsert, time.Now())
 		d.stmtMu.Lock()
 		defer d.stmtMu.Unlock()
 		return d.execInsert(s, params)
 	case *UpdateStmt:
+		defer d.observeExec(opUpdate, time.Now())
 		d.stmtMu.Lock()
 		defer d.stmtMu.Unlock()
 		return d.execUpdate(s, params)
 	case *DeleteStmt:
+		defer d.observeExec(opDelete, time.Now())
 		d.stmtMu.Lock()
 		defer d.stmtMu.Unlock()
 		return d.execDelete(s, params)
@@ -518,8 +533,10 @@ func (d *DB) MustPrepare(query string) *Stmt {
 func (s *Stmt) selectPlanFor(sel *SelectStmt) (*selectPlan, error) {
 	ver := s.db.planVersion.Load()
 	if c := s.cached.Load(); c != nil && c.ver == ver {
+		s.db.observePlanCache(true)
 		return c.plan, nil
 	}
+	s.db.observePlanCache(false)
 	plan, err := buildSelectPlan(s.db.raw, sel)
 	if err != nil {
 		return nil, err
@@ -534,10 +551,12 @@ func (s *Stmt) Query(params ...rdb.Value) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: prepared statement is not a SELECT")
 	}
+	t0 := time.Now()
 	plan, err := s.selectPlanFor(sel)
 	if err != nil {
 		return nil, err
 	}
+	defer s.db.observeSelect(plan, t0)
 	s.db.stmtMu.RLock()
 	defer s.db.stmtMu.RUnlock()
 	return runPlan(plan, params)
@@ -549,10 +568,12 @@ func (s *Stmt) QueryFunc(params []rdb.Value, visit func(row []rdb.Value) error) 
 	if !ok {
 		return fmt.Errorf("sql: prepared statement is not a SELECT")
 	}
+	t0 := time.Now()
 	plan, err := s.selectPlanFor(sel)
 	if err != nil {
 		return err
 	}
+	defer s.db.observeSelect(plan, t0)
 	s.db.stmtMu.RLock()
 	defer s.db.stmtMu.RUnlock()
 	return plan.run(params, visit)
@@ -561,10 +582,12 @@ func (s *Stmt) QueryFunc(params []rdb.Value, visit func(row []rdb.Value) error) 
 // Exec executes a prepared statement of any kind.
 func (s *Stmt) Exec(params ...rdb.Value) (int, error) {
 	if sel, ok := s.ast.(*SelectStmt); ok {
+		t0 := time.Now()
 		plan, err := s.selectPlanFor(sel)
 		if err != nil {
 			return 0, err
 		}
+		defer s.db.observeSelect(plan, t0)
 		s.db.stmtMu.RLock()
 		defer s.db.stmtMu.RUnlock()
 		rows, err := runPlan(plan, params)
@@ -632,10 +655,12 @@ func (t *ReadTxn) Query(query string, params ...rdb.Value) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
 	}
+	t0 := time.Now()
 	plan, err := buildSelectPlan(t.db.raw, sel)
 	if err != nil {
 		return nil, err
 	}
+	defer t.db.observeSelect(plan, t0)
 	return runPlan(plan, params)
 }
 
@@ -650,10 +675,12 @@ func (t *ReadTxn) QueryFunc(query string, params []rdb.Value, visit func(row []r
 	if !ok {
 		return fmt.Errorf("sql: QueryFunc requires a SELECT statement")
 	}
+	t0 := time.Now()
 	plan, err := buildSelectPlan(t.db.raw, sel)
 	if err != nil {
 		return err
 	}
+	defer t.db.observeSelect(plan, t0)
 	return plan.run(params, visit)
 }
 
@@ -663,9 +690,11 @@ func (t *ReadTxn) QueryStmt(s *Stmt, params ...rdb.Value) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: prepared statement is not a SELECT")
 	}
+	t0 := time.Now()
 	plan, err := s.selectPlanFor(sel)
 	if err != nil {
 		return nil, err
 	}
+	defer s.db.observeSelect(plan, t0)
 	return runPlan(plan, params)
 }

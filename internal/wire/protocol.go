@@ -30,6 +30,10 @@ const (
 	// KindDeliveryStats reports per-subscriber delivery health (queue
 	// depth, drops, disconnects, heartbeat RTT, publish lag).
 	KindDeliveryStats = "delivery_stats"
+	// KindMetrics returns the node's metrics registry rendered in the
+	// Prometheus text exposition format (both tiers serve it; empty text
+	// when metrics are not enabled).
+	KindMetrics = "metrics"
 	// KindChangeset is the push an MDP sends to attached subscribers.
 	KindChangeset = "changeset"
 	// KindResume asks a durable MDP to replay the changesets published
@@ -112,6 +116,13 @@ type ChangesetPush struct {
 	Seq       uint64          `json:"seq,omitempty"`
 	Reset     bool            `json:"reset,omitempty"`
 	Changeset *core.Changeset `json:"changeset"`
+	// PubUnixNano is the provider's wall clock at publish time, stamped on
+	// live pushes only (resume replays leave it 0: their propagation delay
+	// reflects how long the subscriber was away, not pipeline health). The
+	// receiver subtracts it from its own clock for the end-to-end
+	// propagation-lag histogram; skew between the two clocks is the
+	// measurement's error bar.
+	PubUnixNano int64 `json:"pub_unix_nano,omitempty"`
 }
 
 // ResumeRequest asks for a replay of publishes missed since FromSeq.
@@ -167,6 +178,12 @@ type DeliveryStatsResponse struct {
 	Subscribers []SubscriberDelivery `json:"subscribers"`
 	// LogSeq is the provider's changelog tail (0 if not durable).
 	LogSeq uint64 `json:"log_seq"`
+}
+
+// MetricsResponse is the body of a KindMetrics response: the node's
+// metrics registry in Prometheus text exposition format.
+type MetricsResponse struct {
+	Text string `json:"text"`
 }
 
 // NamedRuleRequest registers a named rule usable as an extension.

@@ -44,6 +44,7 @@ import (
 	"mdv/internal/client"
 	"mdv/internal/core"
 	"mdv/internal/lmr"
+	"mdv/internal/metrics"
 	"mdv/internal/provider"
 	"mdv/internal/rdf"
 	"mdv/internal/wire"
@@ -214,6 +215,15 @@ func NewRepositoryNode(name string, schema *Schema, prov ProviderAPI) (*Reposito
 	return lmr.New(name, schema, prov)
 }
 
+// ReconnectableProvider is the provider handle RepositoryNode.Supervise
+// manages; *ProviderClient implements it.
+type ReconnectableProvider = lmr.ReconnectableProvider
+
+// SuperviseConfig configures RepositoryNode.Supervise, the reconnect loop
+// that redials a lost provider connection with jittered backoff and
+// resumes the changeset stream.
+type SuperviseConfig = lmr.SuperviseConfig
+
 // ProviderClient is a network client to a remote MDP.
 type ProviderClient = client.MDP
 
@@ -259,6 +269,16 @@ func DialProviderWithConfig(addr string, cfg ClientConfig) (*ProviderClient, err
 func DialRepositoryWithConfig(addr string, cfg ClientConfig) (*RepositoryClient, error) {
 	return client.DialLMRConfig(addr, cfg)
 }
+
+// Observability (DESIGN.md §9): a dependency-free metrics registry with
+// Prometheus text exposition. Provider.EnableMetrics and
+// RepositoryNode.EnableMetrics attach a node and everything below it;
+// Registry.Handler serves /metrics; ProviderClient.Metrics and
+// RepositoryClient.Metrics fetch the rendered text over the wire.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // IsRetryable reports whether err is a transient transport failure worth
 // retrying on a fresh connection, as opposed to an application error
