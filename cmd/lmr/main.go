@@ -7,6 +7,13 @@
 // Usage:
 //
 //	lmr -addr :7272 -name lmr1 -mdp host:7171 -schema schema.rdf [-rules rules.mdv]
+//	lmr -addr :7272 -name lmr1 -mdp primary:7171 -mdp replica:7172 -schema schema.rdf
+//
+// -mdp is repeatable: give the primary and its replicas and the LMR fails
+// over between them — if the connected provider dies, the reconnect
+// supervisor rotates to the next endpoint that answers. Replicas serve
+// the full read path and proxy writes to the primary, so any endpoint is
+// a full substitute.
 package main
 
 import (
@@ -26,11 +33,18 @@ import (
 	"mdv/mdv"
 )
 
+type endpointList []string
+
+func (e *endpointList) String() string { return strings.Join(*e, ",") }
+func (e *endpointList) Set(v string) error {
+	*e = append(*e, v)
+	return nil
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7272", "listen address for clients")
 		name       = flag.String("name", "lmr", "repository name (subscriber identity)")
-		mdpAddr    = flag.String("mdp", "", "metadata provider address (required)")
 		schemaPath = flag.String("schema", "", "path to the RDF schema file (required)")
 		rulesPath  = flag.String("rules", "", "path to a subscription rules file (optional)")
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat ping interval; a provider silent for 3x this is declared dead (0 disables)")
@@ -38,10 +52,12 @@ func main() {
 		sendQueue  = flag.Int("send-queue", 256, "bounded per-client send queue on the LMR's own server")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
 		metricsOn  = flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. localhost:6061; shares the pprof mux; empty disables)")
+		mdps       endpointList
 	)
+	flag.Var(&mdps, "mdp", "metadata provider address (repeatable: primary first, then replicas for failover; at least one required)")
 	flag.Parse()
 
-	if *mdpAddr == "" || *schemaPath == "" {
+	if len(mdps) == 0 || *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "lmr: -mdp and -schema are required")
 		flag.Usage()
 		os.Exit(2)
@@ -71,13 +87,18 @@ func main() {
 		CallTimeout:  *ioTimeout,
 	}
 
-	// The initial dial retries transient failures with jittered backoff so
-	// an LMR started moments before its provider still comes up.
+	// All provider endpoints go through one sticky rotating dialer; the
+	// initial dial retries transient failures with jittered backoff so an
+	// LMR started moments before its providers still comes up.
+	dialer, err := mdv.NewMultiDialer(mdps, cliCfg)
+	if err != nil {
+		log.Fatalf("lmr: %v", err)
+	}
 	var prov *mdv.ProviderClient
 	dialBackoff := &mdv.Backoff{}
 	err = mdv.Retry(context.Background(), dialBackoff, 5, mdv.IsRetryable, func() error {
 		var derr error
-		prov, derr = mdv.DialProviderWithConfig(*mdpAddr, cliCfg)
+		prov, derr = dialer.Dial()
 		return derr
 	})
 	if err != nil {
@@ -140,7 +161,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("lmr: serve: %v", err)
 	}
-	log.Printf("lmr %q listening on %s (provider %s)", *name, listenAddr, *mdpAddr)
+	log.Printf("lmr %q listening on %s (providers %s)", *name, listenAddr, mdps.String())
 
 	// Resume against a durable MDP: catch up on changesets published while
 	// this LMR was down (no-op against a non-durable provider).
@@ -161,7 +182,7 @@ func main() {
 		defer close(supDone)
 		node.Supervise(stop, prov, mdv.SuperviseConfig{
 			Dial: func() (mdv.ReconnectableProvider, error) {
-				return mdv.DialProviderWithConfig(*mdpAddr, cliCfg)
+				return dialer.Dial()
 			},
 			Retryable: mdv.IsRetryable,
 			Logf:      log.Printf,

@@ -6,11 +6,20 @@
 //	mdp -addr :7171 -name mdp1 -schema schema.rdf [-peer host:port ...]
 //	mdp -addr :7171 -name mdp1 -schema schema.rdf -data /var/lib/mdp \
 //	    [-wal-sync group|always|none] [-snapshot-interval 5m]
+//	mdp -addr :7172 -name mdp2 -schema schema.rdf -data /var/lib/mdp2 \
+//	    -replica-of primary:7171
 //
 // With -data the provider is durable: every acknowledged operation is
 // written to a write-ahead changelog before it is applied, snapshots are
 // taken periodically (-snapshot-interval) and on SIGTERM, and reconnecting
 // LMRs resume the changeset stream from their acknowledged sequence.
+//
+// With -replica-of the node runs as a read replica of the named primary:
+// it streams the primary's changelog into its own durable copy
+// (bootstrapping from a shipped snapshot when it has fallen behind the
+// primary's log retention), serves the full read path — subscriptions,
+// queries, browsing, changeset resume — and proxies write operations to
+// the primary. Requires -data; incompatible with -peer.
 //
 // The schema file uses the RDF Schema serialization accepted by
 // rdf.ParseSchema (see the repository README for an example).
@@ -53,6 +62,8 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 		metricsOn  = flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. localhost:6060; shares the pprof mux; empty disables)")
 		slowThresh = flag.Duration("slow-threshold", 0, "log publishes slower than this, with the dominating rule groups and statements (0 disables)")
+		replicaOf  = flag.String("replica-of", "", "run as a read replica of the primary MDP at this address (requires -data)")
+		advertise  = flag.String("advertise", "", "identity announced to the primary's follower stats (default: -name)")
 		peers      peerList
 	)
 	flag.Var(&peers, "peer", "backbone peer address (repeatable)")
@@ -61,6 +72,14 @@ func main() {
 	if *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "mdp: -schema is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *replicaOf != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "mdp: -replica-of requires -data (a replica keeps its own changelog copy)")
+		os.Exit(2)
+	}
+	if *replicaOf != "" && len(peers) > 0 {
+		fmt.Fprintln(os.Stderr, "mdp: -replica-of and -peer are mutually exclusive (a replica proxies writes to its primary)")
 		os.Exit(2)
 	}
 	var syncPolicy mdv.SyncPolicy
@@ -98,7 +117,7 @@ func main() {
 		var stats *mdv.RecoveryStats
 		var err error
 		prov, stats, err = mdv.OpenDurableProviderWithStats(*name, schema, *dataDir,
-			mdv.DurableOptions{Sync: syncPolicy})
+			mdv.DurableOptions{Sync: syncPolicy, Replica: *replicaOf != ""})
 		if err != nil {
 			log.Fatalf("mdp: open durable store: %v", err)
 		}
@@ -123,8 +142,9 @@ func main() {
 			log.Fatalf("mdp: %v", err)
 		}
 	}
+	var reg *mdv.MetricsRegistry
 	if *metricsOn != "" {
-		reg := mdv.NewMetricsRegistry()
+		reg = mdv.NewMetricsRegistry()
 		prov.EnableMetrics(reg)
 		http.Handle("/metrics", reg.Handler())
 		if *metricsOn == *pprofAddr {
@@ -152,13 +172,37 @@ func main() {
 	if err != nil {
 		log.Fatalf("mdp: serve: %v", err)
 	}
-	log.Printf("mdp %q listening on %s (schema: %d classes)", *name, listenAddr, len(schema.Classes()))
+	log.Printf("mdp %q listening on %s (schema: %d classes, role %s)",
+		*name, listenAddr, len(schema.Classes()), prov.Role())
 
 	peerCfg := mdv.ClientConfig{
 		Heartbeat:    *heartbeat,
 		IdleTimeout:  3 * *heartbeat,
 		WriteTimeout: *ioTimeout,
 	}
+
+	var follower *mdv.Follower
+	if *replicaOf != "" {
+		followerName := *advertise
+		if followerName == "" {
+			followerName = *name
+		}
+		follower, err = mdv.StartFollower(prov, mdv.FollowerOptions{
+			Name:    followerName,
+			Primary: *replicaOf,
+			Client:  peerCfg,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("mdp: start replication: %v", err)
+		}
+		if reg != nil {
+			follower.EnableMetrics(reg)
+		}
+		log.Printf("mdp: replicating from primary %s (as %q, local tail %d)",
+			*replicaOf, followerName, prov.LogSeq())
+	}
+
 	for _, peerAddr := range peers {
 		peer, err := mdv.DialProviderWithConfig(peerAddr, peerCfg)
 		if err != nil {
@@ -193,6 +237,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("mdp: shutting down")
+	if follower != nil {
+		follower.Close()
+	}
 	if stopSnapshots != nil {
 		close(stopSnapshots)
 	}

@@ -161,6 +161,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if ds, err := c.DeliveryStats(); err == nil && ds.Role != "" {
+			fmt.Printf("role:                  %s\n", ds.Role)
+		}
 		fmt.Printf("documents registered:  %d\n", st.DocumentsRegistered)
 		fmt.Printf("resources registered:  %d\n", st.ResourcesRegistered)
 		fmt.Printf("filter runs:           %d\n", st.FilterRuns)
@@ -260,21 +263,34 @@ func main() {
 }
 
 func printDelivery(ds *mdv.DeliveryStats) {
+	if ds.Role != "" {
+		fmt.Printf("role:              %s\n", ds.Role)
+	}
 	fmt.Printf("published log seq: %d\n", ds.LogSeq)
 	if len(ds.Subscribers) == 0 {
 		fmt.Println("(no subscribers)")
-		return
+	} else {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "SUBSCRIBER\tCONNS\tQUEUE\tENQUEUED\tDROPPED\tDISCONNECTS\tPUBLISHED\tACKED\tLAG\tRTT\tIDLE")
+		for _, s := range ds.Subscribers {
+			fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+				s.Subscriber, s.Conns, s.QueueDepth, s.QueueCap, s.Enqueued,
+				s.Dropped, s.Disconnects, s.PublishedSeq, s.AckedSeq, s.Lag,
+				time.Duration(s.RTTMicros)*time.Microsecond,
+				time.Duration(s.IdleMillis)*time.Millisecond)
+		}
+		w.Flush()
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "SUBSCRIBER\tCONNS\tQUEUE\tENQUEUED\tDROPPED\tDISCONNECTS\tPUBLISHED\tACKED\tLAG\tRTT\tIDLE")
-	for _, s := range ds.Subscribers {
-		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
-			s.Subscriber, s.Conns, s.QueueDepth, s.QueueCap, s.Enqueued,
-			s.Dropped, s.Disconnects, s.PublishedSeq, s.AckedSeq, s.Lag,
-			time.Duration(s.RTTMicros)*time.Microsecond,
-			time.Duration(s.IdleMillis)*time.Millisecond)
+	if len(ds.Followers) > 0 {
+		fmt.Println()
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "FOLLOWER\tCONNECTED\tSTREAMED\tACKED\tLAG")
+		for _, f := range ds.Followers {
+			fmt.Fprintf(w, "%s\t%t\t%d\t%d\t%d\n",
+				f.Follower, f.Connected, f.StreamedSeq, f.AckedSeq, f.LagSeqs)
+		}
+		w.Flush()
 	}
-	w.Flush()
 }
 
 func printResources(rs []*mdv.Resource) {

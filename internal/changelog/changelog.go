@@ -126,17 +126,27 @@ type Log struct {
 	appends   atomic.Uint64 // records appended (observability)
 	truncated atomic.Uint64 // segment files removed by TruncateBelow
 	met       atomic.Pointer[logMetrics]
+
+	// notifyMu/notifyCh broadcast durability advances (and close) to
+	// tailing Readers: each advance closes and replaces the channel.
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 }
 
 // SyncCount returns how many fsyncs the log has issued. Against the number
 // of operations committed it gives the group-commit amortization ratio.
 func (l *Log) SyncCount() uint64 { return l.syncs.Load() }
 
-// advanceDurable raises the durability watermark to seq (never lowers it).
+// advanceDurable raises the durability watermark to seq (never lowers it)
+// and wakes tailing Readers blocked on the advance.
 func (l *Log) advanceDurable(seq uint64) {
 	for {
 		cur := l.durable.Load()
-		if seq <= cur || l.durable.CompareAndSwap(cur, seq) {
+		if seq <= cur {
+			return
+		}
+		if l.durable.CompareAndSwap(cur, seq) {
+			l.notifyDurable()
 			return
 		}
 	}
@@ -378,6 +388,12 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	// Wake tailing Readers blocked at the old tail: a Reader that finds
+	// this record appended but not durable gives the group commit a grace
+	// window and then forces the fsync itself (see Reader.waitAdvance), so
+	// a record appended without a WaitDurable caller behind it cannot stay
+	// unstreamed indefinitely.
+	l.notifyDurable()
 	return seq, nil
 }
 
@@ -601,6 +617,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.notifyDurable() // wake tailing Readers so they observe the close
 	err := l.w.Flush()
 	if err == nil && l.opts.Sync != SyncNone {
 		err = datasync(l.f)

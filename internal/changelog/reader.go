@@ -1,0 +1,341 @@
+package changelog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrTruncated is returned by Reader.Next when the reader's position has
+// been removed by TruncateBelow: the records it wanted no longer exist, so
+// the consumer must re-bootstrap from a snapshot instead of tailing on.
+var ErrTruncated = errors.New("changelog: position truncated below the retained log")
+
+// ErrReaderClosed is returned by Next after the reader is closed.
+var ErrReaderClosed = errors.New("changelog: reader closed")
+
+// Reader tails the log: Next returns retained records in sequence order,
+// blocking until the next one is DURABLE. The durability bound is the
+// reader's safety contract — a record is surfaced only after its group
+// commit fsynced it, so a consumer (a replica shipping the log) can never
+// observe a torn or unfsynced record that a crash would later disown.
+//
+// A Reader is owned by one goroutine; Close (from any goroutine) unblocks a
+// pending Next. Readers survive segment rotation and skip the sequence gaps
+// Reserve creates (the returned sequences jump accordingly). If the log is
+// truncated past the reader's position, Next returns ErrTruncated.
+//
+// Readers require a syncing policy (SyncGroup or SyncAlways): under
+// SyncNone the durability watermark never advances, so Next would block
+// forever.
+type Reader struct {
+	l    *Log
+	next uint64 // next sequence wanted
+
+	// Open segment state: segFirst identifies the segment (0 = none), f is
+	// the reader's own descriptor, off the parse offset within it.
+	segFirst uint64
+	f        *os.File
+	off      int64
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewReader returns a reader positioned at the first retained record with
+// sequence >= from.
+func (l *Log) NewReader(from uint64) *Reader {
+	if from == 0 {
+		from = 1
+	}
+	return &Reader{l: l, next: from, done: make(chan struct{})}
+}
+
+// DurableSeq returns the highest sequence known fsynced (the reader bound).
+func (l *Log) DurableSeq() uint64 { return l.durable.Load() }
+
+// durableWait returns a channel closed at the next durability advance (or
+// log close). Callers must re-check their condition after registering: the
+// channel is obtained before the check, so no advance can slip between.
+func (l *Log) durableWait() <-chan struct{} {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	if l.notifyCh == nil {
+		l.notifyCh = make(chan struct{})
+	}
+	return l.notifyCh
+}
+
+// notifyDurable wakes every waiter registered via durableWait.
+func (l *Log) notifyDurable() {
+	l.notifyMu.Lock()
+	ch := l.notifyCh
+	l.notifyCh = nil
+	l.notifyMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+func (l *Log) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// Close unblocks a pending Next and makes future calls fail. The reader's
+// file handle is released by the owning goroutine inside Next (closing it
+// here would race a concurrent ReadAt).
+func (r *Reader) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
+}
+
+// Next returns the next durable record at or after the reader's position,
+// blocking until one exists. It returns ErrReaderClosed after Close,
+// ErrClosed when the log is closed, and ErrTruncated when the position has
+// been truncated away.
+func (r *Reader) Next() (uint64, []byte, error) {
+	for {
+		select {
+		case <-r.done:
+			r.release()
+			return 0, nil, ErrReaderClosed
+		default:
+		}
+		bound := r.l.durable.Load()
+		if r.next > bound {
+			if err := r.waitAdvance(); err != nil {
+				r.release()
+				return 0, nil, err
+			}
+			continue
+		}
+		// Something at or past r.next is durable. Make sure a segment that
+		// can contain it is open.
+		if r.f == nil {
+			if err := r.openSegment(); err != nil {
+				r.release()
+				return 0, nil, err
+			}
+			continue // r.next may have advanced over a reserved gap
+		}
+		seq, payload, ok, err := r.parseOne(bound)
+		if err != nil {
+			r.release()
+			return 0, nil, err
+		}
+		if ok {
+			return seq, payload, nil
+		}
+	}
+}
+
+// waitAdvance blocks until the durability watermark moves, the log closes,
+// or the reader is closed. The waiter channel is obtained BEFORE the
+// re-checks, so an advance between a caller's check and the select cannot
+// be missed.
+// tailSyncGrace is how long a blocked Reader waits for a writer's own
+// group commit to make an appended-but-buffered record durable before
+// forcing the fsync itself. Long enough that a publish burst's WaitDurable
+// keeps its group-commit batching; short enough to bound replication lag
+// on records nobody waits on.
+const tailSyncGrace = 5 * time.Millisecond
+
+func (r *Reader) waitAdvance() error {
+	for {
+		ch := r.l.durableWait()
+		if r.l.durable.Load() >= r.next {
+			return nil
+		}
+		if r.l.isClosed() {
+			return ErrClosed
+		}
+		// When the record the reader wants is already appended but only
+		// buffered, the reader becomes a group-commit waiter of last
+		// resort: it gives the writers a grace window to commit it (a
+		// publish burst's own WaitDurable normally wins) and then forces
+		// the fsync itself. Without this, a record appended without
+		// awaiting durability (an ack, a truncation watermark) at the tail
+		// of a burst would stay invisible — and unshipped to replicas —
+		// until the next write happened to sync the log.
+		if r.l.opts.Sync != SyncNone && r.l.LastSeq() >= r.next {
+			timer := time.NewTimer(tailSyncGrace)
+			select {
+			case <-ch:
+				timer.Stop()
+				continue // re-check: the advance may cover the position now
+			case <-timer.C:
+				return r.l.Sync()
+			case <-r.done:
+				timer.Stop()
+				return ErrReaderClosed
+			}
+		}
+		select {
+		case <-ch:
+			return nil
+		case <-r.done:
+			return ErrReaderClosed
+		}
+	}
+}
+
+// openSegment locates and opens the segment that can contain r.next.
+// Returns ErrTruncated when the position lies below the retained log.
+func (r *Reader) openSegment() error {
+	r.l.mu.Lock()
+	if r.l.closed {
+		r.l.mu.Unlock()
+		return ErrClosed
+	}
+	segs := append([]segment(nil), r.l.segments...)
+	r.l.mu.Unlock()
+	if len(segs) == 0 || r.next < segs[0].first {
+		return ErrTruncated
+	}
+	// The last segment whose first sequence is <= r.next holds the
+	// position (reserved gaps start fresh segments, so a position inside a
+	// gap maps to the preceding segment's end and advances from there).
+	pick := 0
+	for i, s := range segs {
+		if s.first <= r.next {
+			pick = i
+		}
+	}
+	f, err := os.Open(segs[pick].path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ErrTruncated // removed between the lookup and the open
+		}
+		return fmt.Errorf("changelog: reader: %w", err)
+	}
+	r.f = f
+	r.segFirst = segs[pick].first
+	r.off = 0
+	return nil
+}
+
+// advanceSegment is called when the open segment's flushed data is
+// exhausted. If a later segment exists the reader moves to it (a rotated
+// segment was completely flushed before rotation, so its end is final);
+// otherwise the reader sits at the active tail and reports moved=false.
+func (r *Reader) advanceSegment() (moved bool, err error) {
+	r.l.mu.Lock()
+	closed := r.l.closed
+	var nextFirst uint64
+	for _, s := range r.l.segments {
+		if s.first > r.segFirst {
+			nextFirst = s.first
+			break
+		}
+	}
+	r.l.mu.Unlock()
+	if nextFirst == 0 {
+		if closed {
+			return false, ErrClosed
+		}
+		return false, nil
+	}
+	r.f.Close()
+	r.f = nil
+	if nextFirst > r.next {
+		// The sequences between the segments were reserved, never
+		// assigned: vacuously durable, no records to surface.
+		r.next = nextFirst
+	}
+	return true, nil
+}
+
+// parseOne reads the record at the current offset. ok=false means the
+// caller should loop (segment advanced, position moved, or a wait for the
+// next durability advance was taken). Records below r.next — possible
+// after opening a segment whose first sequence is older — are skipped
+// without reading their payloads.
+func (r *Reader) parseOne(bound uint64) (seq uint64, payload []byte, ok bool, err error) {
+	var hdr [headerSize]byte
+	n, rerr := r.f.ReadAt(hdr[:], r.off)
+	if n < headerSize {
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return 0, nil, false, fmt.Errorf("changelog: reader: %w", rerr)
+		}
+		// End of this segment's flushed data.
+		moved, aerr := r.advanceSegment()
+		if aerr != nil {
+			return 0, nil, false, aerr
+		}
+		if !moved {
+			// Active segment, durable covers r.next, record not visible:
+			// only a flush racing this read can cause it (the flush's write
+			// completes before the durability advance). Wait for the next
+			// advance instead of spinning.
+			if werr := r.waitNotify(); werr != nil {
+				return 0, nil, false, werr
+			}
+		}
+		return 0, nil, false, nil
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	if length < 8 || length > MaxRecordSize {
+		return 0, nil, false, fmt.Errorf("changelog: reader: corrupt record length %d near seq %d", length, r.next)
+	}
+	recSeq := binary.BigEndian.Uint64(hdr[8:16])
+	if recSeq < r.next {
+		// Pre-position record: skip without reading the payload.
+		r.off += int64(headerSize) + int64(length) - 8
+		return 0, nil, false, nil
+	}
+	if recSeq > bound {
+		// The position advanced onto a record past the durability bound
+		// (e.g. over a reserved gap): treat it as the new position and wait.
+		r.next = recSeq
+		if werr := r.waitAdvance(); werr != nil {
+			return 0, nil, false, werr
+		}
+		return 0, nil, false, nil
+	}
+	payload = make([]byte, length-8)
+	if _, rerr := r.f.ReadAt(payload, r.off+headerSize); rerr != nil {
+		// A durable record's payload must be fully on disk; a flush racing
+		// this read is the only benign cause. Wait and retry.
+		if werr := r.waitNotify(); werr != nil {
+			return 0, nil, false, werr
+		}
+		return 0, nil, false, nil
+	}
+	crc := crc32.Update(0, castagnoli, hdr[8:16])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != binary.BigEndian.Uint32(hdr[4:8]) {
+		return 0, nil, false, fmt.Errorf("changelog: reader: CRC mismatch at seq %d (durable record corrupted)", recSeq)
+	}
+	r.off += int64(headerSize) + int64(len(payload))
+	r.next = recSeq + 1
+	return recSeq, payload, true, nil
+}
+
+// waitNotify blocks until the NEXT durability advance (or close),
+// regardless of the current watermark — used when the watermark already
+// covers the position but the record's bytes are not yet visible.
+func (r *Reader) waitNotify() error {
+	ch := r.l.durableWait()
+	if r.l.isClosed() {
+		return ErrClosed
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-r.done:
+		return ErrReaderClosed
+	}
+}
+
+func (r *Reader) release() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}

@@ -1,0 +1,311 @@
+package changelog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReaderAppenderRace is the reader/appender boundary test: concurrent
+// appenders drive group commits while a tailing Reader consumes the log.
+// The reader must observe every record exactly once, in sequence order,
+// with intact payloads, and must never surface a record beyond the
+// durability watermark (i.e. a torn or unfsynced one). Run with -race.
+func TestReaderAppenderRace(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentSize: 4 << 10}) // force rotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const (
+		appenders  = 4
+		perWorker  = 200
+		totalCount = appenders * perWorker
+	)
+
+	var (
+		mu       sync.Mutex
+		appended = make(map[uint64][]byte, totalCount)
+	)
+
+	received := make(map[uint64][]byte, totalCount)
+	readerDone := make(chan error, 1)
+	r := l.NewReader(1)
+	go func() {
+		defer r.Close()
+		var prev uint64
+		for len(received) < totalCount {
+			seq, payload, err := r.Next()
+			if err != nil {
+				readerDone <- err
+				return
+			}
+			if seq <= prev {
+				readerDone <- fmt.Errorf("out of order: seq %d after %d", seq, prev)
+				return
+			}
+			// The durability bound is the contract under test: a surfaced
+			// record must already be fsynced. durable only grows, so
+			// checking after Next returns is sound.
+			if d := l.DurableSeq(); seq > d {
+				readerDone <- fmt.Errorf("seq %d surfaced beyond durable watermark %d", seq, d)
+				return
+			}
+			prev = seq
+			received[seq] = payload
+		}
+		readerDone <- nil
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < appenders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				payload := make([]byte, 16+i%97)
+				binary.BigEndian.PutUint64(payload[0:8], uint64(w))
+				binary.BigEndian.PutUint64(payload[8:16], uint64(i))
+				seq, err := l.Append(payload)
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if err := l.WaitDurable(seq); err != nil {
+					t.Errorf("wait durable: %v", err)
+					return
+				}
+				mu.Lock()
+				appended[seq] = payload
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	select {
+	case err := <-readerDone:
+		if err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader did not drain the log")
+	}
+
+	if len(received) != totalCount {
+		t.Fatalf("received %d records, want %d", len(received), totalCount)
+	}
+	for seq, want := range appended {
+		got, ok := received[seq]
+		if !ok {
+			t.Fatalf("seq %d never surfaced", seq)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("seq %d payload mismatch", seq)
+		}
+	}
+}
+
+// TestReaderSkipsReservedGap verifies a tailing reader jumps cleanly over
+// sequences consumed by Reserve (which starts a fresh segment) instead of
+// blocking on records that will never exist.
+func TestReaderSkipsReservedGap(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve(10); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Append([]byte("after-gap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("post-reserve seq = %d, want 11", seq)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := l.NewReader(1)
+	defer r.Close()
+	var got []uint64
+	for len(got) < 4 {
+		seq, _, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, seq)
+	}
+	want := []uint64{1, 2, 3, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequences = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestReaderMidSegmentStart verifies a reader positioned inside a segment
+// skips the earlier records without surfacing them.
+func TestReaderMidSegmentStart(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r := l.NewReader(4)
+	defer r.Close()
+	seq, payload, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 || payload[0] != 4 {
+		t.Fatalf("got seq %d payload %v, want seq 4", seq, payload)
+	}
+}
+
+// TestReaderTruncated verifies a reader whose position was removed by
+// TruncateBelow reports ErrTruncated (the consumer must re-bootstrap).
+func TestReaderTruncated(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentSize: 64}) // rotate nearly every record
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var last uint64
+	for i := 0; i < 10; i++ {
+		if last, err = l.Append(make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TruncateBelow(last); err != nil {
+		t.Fatal(err)
+	}
+	if l.OldestSeq() <= 1 {
+		t.Fatal("test needs truncation to have removed seq 1")
+	}
+	r := l.NewReader(1)
+	defer r.Close()
+	if _, _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Next = %v, want ErrTruncated", err)
+	}
+}
+
+// TestReaderCloseUnblocks verifies Close (reader- and log-side) wakes a
+// Next blocked at the durable tail.
+func TestReaderCloseUnblocks(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	r := l.NewReader(1)
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := r.Next()
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrReaderClosed) {
+			t.Fatalf("Next = %v, want ErrReaderClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader Close did not unblock Next")
+	}
+
+	r2 := l.NewReader(1)
+	defer r2.Close()
+	go func() {
+		_, _, err := r2.Next()
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Next = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("log Close did not unblock Next")
+	}
+}
+
+// TestReaderWaitsForDurability verifies the reader's durability contract
+// under SyncGroup: a record is surfaced only once it is durable. An
+// appended-but-unsynced record at the tail does not make the reader wait
+// for an unrelated writer — the reader forces the group commit itself —
+// but by the time Next returns, the record must be fsynced.
+func TestReaderWaitsForDurability(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	seq, err := l.Append([]byte("pending"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableSeq() >= seq {
+		t.Fatalf("append alone made seq %d durable under SyncGroup", seq)
+	}
+	r := l.NewReader(1)
+	defer r.Close()
+	got := make(chan uint64, 1)
+	go func() {
+		s, _, err := r.Next()
+		if err != nil {
+			t.Errorf("Next: %v", err)
+			close(got)
+			return
+		}
+		got <- s
+	}()
+	select {
+	case s := <-got:
+		if s != seq {
+			t.Fatalf("got seq %d, want %d", s, seq)
+		}
+		if l.DurableSeq() < seq {
+			t.Fatalf("reader surfaced seq %d while DurableSeq is %d", s, l.DurableSeq())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader did not force the pending record's group commit")
+	}
+	if err := l.WaitDurable(seq); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// MultiDialer dials an MDP from a list of endpoints — typically the
+// primary plus its read replicas. Each Dial starts at the endpoint that
+// last succeeded (sticky, so a healthy deployment keeps one connection
+// target) and rotates through the rest on failure, which is what gives an
+// LMR primary-loss failover: when its provider connection dies, the
+// reconnect supervisor redials through this dialer and lands on the next
+// endpoint that answers. Replicas serve the whole read path and proxy
+// writes to the primary, so any endpoint is a full substitute.
+type MultiDialer struct {
+	addrs []string
+	cfg   Config
+
+	mu   sync.Mutex
+	next int // index to try first on the next Dial
+}
+
+// NewMultiDialer builds a dialer over the given endpoints.
+func NewMultiDialer(addrs []string, cfg Config) (*MultiDialer, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: no provider endpoints")
+	}
+	return &MultiDialer{addrs: append([]string(nil), addrs...), cfg: cfg}, nil
+}
+
+// Addrs returns the configured endpoints.
+func (d *MultiDialer) Addrs() []string { return append([]string(nil), d.addrs...) }
+
+// Dial connects to the first endpoint that answers, starting with the
+// last successful one. It returns the last error if every endpoint fails.
+func (d *MultiDialer) Dial() (*MDP, error) {
+	d.mu.Lock()
+	start := d.next
+	d.mu.Unlock()
+	var errs []string
+	for i := 0; i < len(d.addrs); i++ {
+		idx := (start + i) % len(d.addrs)
+		c, err := DialMDPConfig(d.addrs[idx], d.cfg)
+		if err == nil {
+			d.mu.Lock()
+			d.next = idx
+			d.mu.Unlock()
+			return c, nil
+		}
+		errs = append(errs, fmt.Sprintf("%s: %v", d.addrs[idx], err))
+	}
+	return nil, fmt.Errorf("client: all %d provider endpoints failed: %s", len(d.addrs), strings.Join(errs, "; "))
+}

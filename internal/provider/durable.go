@@ -57,6 +57,7 @@ const (
 	recDelete      = "delete"
 	recSubscribe   = "subscribe"
 	recUnsubscribe = "unsubscribe"
+	recNamedRule   = "named_rule"
 	recPub         = "pub"
 	recAck         = "ack"
 	recWatermark   = "watermark"
@@ -68,7 +69,8 @@ type logRecord struct {
 	Docs       []wire.Doc `json:"docs,omitempty"`       // register
 	URI        string     `json:"uri,omitempty"`        // delete
 	Subscriber string     `json:"subscriber,omitempty"` // subscribe, pub, ack
-	Rule       string     `json:"rule,omitempty"`       // subscribe
+	Rule       string     `json:"rule,omitempty"`       // subscribe, named_rule
+	Name       string     `json:"name,omitempty"`       // named_rule
 	SubID      int64      `json:"sub_id,omitempty"`     // unsubscribe
 	AckSeq     uint64     `json:"ack_seq,omitempty"`    // ack
 	Watermark  uint64     `json:"watermark,omitempty"`  // watermark
@@ -102,6 +104,16 @@ type durableState struct {
 	// recovery and Compact), so it survives repeated crashes and
 	// truncation. Guarded by Provider.pubMu.
 	lost [][2]uint64
+
+	// streamFloor is the lowest sequence from which a replica's local log
+	// copy is known contiguous. A mid-life snapshot install leaves the
+	// local records below its coverage missing, so Resume must not claim a
+	// gap-free replay across the floor. 0 on primaries. Guarded by
+	// Provider.pubMu.
+	streamFloor uint64
+	// catchup is the replica Resume catch-up bound (see
+	// DurableOptions.CatchupWait); immutable after open.
+	catchup time.Duration
 }
 
 // inLost reports whether seq falls inside a crash-lost sequence range.
@@ -143,6 +155,16 @@ type DurableOptions struct {
 	// it. Serial callers never wait (nothing is queued). Zero means the
 	// 2ms default; negative disables the window.
 	GroupWindow time.Duration
+	// Replica opens the provider as a follower MDP: its engine is driven
+	// by replicated changelog records (see ApplyReplicated), writes are
+	// proxied to the primary, and recovery never appends to the local log
+	// copy (it must stay a verbatim prefix of the primary's log).
+	Replica bool
+	// CatchupWait bounds how long a replica's Resume waits for the
+	// replicated stream to reach a subscriber's cursor before falling back
+	// to a full-state reset (an LMR can be ahead of a freshly restarted
+	// replica that has not caught up yet). Zero means 10s.
+	CatchupWait time.Duration
 }
 
 // defaultGroupWindow is the fsync commit window under load. At ~2ms a
@@ -210,6 +232,7 @@ func OpenDurableWithStats(name string, schema *rdf.Schema, dir string, opts Dura
 		window = 0
 	}
 	p := NewFromEngine(name, engine)
+	p.replica = opts.Replica
 	log, err := changelog.Open(filepath.Join(dir, walDir), changelog.Options{
 		SegmentSize: opts.SegmentSize,
 		Sync:        opts.Sync,
@@ -219,7 +242,7 @@ func OpenDurableWithStats(name string, schema *rdf.Schema, dir string, opts Dura
 	if err != nil {
 		return nil, nil, err
 	}
-	p.dur = &durableState{log: log, dir: dir, acked: map[string]uint64{}}
+	p.dur = &durableState{log: log, dir: dir, acked: map[string]uint64{}, catchup: opts.CatchupWait}
 	if err := p.recover(stats); err != nil {
 		log.Close()
 		return nil, nil, err
@@ -268,6 +291,13 @@ func (p *Provider) appendPubLocked(subscriber string, cs *core.Changeset) (uint6
 func (p *Provider) claimDeliveredLocked(seq uint64) error {
 	d := p.dur
 	if d == nil || seq == 0 || seq <= d.claim {
+		return nil
+	}
+	if p.replica {
+		// A replica appends nothing: the primary claimed this sequence
+		// before handing it out, and its watermark records arrive in the
+		// stream. A replica crash loses no delivered sequences anyway —
+		// the primary re-streams whatever the local tail is missing.
 		return nil
 	}
 	claim := seq + watermarkChunk
@@ -337,7 +367,7 @@ func (p *Provider) recover(stats *RecoveryStats) error {
 			return fmt.Errorf("provider: changelog record %d: %w", seq, err)
 		}
 		switch rec.Kind {
-		case recRegister, recDelete, recSubscribe, recUnsubscribe:
+		case recRegister, recDelete, recSubscribe, recUnsubscribe, recNamedRule:
 			if seq > stats.SnapshotSeq {
 				ops = append(ops, op{seq: seq, rec: rec})
 			}
@@ -369,6 +399,32 @@ func (p *Provider) recover(stats *RecoveryStats) error {
 	// a cursor inside it refers to pushes whose records no longer exist,
 	// so Resume must force a full-state reset.
 	tail := p.dur.log.LastSeq()
+	if p.replica {
+		// A follower's log must stay a verbatim prefix of the primary's:
+		// recovery appends nothing — no watermark re-append, no regenerated
+		// publish records — and reserves only the snapshot coverage, never
+		// the delivered-watermark claim (the claim runs watermarkChunk ahead
+		// of real records; reserving it would make the follower skip
+		// genuinely new streamed records as duplicates). Records between the
+		// old tail and an installed snapshot's coverage are not lost — the
+		// primary re-streams anything missing — so there is no lost range to
+		// record either; the snapshot floor just bounds gap-free resumes.
+		if stats.SnapshotSeq > tail {
+			if err := p.dur.log.Reserve(stats.SnapshotSeq); err != nil {
+				return err
+			}
+			p.dur.streamFloor = stats.SnapshotSeq
+		}
+		p.dur.claim = claim
+		for _, o := range ops {
+			if _, err := p.replayOp(&o.rec); err != nil {
+				stats.Skipped++
+				continue
+			}
+			stats.Replayed++
+		}
+		return nil
+	}
 	floor := stats.SnapshotSeq
 	if claim > floor {
 		floor = claim
@@ -422,11 +478,11 @@ func (p *Provider) replayOp(rec *logRecord) (*core.PublishSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return p.engine.RegisterDocuments(docs)
+		return p.Engine().RegisterDocuments(docs)
 	case recDelete:
-		return p.engine.DeleteDocument(rec.URI)
+		return p.Engine().DeleteDocument(rec.URI)
 	case recSubscribe:
-		_, initial, err := p.engine.Subscribe(rec.Subscriber, rec.Rule)
+		_, initial, err := p.Engine().Subscribe(rec.Subscriber, rec.Rule)
 		if err != nil {
 			return nil, err
 		}
@@ -435,7 +491,9 @@ func (p *Provider) replayOp(rec *logRecord) (*core.PublishSet, error) {
 		}
 		return &core.PublishSet{Changesets: map[string]*core.Changeset{rec.Subscriber: initial}}, nil
 	case recUnsubscribe:
-		return nil, p.engine.Unsubscribe(rec.SubID)
+		return nil, p.Engine().Unsubscribe(rec.SubID)
+	case recNamedRule:
+		return nil, p.Engine().RegisterNamedRule(rec.Name, rec.Rule)
 	default:
 		return nil, fmt.Errorf("provider: unknown op kind %q", rec.Kind)
 	}
@@ -455,6 +513,11 @@ func (p *Provider) Ack(subscriber string, seq uint64) error {
 	}
 	p.dur.acked[subscriber] = seq
 	p.mu.Unlock()
+	if p.replica {
+		// Local bookkeeping only: the ack gates this replica's own log
+		// truncation, but is never appended to the verbatim log copy.
+		return nil
+	}
 	payload, err := json.Marshal(&logRecord{Kind: recAck, Subscriber: subscriber, AckSeq: seq})
 	if err != nil {
 		return err
@@ -475,6 +538,22 @@ func (p *Provider) Ack(subscriber string, seq uint64) error {
 func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 	if p.dur == nil {
 		return 0, nil
+	}
+	// A subscriber failing over to a replica can be AHEAD of it: the
+	// primary pushed (and the LMR applied) sequences the replicated stream
+	// has not delivered here yet. Wait briefly for the stream to catch up —
+	// outside pubMu, which ApplyReplicated needs to make progress — and
+	// fall back to a full-state reset if it cannot (e.g. the primary died
+	// before shipping those records to anyone).
+	if p.replica && fromSeq > p.dur.log.LastSeq() {
+		bound := p.dur.catchup
+		if bound <= 0 {
+			bound = 10 * time.Second
+		}
+		deadline := time.Now().Add(bound)
+		for p.dur.log.LastSeq() < fromSeq && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
 	}
 	// Collect the replay (or the reset fill) under pubMu — it must match
 	// the log position exactly — then deliver through the turnstile like
@@ -497,10 +576,11 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 		p.pubMu.Unlock()
 		return 0, err
 	}
-	gapFree := !lost && fromSeq < latest && fromSeq+1 >= p.dur.log.OldestSeq()
+	gapFree := !lost && fromSeq < latest && fromSeq+1 >= p.dur.log.OldestSeq() &&
+		fromSeq >= p.dur.streamFloor
 	var dels []delivery
 	if !gapFree {
-		fill, err := p.engine.ResubscribeFill(subscriber)
+		fill, err := p.Engine().ResubscribeFill(subscriber)
 		if err != nil {
 			p.pubMu.Unlock()
 			return 0, err
@@ -542,8 +622,8 @@ func (p *Provider) Compact() error {
 	}
 	p.pubMu.Lock()
 	seq := p.dur.log.LastSeq()
-	err := writeSnapshotFile(filepath.Join(p.dur.dir, snapshotFile), seq, p.engine)
-	if err == nil && (p.dur.claim > 0 || len(p.dur.lost) > 0) {
+	err := writeSnapshotFile(filepath.Join(p.dur.dir, snapshotFile), seq, p.Engine())
+	if err == nil && !p.replica && (p.dur.claim > 0 || len(p.dur.lost) > 0) {
 		// The truncation below may drop the segment holding the latest
 		// watermark record; re-establish the delivered-watermark state at
 		// the tail first, or a post-compaction crash would recover with
@@ -568,13 +648,22 @@ func (p *Provider) Compact() error {
 // Subscribers that have never acknowledged anything pin the log
 // (watermark 0) until they do.
 func (p *Provider) truncationWatermark(snapSeq uint64) (uint64, error) {
-	subs, err := p.engine.Subscriptions()
+	subs, err := p.Engine().Subscriptions()
 	if err != nil {
 		return 0, err
 	}
 	watermark := snapSeq
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Connected followers pin truncation too: dropping records they have
+	// not acknowledged would force them into a full snapshot re-bootstrap.
+	// Disconnected ones do not (a dead follower must not pin the log
+	// forever); they re-bootstrap if truncation outran them.
+	for _, fs := range p.followers {
+		if fs.connected && fs.acked < watermark {
+			watermark = fs.acked
+		}
+	}
 	seen := map[string]bool{}
 	for _, s := range subs {
 		if seen[s.Subscriber] {
@@ -602,15 +691,7 @@ func writeSnapshotFile(path string, seq uint64, engine *core.Engine) error {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	if _, err := w.WriteString(snapshotMagic); err != nil {
-		return fail(err)
-	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint64(hdr[:], seq)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fail(err)
-	}
-	if err := engine.Save(w); err != nil {
+	if err := writeSnapshot(w, seq, engine); err != nil {
 		return fail(err)
 	}
 	if err := w.Flush(); err != nil {
@@ -641,6 +722,21 @@ func syncDir(dir string) {
 		d.Sync()
 		d.Close()
 	}
+}
+
+// writeSnapshot serializes header (magic + covered log sequence) and the
+// engine state to w. Shipped bootstrap snapshots and the snapshot file use
+// the identical format, so a follower persists the received bytes verbatim.
+func writeSnapshot(w io.Writer, seq uint64, engine *core.Engine) error {
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], seq)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return engine.Save(w)
 }
 
 // readSnapshot parses a snapshot file written by writeSnapshotFile.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mdv/internal/metrics"
+	"mdv/internal/wire"
 )
 
 // provMetrics are the provider's delivery-stage instruments; the
@@ -13,6 +14,9 @@ import (
 type provMetrics struct {
 	turnWait *metrics.Histogram
 	fanout   *metrics.Histogram
+	// snapshotShip times serving one bootstrap snapshot to a follower
+	// (serialize under the publish lock + chunked wire transfer).
+	snapshotShip *metrics.Histogram
 }
 
 // EnableMetrics attaches the provider and everything below it — engine,
@@ -28,10 +32,13 @@ func (p *Provider) EnableMetrics(reg *metrics.Registry) {
 		fanout: reg.Histogram("mdv_delivery_fanout_seconds",
 			"time to fan one operation's changesets out to all subscribers",
 			metrics.TimeBuckets),
+		snapshotShip: reg.Histogram("mdv_replication_snapshot_ship_seconds",
+			"time to serve one bootstrap snapshot to a follower",
+			metrics.TimeBuckets),
 	}
 	p.met.Store(m)
 	p.reg.Store(reg)
-	p.engine.EnableMetrics(reg)
+	p.Engine().EnableMetrics(reg)
 	if p.dur != nil {
 		p.dur.log.EnableMetrics(reg)
 	}
@@ -70,6 +77,52 @@ func (p *Provider) EnableMetrics(reg *metrics.Registry) {
 			out := make([]metrics.Sample, len(sds))
 			for i := range sds {
 				out[i] = metrics.Sample{Labels: sub(sds[i].name), Value: val(&sds[i])}
+			}
+			return out
+		})
+	}
+
+	// Replication families. The role gauge makes "which node am I scraping"
+	// a first-class query; the per-follower families surface stream health
+	// on the primary (empty on replicas and follower-less primaries).
+	reg.SampleFunc("mdv_mdp_role", "node role (value 1, labeled primary or replica)",
+		metrics.TypeGauge, func() []metrics.Sample {
+			return []metrics.Sample{{Labels: []metrics.Label{metrics.L("role", p.Role())}, Value: 1}}
+		})
+	reg.GaugeFunc("mdv_replication_snapshots_shipped_total",
+		"bootstrap snapshots served to followers",
+		func() float64 { return float64(p.snapshotsShipped.Load()) })
+	fol := func(name string) []metrics.Label {
+		return []metrics.Label{metrics.L("follower", name)}
+	}
+	type fcol struct {
+		name string
+		help string
+		typ  string
+		val  func(fd *wire.FollowerDelivery) float64
+	}
+	fcols := []fcol{
+		{"mdv_replication_streamed_seq", "last changelog sequence shipped to the follower",
+			metrics.TypeGauge, func(fd *wire.FollowerDelivery) float64 { return float64(fd.StreamedSeq) }},
+		{"mdv_replication_acked_seq", "last changelog sequence the follower durably acknowledged",
+			metrics.TypeGauge, func(fd *wire.FollowerDelivery) float64 { return float64(fd.AckedSeq) }},
+		{"mdv_replication_lag_seqs", "primary log tail minus the follower's acknowledged sequence",
+			metrics.TypeGauge, func(fd *wire.FollowerDelivery) float64 { return float64(fd.LagSeqs) }},
+		{"mdv_replication_follower_connected", "1 while the follower's record stream is up",
+			metrics.TypeGauge, func(fd *wire.FollowerDelivery) float64 {
+				if fd.Connected {
+					return 1
+				}
+				return 0
+			}},
+	}
+	for _, c := range fcols {
+		val := c.val
+		reg.SampleFunc(c.name, c.help, c.typ, func() []metrics.Sample {
+			fds := p.Followers()
+			out := make([]metrics.Sample, len(fds))
+			for i := range fds {
+				out[i] = metrics.Sample{Labels: fol(fds[i].Follower), Value: val(&fds[i])}
 			}
 			return out
 		})

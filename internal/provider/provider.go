@@ -37,8 +37,17 @@ type ApplyFunc = func(seq uint64, reset bool, cs *core.Changeset) error
 
 // Provider is one MDP node.
 type Provider struct {
-	name   string
-	engine *core.Engine
+	name string
+	// eng is the filter engine. It is an atomic pointer because a replica
+	// installs a snapshot mid-life (InstallSnapshot swaps the whole engine
+	// under pubMu) while read paths (Browse, queries, stats) run unlocked.
+	eng atomic.Pointer[core.Engine]
+
+	// replica marks a follower MDP: the engine is driven exclusively by
+	// replicated changelog records (ApplyReplicated), write operations are
+	// proxied to the primary (SetWriteProxy) or rejected, and nothing is
+	// ever appended to the local log copy except verbatim primary records.
+	replica bool
 
 	mu sync.Mutex
 	// attached holds in-process delivery callbacks per subscriber;
@@ -49,6 +58,16 @@ type Provider struct {
 	// (guarded by mu; entries outlive disconnects).
 	delStats map[string]*subscriberCounters
 	peers    []Peer
+	// proxy forwards write operations of a replica to the primary
+	// (guarded by mu; nil until the follower subsystem connects).
+	proxy WriteProxy
+	// followers holds per-follower replication stream state on a primary
+	// (guarded by mu; entries outlive disconnects for lag visibility).
+	followers map[string]*followerState
+	// streamWG joins the per-follower streamer goroutines on Close.
+	streamWG sync.WaitGroup
+	// snapshotsShipped counts bootstrap snapshots served to followers.
+	snapshotsShipped atomic.Uint64
 
 	// dur holds the durable changelog state; nil for in-memory providers.
 	dur *durableState
@@ -202,11 +221,12 @@ func NewWithOptions(name string, schema *rdf.Schema, opts core.Options) (*Provid
 func NewFromEngine(name string, engine *core.Engine) *Provider {
 	p := &Provider{
 		name:       name,
-		engine:     engine,
 		attached:   map[string][]ApplyFunc{},
 		wireAttach: map[string][]*wire.ServerConn{},
 		delStats:   map[string]*subscriberCounters{},
+		followers:  map[string]*followerState{},
 	}
+	p.eng.Store(engine)
 	p.turn.cond = sync.NewCond(&p.turn.mu)
 	return p
 }
@@ -232,14 +252,25 @@ func (p *Provider) countersLocked(subscriber string) *subscriberCounters {
 // SaveSnapshot writes the provider's full engine state. Registrations are
 // quiesced for the duration (the engine serializes with its own lock).
 func (p *Provider) SaveSnapshot(w io.Writer) error {
-	return p.engine.Save(w)
+	return p.Engine().Save(w)
 }
 
 // Name returns the provider's name.
 func (p *Provider) Name() string { return p.name }
 
 // Engine exposes the filter engine (tests, benchmarks).
-func (p *Provider) Engine() *core.Engine { return p.engine }
+func (p *Provider) Engine() *core.Engine { return p.eng.Load() }
+
+// Replica reports whether this provider is a follower MDP.
+func (p *Provider) Replica() bool { return p.replica }
+
+// Role returns "replica" on a follower and "primary" otherwise.
+func (p *Provider) Role() string {
+	if p.replica {
+		return "replica"
+	}
+	return "primary"
+}
 
 // AddPeer registers a backbone peer for replication.
 func (p *Provider) AddPeer(peer Peer) {
@@ -390,13 +421,23 @@ func (p *Provider) ReplicateDocuments(wdocs []wire.Doc) error {
 }
 
 func (p *Provider) registerDocuments(docs []*rdf.Document, replicated bool) error {
+	if p.replica {
+		// A follower's engine is driven exclusively by the replicated
+		// changelog; the write goes to the primary and comes back as
+		// streamed records.
+		w, err := p.writeProxy()
+		if err != nil {
+			return err
+		}
+		return w.RegisterDocuments(docs)
+	}
 	p.lockPub()
 	durSeq, err := p.logOpLocked(&logRecord{Kind: recRegister, Docs: encodeDocs(docs)})
 	if err != nil {
 		p.unlockPub()
 		return err
 	}
-	ps, err := p.engine.RegisterDocuments(docs)
+	ps, err := p.Engine().RegisterDocuments(docs)
 	if err != nil {
 		p.unlockPub()
 		return err
@@ -431,13 +472,20 @@ func (p *Provider) ReplicateDelete(uri string) error {
 }
 
 func (p *Provider) deleteDocument(uri string, replicated bool) error {
+	if p.replica {
+		w, err := p.writeProxy()
+		if err != nil {
+			return err
+		}
+		return w.DeleteDocument(uri)
+	}
 	p.lockPub()
 	durSeq, err := p.logOpLocked(&logRecord{Kind: recDelete, URI: uri})
 	if err != nil {
 		p.unlockPub()
 		return err
 	}
-	ps, err := p.engine.DeleteDocument(uri)
+	ps, err := p.Engine().DeleteDocument(uri)
 	if err != nil {
 		p.unlockPub()
 		return err
@@ -483,13 +531,26 @@ func (p *Provider) forEachPeer(fn func(Peer) error) error {
 // published changesets; attached callers (LMR nodes) must therefore NOT
 // apply the returned changeset themselves.
 func (p *Provider) Subscribe(subscriber, rule string) (int64, *core.Changeset, error) {
+	if p.replica {
+		// Proxied to the primary: the subscription is logged there and
+		// comes back through the stream, so this follower's engine (and
+		// every other replica's) registers it too. The initial fill is
+		// delivered to the subscriber's channels attached HERE when the
+		// replicated publish record arrives; the returned changeset must
+		// not be applied by attached callers, exactly as on a primary.
+		w, err := p.writeProxy()
+		if err != nil {
+			return 0, nil, err
+		}
+		return w.Subscribe(subscriber, rule)
+	}
 	p.lockPub()
 	durSeq, err := p.logOpLocked(&logRecord{Kind: recSubscribe, Subscriber: subscriber, Rule: rule})
 	if err != nil {
 		p.unlockPub()
 		return 0, nil, err
 	}
-	subID, initial, err := p.engine.Subscribe(subscriber, rule)
+	subID, initial, err := p.Engine().Subscribe(subscriber, rule)
 	if err != nil {
 		p.unlockPub()
 		return 0, nil, err
@@ -519,13 +580,20 @@ func (p *Provider) Subscribe(subscriber, rule string) (int64, *core.Changeset, e
 // (and the changelog, on durable providers) like every other input
 // operation.
 func (p *Provider) Unsubscribe(subID int64) error {
+	if p.replica {
+		w, err := p.writeProxy()
+		if err != nil {
+			return err
+		}
+		return w.Unsubscribe(subID)
+	}
 	p.lockPub()
 	durSeq, err := p.logOpLocked(&logRecord{Kind: recUnsubscribe, SubID: subID})
 	if err != nil {
 		p.unlockPub()
 		return err
 	}
-	err = p.engine.Unsubscribe(subID)
+	err = p.Engine().Unsubscribe(subID)
 	p.unlockPub()
 	if err != nil {
 		return err
@@ -535,17 +603,37 @@ func (p *Provider) Unsubscribe(subID int64) error {
 
 // Browse lists resources of a class (paper §2.2's user browsing at an MDP).
 func (p *Provider) Browse(class, contains string) ([]*rdf.Resource, error) {
-	return p.engine.Browse(class, contains)
+	return p.Engine().Browse(class, contains)
 }
 
 // GetDocument returns a registered document.
 func (p *Provider) GetDocument(uri string) (*rdf.Document, error) {
-	return p.engine.StoredDocument(uri)
+	return p.Engine().StoredDocument(uri)
 }
 
-// RegisterNamedRule stores a rule usable as a search extension.
+// RegisterNamedRule stores a rule usable as a search extension. On a
+// durable provider it is logged like every other input operation, so it
+// survives restarts and replicates to followers.
 func (p *Provider) RegisterNamedRule(name, rule string) error {
-	return p.engine.RegisterNamedRule(name, rule)
+	if p.replica {
+		w, err := p.writeProxy()
+		if err != nil {
+			return err
+		}
+		return w.RegisterNamedRule(name, rule)
+	}
+	p.lockPub()
+	durSeq, err := p.logOpLocked(&logRecord{Kind: recNamedRule, Name: name, Rule: rule})
+	if err != nil {
+		p.unlockPub()
+		return err
+	}
+	err = p.Engine().RegisterNamedRule(name, rule)
+	p.unlockPub()
+	if err != nil {
+		return err
+	}
+	return p.awaitDurable(durSeq)
 }
 
 func encodeDocs(docs []*rdf.Document) []wire.Doc {
@@ -584,8 +672,13 @@ func (p *Provider) ServeConfig(addr string, cfg wire.Config) (string, error) {
 		return "", err
 	}
 	srv.OnDisconnect = func(conn *wire.ServerConn) {
-		if tag, ok := conn.Tag.Load().(string); ok && tag != "" {
-			p.detachConn(tag, conn)
+		switch tag := conn.Tag.Load().(type) {
+		case string:
+			if tag != "" {
+				p.detachConn(tag, conn)
+			}
+		case followerTag:
+			p.followerDisconnected(string(tag), conn)
 		}
 	}
 	p.mu.Lock()
@@ -600,6 +693,13 @@ func (p *Provider) Close() error {
 	p.mu.Lock()
 	srv := p.server
 	p.server = nil
+	// Closing the follower readers (and, below, the server's connections
+	// and the log) unblocks every streamer goroutine wherever it waits.
+	for _, fs := range p.followers {
+		if fs.reader != nil {
+			fs.reader.Close()
+		}
+	}
 	p.mu.Unlock()
 	var err error
 	if srv != nil {
@@ -610,6 +710,7 @@ func (p *Provider) Close() error {
 			err = cerr
 		}
 	}
+	p.streamWG.Wait()
 	return err
 }
 
@@ -647,10 +748,25 @@ func (p *Provider) DeliveryStats() *wire.DeliveryStatsResponse {
 	for name := range p.wireAttach {
 		names[name] = true
 	}
-	resp := &wire.DeliveryStatsResponse{}
+	resp := &wire.DeliveryStatsResponse{Role: p.Role()}
 	if p.dur != nil {
 		resp.LogSeq = p.dur.log.LastSeq()
 	}
+	for name, fs := range p.followers {
+		fd := wire.FollowerDelivery{
+			Follower:    name,
+			StreamedSeq: fs.streamed.Load(),
+			AckedSeq:    fs.acked,
+			Connected:   fs.connected,
+		}
+		if resp.LogSeq > fd.AckedSeq {
+			fd.LagSeqs = resp.LogSeq - fd.AckedSeq
+		}
+		resp.Followers = append(resp.Followers, fd)
+	}
+	sort.Slice(resp.Followers, func(i, j int) bool {
+		return resp.Followers[i].Follower < resp.Followers[j].Follower
+	})
 	for name := range names {
 		counters := p.countersLocked(name)
 		sd := wire.SubscriberDelivery{
@@ -787,8 +903,26 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 			return nil, err
 		}
 		return nil, p.RegisterNamedRule(req.Name, req.Rule)
+	case wire.KindReplSnapshot:
+		var req wire.ReplSnapshotRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return p.handleReplSnapshot(conn, &req)
+	case wire.KindReplStream:
+		var req wire.ReplStreamRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return p.handleReplStream(conn, &req)
+	case wire.KindReplAck:
+		var req wire.ReplAckRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, p.handleReplAck(&req)
 	case wire.KindStats:
-		return p.engine.Stats(), nil
+		return p.Engine().Stats(), nil
 	case wire.KindDeliveryStats:
 		return p.DeliveryStats(), nil
 	case wire.KindMetrics:

@@ -1,0 +1,325 @@
+// Package replica runs the follower side of MDP replication: it dials the
+// primary, bootstraps from a shipped snapshot when the local changelog
+// copy has fallen below the primary's retained log, applies the streamed
+// changelog records through the provider (ApplyReplicated), forwards the
+// replica's write operations to the primary, and acknowledges the durable
+// applied prefix so the primary can truncate its log and report lag.
+//
+// The follower owns reconnection: on any stream loss it re-dials with
+// jittered exponential backoff and renegotiates from its own log tail, so
+// a primary restart (or a long partition that outruns the primary's log
+// retention, forcing a fresh snapshot) heals without operator action.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdv/internal/backoff"
+	"mdv/internal/client"
+	"mdv/internal/metrics"
+	"mdv/internal/provider"
+	"mdv/internal/wire"
+)
+
+// Options tune a follower.
+type Options struct {
+	// Name is the follower name announced to the primary (shown in its
+	// follower stats and metrics). Defaults to the provider's name.
+	Name string
+	// Primary is the primary MDP's wire address.
+	Primary string
+	// Client carries the fault-tolerance settings for both connections
+	// (heartbeats detect a dead primary; the reconnect loop takes over).
+	Client client.Config
+	// AckInterval is how often the follower fsyncs its log copy and
+	// acknowledges the durable prefix to the primary. Zero means 100ms.
+	AckInterval time.Duration
+	// Backoff is the reconnect schedule (zero value = 1s→30s jittered).
+	Backoff backoff.Backoff
+	// Logf, if set, receives connection lifecycle and apply errors.
+	Logf func(format string, args ...interface{})
+}
+
+// Follower replicates one provider from a primary until Close.
+type Follower struct {
+	prov *provider.Provider
+	opts Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	stream *wire.Client
+	proxy  *client.MDP
+
+	connected  atomic.Bool
+	bootstraps atomic.Uint64
+	ackedSeq   atomic.Uint64
+	// lagNanos is the apply-time minus send-time of the last streamed
+	// record: the propagation delay of the replication stream itself.
+	lagNanos atomic.Int64
+}
+
+// Start begins replicating prov (which must have been opened with
+// DurableOptions.Replica) from the primary at opts.Primary.
+func Start(prov *provider.Provider, opts Options) (*Follower, error) {
+	if !prov.Replica() {
+		return nil, errors.New("replica: provider was not opened as a replica (DurableOptions.Replica)")
+	}
+	if !prov.Durable() {
+		return nil, errors.New("replica: provider is not durable (a follower needs its own changelog copy)")
+	}
+	if opts.Primary == "" {
+		return nil, errors.New("replica: no primary address")
+	}
+	if opts.Name == "" {
+		opts.Name = prov.Name()
+	}
+	if opts.AckInterval <= 0 {
+		opts.AckInterval = 100 * time.Millisecond
+	}
+	f := &Follower{prov: prov, opts: opts}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// Close stops replicating: the connections are closed and the run loop
+// joined. The provider itself stays open (and keeps serving reads).
+func (f *Follower) Close() error {
+	f.cancel()
+	f.mu.Lock()
+	if f.stream != nil {
+		f.stream.Close()
+	}
+	if f.proxy != nil {
+		f.proxy.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	return nil
+}
+
+// Connected reports whether the replication stream is currently up.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// AppliedSeq returns the last changelog sequence applied locally.
+func (f *Follower) AppliedSeq() uint64 { return f.prov.LogSeq() }
+
+// AckedSeq returns the last sequence acknowledged to the primary.
+func (f *Follower) AckedSeq() uint64 { return f.ackedSeq.Load() }
+
+// Bootstraps returns how many snapshot bootstraps this follower has run.
+func (f *Follower) Bootstraps() uint64 { return f.bootstraps.Load() }
+
+// Lag returns the stream propagation delay of the last applied record:
+// apply time minus the primary's send time.
+func (f *Follower) Lag() time.Duration { return time.Duration(f.lagNanos.Load()) }
+
+func (f *Follower) logf(format string, args ...interface{}) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+func (f *Follower) run() {
+	defer f.wg.Done()
+	bo := f.opts.Backoff
+	for {
+		err := f.session(&bo)
+		f.connected.Store(false)
+		if f.ctx.Err() != nil {
+			return
+		}
+		delay := bo.Next()
+		f.logf("replica %s: stream to %s lost (%v); redialing in %v", f.opts.Name, f.opts.Primary, err, delay)
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// session runs one connect lifetime: dial, bootstrap if needed, stream,
+// ack. It returns when the stream dies or the follower closes.
+func (f *Follower) session(bo *backoff.Backoff) error {
+	cfg := f.opts.Client
+	wcfg := wire.Config{
+		HeartbeatInterval: cfg.Heartbeat,
+		IdleTimeout:       cfg.IdleTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+	}
+	stream, err := wire.DialConfig(f.opts.Primary, wcfg)
+	if err != nil {
+		return err
+	}
+	s := &session{f: f}
+	stream.OnPush = s.onPush
+	f.mu.Lock()
+	f.stream = stream
+	f.mu.Unlock()
+	defer stream.Close()
+
+	// Bootstrap negotiation: the primary ships a snapshot (as in-order
+	// chunk pushes on this connection, all preceding the response) only if
+	// our tail has fallen below its retained log.
+	var snap wire.ReplSnapshotResponse
+	if err := stream.Call(wire.KindReplSnapshot, &wire.ReplSnapshotRequest{FromSeq: f.prov.LogSeq()}, &snap); err != nil {
+		return fmt.Errorf("bootstrap negotiation: %w", err)
+	}
+	if snap.Needed {
+		data, cerr := s.snapshot()
+		if cerr != nil {
+			return cerr
+		}
+		seq, ierr := f.prov.InstallSnapshot(data)
+		if ierr != nil {
+			return ierr
+		}
+		f.bootstraps.Add(1)
+		f.logf("replica %s: installed bootstrap snapshot covering seq %d (%d bytes)", f.opts.Name, seq, len(data))
+	}
+
+	// The write proxy rides its own connection so proxied writes never
+	// queue behind the record stream.
+	proxy, err := client.DialMDPConfig(f.opts.Primary, cfg)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.proxy = proxy
+	f.mu.Unlock()
+	defer proxy.Close()
+	f.prov.SetWriteProxy(proxy)
+
+	var resp wire.ReplStreamResponse
+	if err := stream.Call(wire.KindReplStream, &wire.ReplStreamRequest{Follower: f.opts.Name, FromSeq: f.prov.LogSeq()}, &resp); err != nil {
+		return fmt.Errorf("stream negotiation: %w", err)
+	}
+	f.connected.Store(true)
+	bo.Reset()
+	f.logf("replica %s: streaming from %s (local tail %d, primary tail %d)", f.opts.Name, f.opts.Primary, f.prov.LogSeq(), resp.LatestSeq)
+
+	// Ack loop: batch-fsync the local log copy and acknowledge the durable
+	// prefix. Acks both bound the primary's truncation and feed its lag
+	// metrics, so they keep flowing even when no records arrive.
+	ticker := time.NewTicker(f.opts.AckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.ctx.Done():
+			f.ack(stream) // parting ack: report what is durable before leaving
+			return nil
+		case <-stream.Done():
+			return errors.New("connection closed")
+		case <-ticker.C:
+			if err := f.ack(stream); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ack fsyncs the log copy and reports the durable prefix to the primary.
+func (f *Follower) ack(stream *wire.Client) error {
+	durable, err := f.prov.SyncLog()
+	if err != nil {
+		return err
+	}
+	if durable <= f.ackedSeq.Load() {
+		return nil
+	}
+	if err := stream.Call(wire.KindReplAck, &wire.ReplAckRequest{Follower: f.opts.Name, Seq: durable}, nil); err != nil {
+		return err
+	}
+	f.ackedSeq.Store(durable)
+	return nil
+}
+
+// session is the per-connection push state: the snapshot chunk buffer.
+type session struct {
+	f    *Follower
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	done bool
+}
+
+// onPush dispatches server-initiated messages on the stream connection. It
+// runs on the connection's read loop, so records apply strictly in arrival
+// order and a slow apply backpressures the stream naturally.
+func (s *session) onPush(kind string, body json.RawMessage) {
+	switch kind {
+	case wire.KindReplRecord:
+		var push wire.ReplRecordPush
+		if err := json.Unmarshal(body, &push); err != nil {
+			s.f.logf("replica %s: bad record push: %v", s.f.opts.Name, err)
+			return
+		}
+		if err := s.f.prov.ApplyReplicated(push.Seq, push.Rec, push.SentUnixNano); err != nil {
+			s.f.logf("replica %s: apply record %d: %v", s.f.opts.Name, push.Seq, err)
+			return
+		}
+		if push.SentUnixNano > 0 {
+			if lag := time.Now().UnixNano() - push.SentUnixNano; lag >= 0 {
+				s.f.lagNanos.Store(lag)
+			}
+		}
+	case wire.KindReplSnapshotChunk:
+		var chunk wire.ReplSnapshotChunk
+		if err := json.Unmarshal(body, &chunk); err != nil {
+			s.f.logf("replica %s: bad snapshot chunk: %v", s.f.opts.Name, err)
+			return
+		}
+		s.mu.Lock()
+		if !s.done {
+			s.buf.Write(chunk.Data)
+			s.done = chunk.Last
+		}
+		s.mu.Unlock()
+	}
+}
+
+// snapshot returns the fully buffered bootstrap snapshot. The chunks were
+// pushed before the negotiation response on the same connection, so by the
+// time the caller gets here they have all been processed by the read loop.
+func (s *session) snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return nil, fmt.Errorf("snapshot transfer incomplete (%d bytes buffered)", s.buf.Len())
+	}
+	return s.buf.Bytes(), nil
+}
+
+// EnableMetrics exports the follower's replication health: connection
+// state, applied/acknowledged sequences, stream propagation lag in
+// seconds, and snapshot bootstrap count.
+func (f *Follower) EnableMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("mdv_replica_connected", "1 while the replication stream is up",
+		func() float64 {
+			if f.connected.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("mdv_replica_applied_seq", "last changelog sequence applied from the primary",
+		func() float64 { return float64(f.prov.LogSeq()) })
+	reg.GaugeFunc("mdv_replica_acked_seq", "last changelog sequence acknowledged to the primary",
+		func() float64 { return float64(f.ackedSeq.Load()) })
+	reg.GaugeFunc("mdv_replica_lag_seconds", "stream propagation delay of the last applied record",
+		func() float64 { return time.Duration(f.lagNanos.Load()).Seconds() })
+	reg.SampleFunc("mdv_replica_bootstraps_total", "snapshot bootstraps this follower has run",
+		metrics.TypeCounter, func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(f.bootstraps.Load())}}
+		})
+}

@@ -53,8 +53,15 @@ func TestClientHeartbeatDetectsDeadServer(t *testing.T) {
 			if err != nil {
 				return
 			}
-			// Swallow everything, answer nothing: a blackholed peer.
-			go io.Copy(io.Discard, nc)
+			// Answer the connect handshake so the dial succeeds, then
+			// swallow everything: a peer that dies after connecting.
+			go func() {
+				if m, err := ReadMessage(nc); err == nil && m.Kind == KindHello {
+					body, _ := json.Marshal(&helloBody{Version: ProtocolVersion})
+					WriteMessage(nc, &Message{ID: m.ID, Body: body})
+				}
+				io.Copy(io.Discard, nc)
+			}()
 		}
 	}()
 	c, err := DialConfig(ln.Addr().String(), Config{HeartbeatInterval: 50 * time.Millisecond})

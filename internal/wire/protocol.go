@@ -44,6 +44,75 @@ const (
 	KindAck = "ack"
 )
 
+// Message kinds of the primary→replica changelog-shipping protocol. A
+// follower MDP first asks for a snapshot if its tail lies below the
+// primary's retained log (KindReplSnapshot), then subscribes its
+// connection to the live record stream (KindReplStream); the primary
+// pushes each durable changelog record verbatim (KindReplRecord) and the
+// follower acknowledges applied prefixes (KindReplAck), which pins the
+// primary's log truncation.
+const (
+	KindReplSnapshot      = "repl_snapshot"
+	KindReplSnapshotChunk = "repl_snapshot_chunk"
+	KindReplStream        = "repl_stream"
+	KindReplRecord        = "replog"
+	KindReplAck           = "repl_ack"
+)
+
+// ReplSnapshotRequest asks the primary for a bootstrap snapshot if the
+// follower's changelog tail (FromSeq) lies below the primary's retained
+// log. When a snapshot is needed its bytes arrive as ordered
+// KindReplSnapshotChunk pushes on this connection, before the response.
+type ReplSnapshotRequest struct {
+	FromSeq uint64 `json:"from_seq"`
+}
+
+// ReplSnapshotChunk is one piece of a streamed engine snapshot. Engine
+// snapshots can exceed the wire message limit, so they ship chunked.
+type ReplSnapshotChunk struct {
+	Data []byte `json:"data"`
+	Last bool   `json:"last"`
+}
+
+// ReplSnapshotResponse reports whether a snapshot was shipped and the
+// sequence number it covers up to.
+type ReplSnapshotResponse struct {
+	Needed      bool   `json:"needed"`
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+}
+
+// ReplStreamRequest subscribes the connection to the primary's changelog
+// records with sequence > FromSeq. The primary rejects it with a
+// descriptive error if records past FromSeq have been truncated (the
+// follower must re-bootstrap via KindReplSnapshot).
+type ReplStreamRequest struct {
+	Follower string `json:"follower"`
+	FromSeq  uint64 `json:"from_seq"`
+}
+
+// ReplStreamResponse reports the primary's changelog tail at stream start.
+type ReplStreamResponse struct {
+	LatestSeq uint64 `json:"latest_seq"`
+}
+
+// ReplRecordPush carries one changelog record, verbatim, to a follower.
+// SentUnixNano is the primary's clock at send time; the follower subtracts
+// it from its own clock for the replication-lag-seconds gauge (clock skew
+// is the measurement's error bar).
+type ReplRecordPush struct {
+	Seq          uint64 `json:"seq"`
+	Rec          []byte `json:"rec"`
+	SentUnixNano int64  `json:"sent_unix_nano,omitempty"`
+}
+
+// ReplAckRequest reports the follower's durable applied prefix. The
+// primary keeps per-follower acks for lag metrics and holds log truncation
+// below the minimum of connected followers' acks.
+type ReplAckRequest struct {
+	Follower string `json:"follower"`
+	Seq      uint64 `json:"seq"`
+}
+
 // Message kinds served by an LMR (local metadata repository).
 const (
 	KindQuery              = "query"
@@ -173,11 +242,28 @@ type SubscriberDelivery struct {
 	IdleMillis int64 `json:"idle_millis"`
 }
 
+// FollowerDelivery is one follower MDP's replication health at a primary.
+type FollowerDelivery struct {
+	Follower string `json:"follower"`
+	// StreamedSeq is the last changelog record sent to the follower;
+	// AckedSeq the last it acknowledged as durably applied; LagSeqs the
+	// distance from the primary's tail to AckedSeq.
+	StreamedSeq uint64 `json:"streamed_seq"`
+	AckedSeq    uint64 `json:"acked_seq"`
+	LagSeqs     uint64 `json:"lag_seqs"`
+	Connected   bool   `json:"connected"`
+}
+
 // DeliveryStatsResponse is the body of a KindDeliveryStats response.
 type DeliveryStatsResponse struct {
 	Subscribers []SubscriberDelivery `json:"subscribers"`
 	// LogSeq is the provider's changelog tail (0 if not durable).
 	LogSeq uint64 `json:"log_seq"`
+	// Role is "primary" or "replica" ("" on pre-replication nodes).
+	Role string `json:"role,omitempty"`
+	// Followers lists connected (and recently connected) follower MDPs
+	// replicating from this node.
+	Followers []FollowerDelivery `json:"followers,omitempty"`
 }
 
 // MetricsResponse is the body of a KindMetrics response: the node's

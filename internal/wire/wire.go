@@ -58,6 +58,22 @@ const (
 	KindPong = "pong"
 )
 
+// ProtocolVersion is this build's wire protocol version. Dialing clients
+// send it in a hello request before anything else; servers verify it and
+// echo their own. Either side failing the comparison reports a descriptive
+// RemoteError and refuses the connection, so mixed-version deployments
+// (MDP/LMR/replica) fail loudly at connect instead of mis-decoding frames.
+const ProtocolVersion = 1
+
+// KindHello is the version handshake request, handled below the request
+// handler like the liveness messages.
+const KindHello = "hello"
+
+// helloBody carries one side's protocol version.
+type helloBody struct {
+	Version int `json:"version"`
+}
+
 // pingBody carries the sender's send timestamp so the echoed pong yields
 // an RTT without any shared clock.
 type pingBody struct {
@@ -86,6 +102,17 @@ type Config struct {
 	// SendQueue is the per-connection outbound queue capacity (messages).
 	// Zero means DefaultSendQueue.
 	SendQueue int
+	// ProtocolVersion overrides the version announced/verified in the
+	// connect handshake. Zero means the package's ProtocolVersion; tests
+	// use it to simulate a version-skewed peer.
+	ProtocolVersion int
+}
+
+func (c Config) protocolVersion() int {
+	if c.ProtocolVersion != 0 {
+		return c.ProtocolVersion
+	}
+	return ProtocolVersion
 }
 
 func (c Config) sendQueue() int {
@@ -344,6 +371,25 @@ func (s *Server) serveConn(c *ServerConn) {
 			}
 			continue
 		}
+		if m.Kind == KindHello {
+			resp := &Message{ID: m.ID}
+			var hb helloBody
+			if err := json.Unmarshal(m.Body, &hb); err != nil {
+				resp.Error = fmt.Sprintf("wire: malformed hello: %v", err)
+			} else if hb.Version != s.cfg.protocolVersion() {
+				resp.Error = fmt.Sprintf(
+					"wire: protocol version mismatch: peer speaks v%d, this node speaks v%d; upgrade the older side before connecting",
+					hb.Version, s.cfg.protocolVersion())
+			} else if body, err := json.Marshal(&helloBody{Version: s.cfg.protocolVersion()}); err == nil {
+				resp.Body = body
+			}
+			// On mismatch the error response is still delivered; the peer
+			// closes the connection after reading it.
+			if err := c.send(resp); err != nil {
+				return
+			}
+			continue
+		}
 		resp := &Message{ID: m.ID}
 		result, err := s.handler(c, m.Kind, m.Body)
 		if err != nil {
@@ -538,10 +584,37 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	c := &Client{nc: nc, cfg: cfg, pending: map[uint64]chan *Message{}, closeCh: make(chan struct{})}
 	c.lastRecv.Store(time.Now().UnixNano())
 	go c.readLoop()
+	if err := c.handshake(); err != nil {
+		c.Close()
+		return nil, err
+	}
 	if cfg.HeartbeatInterval > 0 {
 		go c.heartbeatLoop()
 	}
 	return c, nil
+}
+
+// handshake exchanges protocol versions before the connection carries
+// anything else. The timeout follows the idle bound when one is configured
+// (chaos tests rely on a blackholed dial failing within it) and otherwise
+// defaults to 10s.
+func (c *Client) handshake() error {
+	timeout := c.cfg.idleBound()
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var resp helloBody
+	if err := c.CallContext(ctx, KindHello, &helloBody{Version: c.cfg.protocolVersion()}, &resp); err != nil {
+		return err
+	}
+	if resp.Version != c.cfg.protocolVersion() {
+		return &RemoteError{Msg: fmt.Sprintf(
+			"wire: protocol version mismatch: peer speaks v%d, this node speaks v%d; upgrade the older side before connecting",
+			resp.Version, c.cfg.protocolVersion())}
+	}
+	return nil
 }
 
 func (c *Client) readLoop() {

@@ -47,6 +47,7 @@ import (
 	"mdv/internal/metrics"
 	"mdv/internal/provider"
 	"mdv/internal/rdf"
+	"mdv/internal/replica"
 	"mdv/internal/wire"
 )
 
@@ -190,6 +191,43 @@ func OpenDurableProvider(name string, schema *Schema, dir string, opts DurableOp
 func OpenDurableProviderWithStats(name string, schema *Schema, dir string, opts DurableOptions) (*Provider, *RecoveryStats, error) {
 	return provider.OpenDurableWithStats(name, schema, dir, opts)
 }
+
+// Replication (DESIGN.md §10): a primary MDP streams its changelog to
+// follower MDPs, which serve the full read path (subscriptions, queries,
+// browsing) and proxy writes back to the primary. LMRs given several
+// endpoints fail over between them.
+type (
+	// Follower runs the replica side of MDP replication: it streams the
+	// primary's changelog into a provider opened with
+	// DurableOptions.Replica, bootstrapping from a shipped snapshot when
+	// its local log copy has fallen behind the primary's retention.
+	Follower = replica.Follower
+	// FollowerOptions tune a follower: primary address, announced name,
+	// ack cadence, reconnect backoff.
+	FollowerOptions = replica.Options
+	// FollowerDelivery is one follower's stream health as the primary
+	// reports it (DeliveryStats.Followers).
+	FollowerDelivery = wire.FollowerDelivery
+	// MultiDialer dials an MDP from a list of endpoints (primary +
+	// replicas), sticking with the last healthy one and rotating on
+	// failure; plug its Dial into SuperviseConfig for LMR failover.
+	MultiDialer = client.MultiDialer
+)
+
+// StartFollower begins replicating prov (opened with
+// DurableOptions.Replica) from the primary.
+func StartFollower(prov *Provider, opts FollowerOptions) (*Follower, error) {
+	return replica.Start(prov, opts)
+}
+
+// NewMultiDialer builds a provider dialer over several endpoints.
+func NewMultiDialer(addrs []string, cfg ClientConfig) (*MultiDialer, error) {
+	return client.NewMultiDialer(addrs, cfg)
+}
+
+// ErrNotPrimary is returned for writes against a replica that has no live
+// primary connection to proxy them to.
+var ErrNotPrimary = provider.ErrNotPrimary
 
 // Batcher queues registrations and flushes them through the filter in
 // batches (size- or delay-triggered), the deployment policy the paper's
