@@ -104,6 +104,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("lmr: dial provider: %v", err)
 	}
+	log.Printf("lmr: connected to provider (cluster epoch %d)", dialer.Epoch())
 	node, err := mdv.NewRepositoryNode(*name, schema, prov)
 	if err != nil {
 		log.Fatalf("lmr: %v", err)

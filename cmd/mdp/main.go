@@ -21,6 +21,14 @@
 // queries, browsing, changeset resume — and proxies write operations to
 // the primary. Requires -data; incompatible with -peer.
 //
+// Failover (DESIGN.md §11): repeat -cluster with every endpoint that may
+// be or become the primary. A replica then re-points automatically after
+// a promotion (operator `mdvctl promote`, or the opt-in -auto-promote
+// deadman), and a restarting ex-primary probes the cluster before serving:
+// if a higher-epoch primary exists it rejoins as a follower, repairing any
+// divergent log tail via a forced snapshot resync, and fences every write
+// stamped with its dead term.
+//
 // The schema file uses the RDF Schema serialization accepted by
 // rdf.ParseSchema (see the repository README for an example).
 package main
@@ -33,6 +41,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -64,9 +73,13 @@ func main() {
 		slowThresh = flag.Duration("slow-threshold", 0, "log publishes slower than this, with the dominating rule groups and statements (0 disables)")
 		replicaOf  = flag.String("replica-of", "", "run as a read replica of the primary MDP at this address (requires -data)")
 		advertise  = flag.String("advertise", "", "identity announced to the primary's follower stats (default: -name)")
+		advAddr    = flag.String("advertise-addr", "", "address other nodes should use to reach this one (default: the bound listen address)")
+		autoProm   = flag.Duration("auto-promote", 0, "replica deadman: self-promote after this long without any reachable primary, if most caught-up among -cluster peers (0 disables)")
 		peers      peerList
+		cluster    peerList
 	)
 	flag.Var(&peers, "peer", "backbone peer address (repeatable)")
+	flag.Var(&cluster, "cluster", "replication cluster candidate endpoint (repeatable): every node that may be or become the primary; enables startup rejoin probing and failover re-pointing")
 	flag.Parse()
 
 	if *schemaPath == "" {
@@ -168,39 +181,94 @@ func main() {
 		WriteTimeout:      *ioTimeout,
 		SendQueue:         *sendQueue,
 	}
-	listenAddr, err := prov.ServeConfig(*addr, wireCfg)
-	if err != nil {
-		log.Fatalf("mdp: serve: %v", err)
-	}
-	log.Printf("mdp %q listening on %s (schema: %d classes, role %s)",
-		*name, listenAddr, len(schema.Classes()), prov.Role())
-
 	peerCfg := mdv.ClientConfig{
 		Heartbeat:    *heartbeat,
 		IdleTimeout:  3 * *heartbeat,
 		WriteTimeout: *ioTimeout,
+		CallTimeout:  30 * time.Second,
 	}
 
-	var follower *mdv.Follower
-	if *replicaOf != "" {
-		followerName := *advertise
-		if followerName == "" {
-			followerName = *name
+	// Startup rejoin probe: a durable node restarting from an old primary's
+	// state may have been deposed while it was down. If any -cluster
+	// candidate serves a HIGHER epoch, step down before serving a single
+	// request — the stale node must never ack a write of its dead term —
+	// and follow that primary instead (repairing a divergent log tail via
+	// forced snapshot resync).
+	followPrimary := *replicaOf
+	if *dataDir != "" && followPrimary == "" && len(cluster) > 0 && !prov.Replica() {
+		if paddr, topo := mdv.ProbeForPrimary(cluster, peerCfg); topo != nil && topo.Epoch > prov.Epoch() {
+			log.Printf("mdp: cluster primary %s serves epoch %d > local %d; rejoining as follower",
+				paddr, topo.Epoch, prov.Epoch())
+			prov.ObserveEpoch(topo.Epoch, paddr)
+			followPrimary = paddr
 		}
-		follower, err = mdv.StartFollower(prov, mdv.FollowerOptions{
-			Name:    followerName,
-			Primary: *replicaOf,
-			Client:  peerCfg,
-			Logf:    log.Printf,
+	}
+
+	followerName := *advertise
+	if followerName == "" {
+		followerName = *name
+	}
+	// startFollower (re)starts the replication session toward a primary.
+	// It runs at startup for -replica-of / a rejoin, and again from
+	// OnDemote when a serving primary learns it has been deposed.
+	var folMu sync.Mutex
+	var follower *mdv.Follower
+	var folMetrics sync.Once
+	startFollower := func(primaryAddr string) error {
+		folMu.Lock()
+		defer folMu.Unlock()
+		if follower != nil {
+			follower.Close()
+		}
+		fol, err := mdv.StartFollower(prov, mdv.FollowerOptions{
+			Name:        followerName,
+			Primary:     primaryAddr,
+			Primaries:   cluster,
+			AutoPromote: *autoProm,
+			Client:      peerCfg,
+			Logf:        log.Printf,
 		})
 		if err != nil {
-			log.Fatalf("mdp: start replication: %v", err)
+			return err
 		}
+		follower = fol
 		if reg != nil {
-			follower.EnableMetrics(reg)
+			folMetrics.Do(func() { fol.EnableMetrics(reg) })
 		}
 		log.Printf("mdp: replicating from primary %s (as %q, local tail %d)",
-			*replicaOf, followerName, prov.LogSeq())
+			primaryAddr, followerName, prov.LogSeq())
+		return nil
+	}
+	prov.OnDemote = func(epoch uint64, newPrimary string) {
+		log.Printf("mdp: stepped down: observed epoch %d (local term is dead)", epoch)
+		if newPrimary == "" && len(cluster) > 0 {
+			if paddr, topo := mdv.ProbeForPrimary(cluster, peerCfg); topo != nil {
+				newPrimary = paddr
+			}
+		}
+		if newPrimary == "" {
+			log.Printf("mdp: no reachable primary to follow after step-down; serving reads, degrading writes")
+			return
+		}
+		if err := startFollower(newPrimary); err != nil {
+			log.Printf("mdp: start replication after step-down: %v", err)
+		}
+	}
+
+	listenAddr, err := prov.ServeConfig(*addr, wireCfg)
+	if err != nil {
+		log.Fatalf("mdp: serve: %v", err)
+	}
+	if *advAddr != "" {
+		prov.SetAdvertiseAddr(*advAddr)
+	}
+	log.Printf("mdp %q listening on %s (schema: %d classes, role %s, epoch %d)",
+		*name, listenAddr, len(schema.Classes()), prov.Role(), prov.Epoch())
+
+	if followPrimary != "" {
+		if err := startFollower(followPrimary); err != nil {
+			log.Fatalf("mdp: start replication: %v", err)
+		}
 	}
 
 	for _, peerAddr := range peers {
@@ -237,9 +305,11 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("mdp: shutting down")
+	folMu.Lock()
 	if follower != nil {
 		follower.Close()
 	}
+	folMu.Unlock()
 	if stopSnapshots != nil {
 		close(stopSnapshots)
 	}

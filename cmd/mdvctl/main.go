@@ -9,6 +9,8 @@
 //	mdvctl stats     -mdp host:7171
 //	mdvctl delivery  -mdp host:7171
 //	mdvctl metrics   -mdp host:7171   (or -lmr host:7272)
+//	mdvctl topology  -mdp host:7171
+//	mdvctl promote   -mdp host:7172   (failover: make this replica the primary)
 //
 // Repository access (against an LMR):
 //
@@ -41,6 +43,8 @@ commands against a metadata provider (-mdp host:port):
   stats      print engine counters (plus the metrics registry when enabled)
   delivery   print per-subscriber delivery health (queues, drops, heartbeat RTT, lag)
   metrics    print the node's Prometheus metrics text (-mdp or -lmr)
+  topology   print the node's cluster view: role, epoch, primary, follower lag
+  promote    promote a replica to primary of a new epoch (failover)
 
 commands against a repository (-lmr host:port):
   query        evaluate an MDV query
@@ -62,6 +66,7 @@ func main() {
 	class := fs.String("class", "", "resource class")
 	contains := fs.String("contains", "", "substring filter")
 	subID := fs.Int64("id", 0, "subscription id")
+	epoch := fs.Uint64("epoch", 0, "stamp writes with this replication term (exercises the epoch fence; 0 = unstamped)")
 	fs.Parse(os.Args[2:])
 	args := fs.Args()
 
@@ -97,6 +102,9 @@ func main() {
 		}
 		c := needMDP()
 		defer c.Close()
+		if *epoch != 0 {
+			c.SetWriteEpoch(*epoch)
+		}
 		var docs []*mdv.Document
 		for _, path := range args {
 			f, err := os.Open(path)
@@ -213,6 +221,24 @@ func main() {
 		}
 		printDelivery(ds)
 
+	case "topology":
+		c := needMDP()
+		defer c.Close()
+		topo, err := c.Topology()
+		if err != nil {
+			fail(err)
+		}
+		printTopology(topo)
+
+	case "promote":
+		c := needMDP()
+		defer c.Close()
+		newEpoch, err := c.Promote()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("promoted: node is primary at epoch %d\n", newEpoch)
+
 	case "query":
 		if len(args) != 1 {
 			fail(fmt.Errorf("query requires exactly one query string"))
@@ -259,6 +285,37 @@ func main() {
 
 	default:
 		usage()
+	}
+}
+
+func printTopology(topo *mdv.TopologyView) {
+	fmt.Printf("node:    %s\n", topo.Name)
+	fmt.Printf("role:    %s\n", topo.Role)
+	fmt.Printf("epoch:   %d\n", topo.Epoch)
+	fmt.Printf("log seq: %d\n", topo.LogSeq)
+	if topo.Role == "replica" {
+		primary := topo.Primary
+		if primary == "" {
+			primary = "(unknown)"
+		}
+		proxy := "down (writes degrade to retryable no-primary errors)"
+		if topo.ProxyUp {
+			proxy = "up"
+		}
+		fmt.Printf("primary: %s\n", primary)
+		fmt.Printf("proxy:   %s\n", proxy)
+	}
+	if len(topo.Followers) > 0 {
+		fmt.Println()
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "FOLLOWER\tCONNECTED\tSTREAMED\tACKED\tLAG")
+		for _, f := range topo.Followers {
+			fmt.Fprintf(w, "%s\t%t\t%d\t%d\t%d\n",
+				f.Follower, f.Connected, f.StreamedSeq, f.AckedSeq, f.LagSeqs)
+		}
+		w.Flush()
+	} else if topo.Role == "primary" {
+		fmt.Println("(no followers)")
 	}
 }
 

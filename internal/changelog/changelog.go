@@ -73,6 +73,12 @@ type Options struct {
 	// fsync while Busy reports more work coming. Zero disables the delay
 	// (the leader syncs immediately); ignored when Busy is nil.
 	GroupWindow time.Duration
+	// SyncFault is a fault-injection hook for recovery testing: when set,
+	// it runs before every physical fsync, and a non-nil return is treated
+	// as the fsync having failed (the error is sticky, exactly like a real
+	// I/O failure). Must be safe for concurrent calls. Never set outside
+	// tests.
+	SyncFault func() error
 }
 
 const (
@@ -136,6 +142,16 @@ type Log struct {
 // SyncCount returns how many fsyncs the log has issued. Against the number
 // of operations committed it gives the group-commit amortization ratio.
 func (l *Log) SyncCount() uint64 { return l.syncs.Load() }
+
+// doSync runs the fault-injection hook (if any) and then fsyncs f.
+func (l *Log) doSync(f *os.File) error {
+	if l.opts.SyncFault != nil {
+		if err := l.opts.SyncFault(); err != nil {
+			return err
+		}
+	}
+	return datasync(f)
+}
 
 // advanceDurable raises the durability watermark to seq (never lowers it)
 // and wakes tailing Readers blocked on the advance.
@@ -316,7 +332,7 @@ func (l *Log) rotate() error {
 	}
 	if l.opts.Sync != SyncNone {
 		l.syncs.Add(1)
-		if err := datasync(l.f); err != nil {
+		if err := l.doSync(l.f); err != nil {
 			return err
 		}
 		// The whole segment (every record below nextSeq) is on disk now.
@@ -374,7 +390,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 		l.syncs.Add(1)
-		if err := datasync(l.f); err != nil {
+		if err := l.doSync(l.f); err != nil {
 			l.failed = err
 			return 0, err
 		}
@@ -464,7 +480,7 @@ func (l *Log) WaitDurable(seq uint64) error {
 	l.mu.Unlock()
 
 	l.syncs.Add(1)
-	err := datasync(f)
+	err := l.doSync(f)
 	closeObsolete(obsolete)
 	if err != nil {
 		l.mu.Lock()
@@ -502,7 +518,7 @@ func (l *Log) Sync() error {
 		return nil
 	}
 	l.syncs.Add(1)
-	if err := datasync(l.f); err != nil {
+	if err := l.doSync(l.f); err != nil {
 		l.failed = err
 		return err
 	}
@@ -538,6 +554,51 @@ func (l *Log) Reserve(seq uint64) error {
 		return err
 	}
 	l.advanceDurable(seq) // the skipped sequences are vacuously durable
+	return nil
+}
+
+// Reset discards every retained record and restarts the log so the next
+// append is assigned seq+1, as if the log had been created fresh after a
+// snapshot covering seq. It exists for divergent-tail repair: a demoted
+// ex-primary whose unreplicated tail conflicts with the new primary's
+// history must drop its local records wholesale and rebuild from a shipped
+// snapshot, because the byte-identical-prefix invariant forbids keeping
+// records the new epoch never saw. The caller must have quiesced readers
+// (no follower streams, no in-flight Replay); Reset also clears a sticky
+// I/O failure, since the failed bytes are being discarded anyway.
+func (l *Log) Reset(seq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.w.Flush() // best effort: the bytes are about to be deleted
+	closeObsolete(l.obsolete)
+	l.obsolete = nil
+	l.f.Close()
+	for _, s := range l.segments {
+		if err := os.Remove(s.path); err != nil {
+			l.failed = fmt.Errorf("changelog: reset: %w", err)
+			return l.failed
+		}
+	}
+	l.segments = nil
+	syncDir(l.dir)
+	l.failed = nil
+	l.nextSeq = seq + 1
+	l.written = seq
+	if err := l.createSegment(seq + 1); err != nil {
+		l.failed = err
+		return err
+	}
+	// The watermark may move DOWN here (the discarded tail was durable);
+	// that is correct — those sequences no longer exist locally and will be
+	// re-streamed by the new primary. Holding both locks excludes every
+	// concurrent sync, so a plain store is safe.
+	l.durable.Store(seq)
+	l.notifyDurable()
 	return nil
 }
 
@@ -607,6 +668,54 @@ func (l *Log) TruncateBelow(seq uint64) (int, error) {
 	return removed, nil
 }
 
+// TearFinalRecord is a fault-injection helper for recovery testing: it
+// truncates the tail segment of a CLOSED log directory so that only keep
+// bytes of the final record remain, simulating a crash mid-write (keep=0
+// tears the whole record off; a keep inside the 16-byte header or the
+// payload leaves a torn prefix that recovery must detect by length/CRC).
+// Returns the sequence number of the record that was torn.
+func TearFinalRecord(dir string, keep int64) (uint64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, errors.New("changelog: tear: no segments")
+	}
+	// The final record lives in the last segment that has any records
+	// (reservations can leave empty segments behind the tail).
+	for i := len(segs) - 1; i >= 0; i-- {
+		tail := segs[i]
+		var start, off int64 // start offset of the last record seen
+		var lastSeq uint64
+		var found bool
+		_, err := scanSegment(tail.path, tail.first, func(seq uint64, payload []byte) error {
+			start = off
+			off += int64(headerSize) + int64(len(payload))
+			lastSeq = seq
+			found = true
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !found {
+			continue
+		}
+		if keep < 0 {
+			keep = 0
+		}
+		if recSize := off - start; keep >= recSize {
+			return 0, fmt.Errorf("changelog: tear: keep %d >= record size %d", keep, recSize)
+		}
+		if err := os.Truncate(tail.path, start+keep); err != nil {
+			return 0, fmt.Errorf("changelog: tear: %w", err)
+		}
+		return lastSeq, nil
+	}
+	return 0, errors.New("changelog: tear: log holds no records")
+}
+
 // Close flushes, fsyncs, and closes the log.
 func (l *Log) Close() error {
 	l.syncMu.Lock()
@@ -620,7 +729,7 @@ func (l *Log) Close() error {
 	l.notifyDurable() // wake tailing Readers so they observe the close
 	err := l.w.Flush()
 	if err == nil && l.opts.Sync != SyncNone {
-		err = datasync(l.f)
+		err = l.doSync(l.f)
 	}
 	closeObsolete(l.obsolete)
 	l.obsolete = nil

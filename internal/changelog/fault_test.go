@@ -1,0 +1,236 @@
+package changelog
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSyncFaultIsStickyAndRecoverable: an injected fsync failure poisons
+// the log exactly like a real disk error — the failing WaitDurable reports
+// it, subsequent appends refuse — and a reopen (the hook cleared, as after
+// an operator replaces the disk) recovers every record that was durable
+// before the fault, after which appends continue the sequence.
+func TestSyncFaultIsStickyAndRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	var fail atomic.Bool
+	l, err := Open(dir, Options{SyncFault: func() error {
+		if fail.Load() {
+			return errors.New("injected: fsync lost")
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WaitDurable(5); err != nil {
+		t.Fatal(err)
+	}
+
+	fail.Store(true)
+	seq, err := l.Append([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err) // Append only buffers; the fault hits at fsync time
+	}
+	if err := l.WaitDurable(seq); err == nil {
+		t.Fatal("WaitDurable succeeded through a failing fsync")
+	}
+	// The failure is sticky: the log refuses further writes rather than
+	// silently dropping durability.
+	if _, err := l.Append([]byte("after-failure")); err == nil {
+		t.Fatal("Append succeeded on a failed log")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("Sync succeeded on a failed log")
+	}
+	l.Close()
+
+	// Reopen without the fault: the durable prefix survives intact.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 1)
+	for i := uint64(1); i <= 5; i++ {
+		if got[i] != fmt.Sprintf("pre-%d", i) {
+			t.Fatalf("record %d = %q after recovery", i, got[i])
+		}
+	}
+	if next, err := l2.Append([]byte("resumed")); err != nil {
+		t.Fatal(err)
+	} else if next <= 5 {
+		t.Fatalf("post-recovery append got seq %d, want > 5", next)
+	}
+	if err := l2.WaitDurable(l2.LastSeq()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornFinalRecordRecovery: tearing the final record at every
+// interesting offset — nothing left, a partial length prefix, a torn
+// header, a torn payload, all-but-one-byte — leaves a log that reopens
+// cleanly with exactly the preceding records, and the torn sequence number
+// is reassigned to the next append (the record never became durable, so
+// its number was never promised to anyone).
+func TestTornFinalRecordRecovery(t *testing.T) {
+	for _, keep := range []int64{0, 3, headerSize - 1, headerSize + 2, -1} {
+		name := fmt.Sprintf("keep=%d", keep)
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 6
+			for i := 1; i <= n; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			k := keep
+			if k == -1 { // all but one byte of the record
+				k = headerSize + int64(len("rec-6")) - 1
+			}
+			torn, err := TearFinalRecord(dir, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if torn != n {
+				t.Fatalf("tore record %d, want %d", torn, n)
+			}
+
+			l2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if l2.LastSeq() != n-1 {
+				t.Fatalf("LastSeq after tear = %d, want %d", l2.LastSeq(), n-1)
+			}
+			got := collect(t, l2, 1)
+			if len(got) != n-1 {
+				t.Fatalf("recovered %d records, want %d: %v", len(got), n-1, got)
+			}
+			for i := uint64(1); i < n; i++ {
+				if got[i] != fmt.Sprintf("rec-%d", i) {
+					t.Fatalf("record %d = %q", i, got[i])
+				}
+			}
+			seq, err := l2.Append([]byte("replacement"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != n {
+				t.Fatalf("replacement seq = %d, want %d (torn number reassigned)", seq, n)
+			}
+			if err := l2.WaitDurable(seq); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTearFinalRecordAcrossRotation: with multiple segments on disk the
+// helper tears the record at the true tail, and recovery keeps every
+// record in the fully-fsynced older segments.
+func TestTearFinalRecordAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rot-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := TearFinalRecord(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 5 {
+		t.Fatalf("tore record %d, want 5", torn)
+	}
+	l2, err := Open(dir, Options{SegmentSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 4 {
+		t.Fatalf("LastSeq = %d, want 4", l2.LastSeq())
+	}
+	got := collect(t, l2, 1)
+	if len(got) != 4 || got[1] != "rot-1" || got[4] != "rot-4" {
+		t.Fatalf("recovered records = %v", got)
+	}
+}
+
+// TestResetRestartsNumbering: Reset wipes every retained record, restarts
+// the sequence just past the requested coverage, and clears a sticky
+// failure — the divergent-tail repair path a demoted primary runs before
+// re-bootstrapping from the new primary's snapshot.
+func TestResetRestartsNumbering(t *testing.T) {
+	dir := t.TempDir()
+	var fail atomic.Bool
+	l, err := Open(dir, Options{SegmentSize: 64, SyncFault: func() error {
+		if fail.Load() {
+			return errors.New("injected")
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 8; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WaitDurable(8); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the log, then Reset: repair must clear the sticky failure.
+	fail.Store(true)
+	if _, err := l.Append([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("Sync succeeded through the fault")
+	}
+	fail.Store(false)
+
+	if err := l.Reset(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l, 1); len(got) != 0 {
+		t.Fatalf("records survived Reset: %v", got)
+	}
+	if l.LastSeq() != 5 || l.OldestSeq() != 6 || l.DurableSeq() != 5 {
+		t.Fatalf("after Reset(5): last=%d oldest=%d durable=%d", l.LastSeq(), l.OldestSeq(), l.DurableSeq())
+	}
+	seq, err := l.Append([]byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("post-reset seq = %d, want 6", seq)
+	}
+	if err := l.WaitDurable(6); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -63,6 +63,9 @@ type MDP struct {
 	applyFns map[string]ApplyFunc
 	// prop is the propagation-lag histogram, nil until EnablePushMetrics.
 	prop atomic.Pointer[metrics.Histogram]
+	// writeEpoch stamps every write request (see SetWriteEpoch); 0 sends
+	// writes unstamped (the provider admits them at any term).
+	writeEpoch atomic.Uint64
 }
 
 // DialMDP connects to an MDP server with a zero Config.
@@ -101,6 +104,16 @@ func (c *MDP) Close() error { return c.conn.Close() }
 
 // Done is closed when the connection terminates.
 func (c *MDP) Done() <-chan struct{} { return c.conn.Done() }
+
+// PeerEpoch returns the replication term the provider announced in the
+// connect handshake (0 when the server predates epochs or is not durable).
+func (c *MDP) PeerEpoch() uint64 { return c.conn.PeerEpoch() }
+
+// SetWriteEpoch stamps every subsequent write request with the given term.
+// A stamped write is fenced (rejected, never applied) by any node serving
+// a different term — the client-side half of split-brain protection. Zero
+// clears the stamp.
+func (c *MDP) SetWriteEpoch(epoch uint64) { c.writeEpoch.Store(epoch) }
 
 func (c *MDP) onPush(kind string, body json.RawMessage) {
 	if kind != wire.KindChangeset {
@@ -141,7 +154,7 @@ func (c *MDP) RegisterDocument(doc *rdf.Document) error {
 
 // RegisterDocuments registers a batch of documents at the MDP.
 func (c *MDP) RegisterDocuments(docs []*rdf.Document) error {
-	req := wire.RegisterDocumentsRequest{}
+	req := wire.RegisterDocumentsRequest{Epoch: c.writeEpoch.Load()}
 	for _, d := range docs {
 		req.Docs = append(req.Docs, wire.Doc{URI: d.URI, XML: rdf.DocumentString(d)})
 	}
@@ -150,13 +163,13 @@ func (c *MDP) RegisterDocuments(docs []*rdf.Document) error {
 
 // DeleteDocument removes a document at the MDP.
 func (c *MDP) DeleteDocument(uri string) error {
-	return c.call(wire.KindDeleteDocument, &wire.DeleteDocumentRequest{URI: uri}, nil)
+	return c.call(wire.KindDeleteDocument, &wire.DeleteDocumentRequest{URI: uri, Epoch: c.writeEpoch.Load()}, nil)
 }
 
 // Subscribe registers a subscription rule.
 func (c *MDP) Subscribe(subscriber, rule string) (int64, *core.Changeset, error) {
 	var resp wire.SubscribeResponse
-	err := c.call(wire.KindSubscribe, &wire.SubscribeRequest{Subscriber: subscriber, Rule: rule}, &resp)
+	err := c.call(wire.KindSubscribe, &wire.SubscribeRequest{Subscriber: subscriber, Rule: rule, Epoch: c.writeEpoch.Load()}, &resp)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -165,7 +178,7 @@ func (c *MDP) Subscribe(subscriber, rule string) (int64, *core.Changeset, error)
 
 // Unsubscribe removes a subscription.
 func (c *MDP) Unsubscribe(subID int64) error {
-	return c.call(wire.KindUnsubscribe, &wire.UnsubscribeRequest{SubID: subID}, nil)
+	return c.call(wire.KindUnsubscribe, &wire.UnsubscribeRequest{SubID: subID, Epoch: c.writeEpoch.Load()}, nil)
 }
 
 // Attach registers this connection as the subscriber's push channel;
@@ -217,7 +230,7 @@ func (c *MDP) GetDocument(uri string) (*rdf.Document, error) {
 
 // RegisterNamedRule registers a rule usable as a search extension.
 func (c *MDP) RegisterNamedRule(name, rule string) error {
-	return c.call(wire.KindNamedRule, &wire.NamedRuleRequest{Name: name, Rule: rule}, nil)
+	return c.call(wire.KindNamedRule, &wire.NamedRuleRequest{Name: name, Rule: rule, Epoch: c.writeEpoch.Load()}, nil)
 }
 
 // Stats fetches the provider's engine counters.
@@ -240,7 +253,7 @@ func (c *MDP) ReplicateDelete(uri string) error {
 // RegisterDocumentsContext registers a batch under an explicit context
 // (deadline or cancellation).
 func (c *MDP) RegisterDocumentsContext(ctx context.Context, docs []*rdf.Document) error {
-	req := wire.RegisterDocumentsRequest{}
+	req := wire.RegisterDocumentsRequest{Epoch: c.writeEpoch.Load()}
 	for _, d := range docs {
 		req.Docs = append(req.Docs, wire.Doc{URI: d.URI, XML: rdf.DocumentString(d)})
 	}
@@ -250,7 +263,7 @@ func (c *MDP) RegisterDocumentsContext(ctx context.Context, docs []*rdf.Document
 // SubscribeContext registers a subscription rule under an explicit context.
 func (c *MDP) SubscribeContext(ctx context.Context, subscriber, rule string) (int64, *core.Changeset, error) {
 	var resp wire.SubscribeResponse
-	err := c.conn.CallContext(ctx, wire.KindSubscribe, &wire.SubscribeRequest{Subscriber: subscriber, Rule: rule}, &resp)
+	err := c.conn.CallContext(ctx, wire.KindSubscribe, &wire.SubscribeRequest{Subscriber: subscriber, Rule: rule, Epoch: c.writeEpoch.Load()}, &resp)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -276,6 +289,38 @@ func (c *MDP) Metrics() (string, error) {
 		return "", err
 	}
 	return resp.Text, nil
+}
+
+// Topology fetches the node's view of the cluster: role, epoch, primary
+// address, and (on a primary) per-follower stream positions.
+func (c *MDP) Topology() (*wire.TopologyResponse, error) {
+	var resp wire.TopologyResponse
+	if err := c.call(wire.KindTopology, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Promote asks the node (a replica) to promote itself to primary of a new
+// epoch. Idempotent against a node that is already primary.
+func (c *MDP) Promote() (uint64, error) {
+	var resp wire.PromoteResponse
+	if err := c.call(wire.KindPromote, nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// AnnounceEpoch informs the node that the given term exists, led by
+// primary. A stale primary demotes itself on receipt; the response carries
+// the node's resulting term.
+func (c *MDP) AnnounceEpoch(epoch uint64, primary string) (uint64, error) {
+	var resp wire.EpochAnnounceResponse
+	err := c.call(wire.KindEpochAnnounce, &wire.EpochAnnounceRequest{Epoch: epoch, Primary: primary}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
 }
 
 // DeliveryStats fetches the provider's per-subscriber delivery health.

@@ -5,13 +5,17 @@
 package lmr
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mdv/internal/backoff"
 	"mdv/internal/core"
 	"mdv/internal/metrics"
+	"mdv/internal/provider"
 	"mdv/internal/query"
 	"mdv/internal/rdf"
 	"mdv/internal/repository"
@@ -60,11 +64,14 @@ type Node struct {
 
 	server *wire.Server
 
-	// resumes/reconnects count stream recoveries; reg is the metrics
-	// registry attached via EnableMetrics (nil until then).
-	resumes    atomic.Uint64
-	reconnects atomic.Uint64
-	reg        atomic.Pointer[metrics.Registry]
+	// resumes/reconnects count stream recoveries; degradedWrites counts
+	// write attempts that hit a primary-less cluster (mid-failover) and
+	// were retried; reg is the metrics registry attached via EnableMetrics
+	// (nil until then).
+	resumes        atomic.Uint64
+	reconnects     atomic.Uint64
+	degradedWrites atomic.Uint64
+	reg            atomic.Pointer[metrics.Registry]
 }
 
 // New creates an LMR node connected to the given provider.
@@ -203,6 +210,27 @@ func (n *Node) Reconnect(prov ProviderAPI) error {
 	return err
 }
 
+// writeRetry runs one provider write, retrying with short backoff while
+// the cluster has no primary (mid-failover: the old primary is gone and no
+// follower has been promoted yet). Reads keep serving from the cache the
+// whole time — graceful degradation loses write availability only, and
+// only for the failover window. Bounded, so a cluster that stays headless
+// still surfaces the typed NoPrimaryError to the caller.
+func (n *Node) writeRetry(op func() error) error {
+	bo := &backoff.Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	return backoff.Retry(context.Background(), bo, 5, func(err error) bool {
+		if provider.IsNoPrimary(err) {
+			n.degradedWrites.Add(1)
+			return true
+		}
+		return false
+	}, op)
+}
+
+// DegradedWrites returns how many write attempts found no primary and were
+// retried.
+func (n *Node) DegradedWrites() uint64 { return n.degradedWrites.Load() }
+
 // AddSubscription registers a subscription rule at the MDP (paper §2.2:
 // "When subscribing to an MDP an LMR registers a set of subscription
 // rules"). The node is attached before subscribing, so the MDP delivers the
@@ -212,7 +240,12 @@ func (n *Node) AddSubscription(rule string) (int64, error) {
 	if err := n.ensureAttached(); err != nil {
 		return 0, err
 	}
-	subID, _, err := n.prov.Subscribe(n.name, rule)
+	var subID int64
+	err := n.writeRetry(func() error {
+		var err error
+		subID, _, err = n.prov.Subscribe(n.name, rule)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -231,7 +264,7 @@ func (n *Node) RemoveSubscription(subID int64) error {
 	if !known {
 		return fmt.Errorf("lmr: unknown subscription %d", subID)
 	}
-	if err := n.prov.Unsubscribe(subID); err != nil {
+	if err := n.writeRetry(func() error { return n.prov.Unsubscribe(subID) }); err != nil {
 		return err
 	}
 	if err := n.repo.DropSubscriptionCredits(subID); err != nil {

@@ -29,6 +29,9 @@ func (n *Node) EnableMetrics(reg *metrics.Registry) {
 	reg.SampleFunc("mdv_lmr_reconnects_total",
 		"provider connections replaced after a failure", metrics.TypeCounter,
 		one(func() float64 { return float64(n.reconnects.Load()) }))
+	reg.SampleFunc("mdv_lmr_degraded_writes_total",
+		"write attempts retried because the cluster had no primary", metrics.TypeCounter,
+		one(func() float64 { return float64(n.degradedWrites.Load()) }))
 	reg.GaugeFunc("mdv_lmr_applied_seq",
 		"highest changelog sequence applied to the cache",
 		func() float64 { return float64(n.repo.LastSeq()) })

@@ -61,6 +61,10 @@ const (
 	recPub         = "pub"
 	recAck         = "ack"
 	recWatermark   = "watermark"
+	// recEpoch marks an epoch bump: a promotion appends it as the first
+	// record of the new term, so the term change is durable, totally ordered
+	// with the writes it fences, and replicates to followers verbatim.
+	recEpoch = "epoch"
 )
 
 // logRecord is the JSON payload of one changelog record.
@@ -80,6 +84,7 @@ type logRecord struct {
 	// recovery and Compact) carry the full list.
 	Lost      [][2]uint64     `json:"lost,omitempty"`      // watermark
 	Changeset *core.Changeset `json:"changeset,omitempty"` // pub
+	Epoch     uint64          `json:"epoch,omitempty"`     // epoch
 }
 
 // durableState is the changelog side of a durable provider.
@@ -185,9 +190,12 @@ type RecoveryStats struct {
 var ErrNotDurable = errors.New("provider: not a durable provider (no changelog)")
 
 const (
-	snapshotFile  = "snapshot.db"
-	snapshotMagic = "MDVSNAP1"
-	walDir        = "wal"
+	snapshotFile = "snapshot.db"
+	// snapshotMagicV1 headers carry only the covered log sequence; V2 (since
+	// epochs) adds the epoch the snapshot was taken at. Both are readable.
+	snapshotMagicV1 = "MDVSNAP1"
+	snapshotMagicV2 = "MDVSNAP2"
+	walDir          = "wal"
 )
 
 // OpenDurable opens (or creates) a durable MDP rooted at dir: it loads the
@@ -205,15 +213,17 @@ func OpenDurableWithStats(name string, schema *rdf.Schema, dir string, opts Dura
 	}
 	stats := &RecoveryStats{}
 	var engine *core.Engine
+	var snapEpoch uint64
 	snapPath := filepath.Join(dir, snapshotFile)
 	if f, err := os.Open(snapPath); err == nil {
-		snapSeq, eng, lerr := readSnapshot(f, schema)
+		snapSeq, epoch, eng, lerr := readSnapshot(f, schema)
 		f.Close()
 		if lerr != nil {
 			return nil, nil, fmt.Errorf("provider: load snapshot: %w", lerr)
 		}
 		engine = eng
 		stats.SnapshotSeq = snapSeq
+		snapEpoch = epoch
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, fmt.Errorf("provider: %w", err)
 	}
@@ -232,7 +242,8 @@ func OpenDurableWithStats(name string, schema *rdf.Schema, dir string, opts Dura
 		window = 0
 	}
 	p := NewFromEngine(name, engine)
-	p.replica = opts.Replica
+	p.replica.Store(opts.Replica)
+	p.bumpEpoch(snapEpoch)
 	log, err := changelog.Open(filepath.Join(dir, walDir), changelog.Options{
 		SegmentSize: opts.SegmentSize,
 		Sync:        opts.Sync,
@@ -259,6 +270,17 @@ func (p *Provider) LogSeq() uint64 {
 		return 0
 	}
 	return p.dur.log.LastSeq()
+}
+
+// ReplayLog streams the raw changelog records from sequence from (tests
+// and tooling use it to compare replicas' log copies byte for byte — the
+// replication invariant is a verbatim prefix). The payload slice is only
+// valid during the callback.
+func (p *Provider) ReplayLog(from uint64, fn func(seq uint64, payload []byte) error) error {
+	if p.dur == nil {
+		return ErrNotDurable
+	}
+	return p.dur.log.Replay(from, fn)
 }
 
 // logOpLocked appends one input-operation record; caller holds pubMu. On a
@@ -293,7 +315,7 @@ func (p *Provider) claimDeliveredLocked(seq uint64) error {
 	if d == nil || seq == 0 || seq <= d.claim {
 		return nil
 	}
-	if p.replica {
+	if p.replica.Load() {
 		// A replica appends nothing: the primary claimed this sequence
 		// before handing it out, and its watermark records arrive in the
 		// stream. A replica crash loses no delivered sequences anyway —
@@ -382,6 +404,8 @@ func (p *Provider) recover(stats *RecoveryStats) error {
 			for _, r := range rec.Lost {
 				p.dur.addLost(r[0], r[1])
 			}
+		case recEpoch:
+			p.bumpEpoch(rec.Epoch)
 		}
 		return nil
 	})
@@ -399,7 +423,7 @@ func (p *Provider) recover(stats *RecoveryStats) error {
 	// a cursor inside it refers to pushes whose records no longer exist,
 	// so Resume must force a full-state reset.
 	tail := p.dur.log.LastSeq()
-	if p.replica {
+	if p.replica.Load() {
 		// A follower's log must stay a verbatim prefix of the primary's:
 		// recovery appends nothing — no watermark re-append, no regenerated
 		// publish records — and reserves only the snapshot coverage, never
@@ -513,7 +537,7 @@ func (p *Provider) Ack(subscriber string, seq uint64) error {
 	}
 	p.dur.acked[subscriber] = seq
 	p.mu.Unlock()
-	if p.replica {
+	if p.replica.Load() {
 		// Local bookkeeping only: the ack gates this replica's own log
 		// truncation, but is never appended to the verbatim log copy.
 		return nil
@@ -545,7 +569,7 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 	// outside pubMu, which ApplyReplicated needs to make progress — and
 	// fall back to a full-state reset if it cannot (e.g. the primary died
 	// before shipping those records to anyone).
-	if p.replica && fromSeq > p.dur.log.LastSeq() {
+	if p.replica.Load() && fromSeq > p.dur.log.LastSeq() {
 		bound := p.dur.catchup
 		if bound <= 0 {
 			bound = 10 * time.Second
@@ -622,8 +646,8 @@ func (p *Provider) Compact() error {
 	}
 	p.pubMu.Lock()
 	seq := p.dur.log.LastSeq()
-	err := writeSnapshotFile(filepath.Join(p.dur.dir, snapshotFile), seq, p.Engine())
-	if err == nil && !p.replica && (p.dur.claim > 0 || len(p.dur.lost) > 0) {
+	err := writeSnapshotFile(filepath.Join(p.dur.dir, snapshotFile), seq, p.Epoch(), p.Engine())
+	if err == nil && !p.replica.Load() && (p.dur.claim > 0 || len(p.dur.lost) > 0) {
 		// The truncation below may drop the segment holding the latest
 		// watermark record; re-establish the delivered-watermark state at
 		// the tail first, or a post-compaction crash would recover with
@@ -677,9 +701,9 @@ func (p *Provider) truncationWatermark(snapSeq uint64) (uint64, error) {
 	return watermark, nil
 }
 
-// writeSnapshotFile writes header (magic + covered log sequence) and the
-// engine state, atomically (temp file, fsync, rename).
-func writeSnapshotFile(path string, seq uint64, engine *core.Engine) error {
+// writeSnapshotFile writes header (magic + covered log sequence + epoch)
+// and the engine state, atomically (temp file, fsync, rename).
+func writeSnapshotFile(path string, seq, epoch uint64, engine *core.Engine) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -691,7 +715,7 @@ func writeSnapshotFile(path string, seq uint64, engine *core.Engine) error {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	if err := writeSnapshot(w, seq, engine); err != nil {
+	if err := writeSnapshot(w, seq, epoch, engine); err != nil {
 		return fail(err)
 	}
 	if err := w.Flush(); err != nil {
@@ -724,39 +748,50 @@ func syncDir(dir string) {
 	}
 }
 
-// writeSnapshot serializes header (magic + covered log sequence) and the
-// engine state to w. Shipped bootstrap snapshots and the snapshot file use
-// the identical format, so a follower persists the received bytes verbatim.
-func writeSnapshot(w io.Writer, seq uint64, engine *core.Engine) error {
-	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+// writeSnapshot serializes header (magic + covered log sequence + epoch)
+// and the engine state to w. Shipped bootstrap snapshots and the snapshot
+// file use the identical format, so a follower persists the received bytes
+// verbatim.
+func writeSnapshot(w io.Writer, seq, epoch uint64, engine *core.Engine) error {
+	if _, err := io.WriteString(w, snapshotMagicV2); err != nil {
 		return err
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint64(hdr[:], seq)
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[:8], seq)
+	binary.BigEndian.PutUint64(hdr[8:], epoch)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
 	return engine.Save(w)
 }
 
-// readSnapshot parses a snapshot file written by writeSnapshotFile.
-func readSnapshot(r io.Reader, schema *rdf.Schema) (uint64, *core.Engine, error) {
+// readSnapshot parses a snapshot written by writeSnapshotFile, either
+// format version. V1 snapshots (pre-epoch) report epoch 0; the caller
+// treats that as "epoch unknown" and keeps its default.
+func readSnapshot(r io.Reader, schema *rdf.Schema) (uint64, uint64, *core.Engine, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(snapshotMagic))
+	magic := make([]byte, len(snapshotMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	if string(magic) != snapshotMagic {
-		return 0, nil, fmt.Errorf("not an MDV durable snapshot (bad magic %q)", magic)
+	if string(magic) != snapshotMagicV1 && string(magic) != snapshotMagicV2 {
+		return 0, 0, nil, fmt.Errorf("not an MDV durable snapshot (bad magic %q)", magic)
 	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	seq := binary.BigEndian.Uint64(hdr[:])
+	var epoch uint64
+	if string(magic) == snapshotMagicV2 {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return 0, 0, nil, err
+		}
+		epoch = binary.BigEndian.Uint64(hdr[:])
+	}
 	engine, err := core.Load(br, schema)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return seq, engine, nil
+	return seq, epoch, engine, nil
 }

@@ -92,6 +92,15 @@ func (p *Provider) EnableMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("mdv_replication_snapshots_shipped_total",
 		"bootstrap snapshots served to followers",
 		func() float64 { return float64(p.snapshotsShipped.Load()) })
+	reg.GaugeFunc("mdv_epoch",
+		"replication term this node is serving (monotone; bumped by promotions)",
+		func() float64 { return float64(p.Epoch()) })
+	reg.GaugeFunc("mdv_promotions_total",
+		"times this node was promoted to primary",
+		func() float64 { return float64(p.promotions.Load()) })
+	reg.GaugeFunc("mdv_fenced_writes_total",
+		"requests rejected by the epoch fence (stale or future term stamps)",
+		func() float64 { return float64(p.fencedWrites.Load()) })
 	fol := func(name string) []metrics.Label {
 		return []metrics.Label{metrics.L("follower", name)}
 	}

@@ -47,9 +47,39 @@ type Provider struct {
 	// replicated changelog records (ApplyReplicated), write operations are
 	// proxied to the primary (SetWriteProxy) or rejected, and nothing is
 	// ever appended to the local log copy except verbatim primary records.
-	replica bool
+	// Atomic because failover flips it at runtime: Promote turns a replica
+	// into the primary of a new epoch, and a resurrected stale primary
+	// demotes itself on proof of a higher epoch.
+	replica atomic.Bool
+
+	// epoch is the replication term (see epoch.go). 1 from birth on durable
+	// providers; raised by Promote and by observed higher epochs.
+	epoch atomic.Uint64
+	// fencedWrites counts requests rejected by the epoch fence; promotions
+	// counts successful Promote calls on this node.
+	fencedWrites atomic.Uint64
+	promotions   atomic.Uint64
+	// resyncPending marks a demoted ex-primary whose local log tail may
+	// diverge from the new primary's history: the next bootstrap must force
+	// a snapshot (and InstallSnapshot may rewind the log below its tail).
+	resyncPending atomic.Bool
+
+	// OnDemote, if set, is invoked (on its own goroutine) when the node
+	// demotes itself after observing a higher epoch. The supervising
+	// process uses it to start a follower pointed at the new primary. Set
+	// before the provider is shared.
+	OnDemote func(epoch uint64, primary string)
 
 	mu sync.Mutex
+	// advertise is the address this node tells peers to reach it at;
+	// primaryHint/peersHint are a replica's last-known primary address and
+	// candidate endpoints (set by the follower subsystem). All guarded by mu.
+	advertise   string
+	primaryHint string
+	peersHint   []string
+	// stopReplication, set by the follower subsystem, halts the replication
+	// session (guarded by mu); Promote invokes it before fencing the flip.
+	stopReplication func()
 	// attached holds in-process delivery callbacks per subscriber;
 	// wireAttach holds push connections of wire-attached subscribers.
 	attached   map[string][]ApplyFunc
@@ -227,6 +257,7 @@ func NewFromEngine(name string, engine *core.Engine) *Provider {
 		followers:  map[string]*followerState{},
 	}
 	p.eng.Store(engine)
+	p.epoch.Store(1)
 	p.turn.cond = sync.NewCond(&p.turn.mu)
 	return p
 }
@@ -262,11 +293,11 @@ func (p *Provider) Name() string { return p.name }
 func (p *Provider) Engine() *core.Engine { return p.eng.Load() }
 
 // Replica reports whether this provider is a follower MDP.
-func (p *Provider) Replica() bool { return p.replica }
+func (p *Provider) Replica() bool { return p.replica.Load() }
 
 // Role returns "replica" on a follower and "primary" otherwise.
 func (p *Provider) Role() string {
-	if p.replica {
+	if p.replica.Load() {
 		return "replica"
 	}
 	return "primary"
@@ -421,7 +452,7 @@ func (p *Provider) ReplicateDocuments(wdocs []wire.Doc) error {
 }
 
 func (p *Provider) registerDocuments(docs []*rdf.Document, replicated bool) error {
-	if p.replica {
+	if p.replica.Load() {
 		// A follower's engine is driven exclusively by the replicated
 		// changelog; the write goes to the primary and comes back as
 		// streamed records.
@@ -472,7 +503,7 @@ func (p *Provider) ReplicateDelete(uri string) error {
 }
 
 func (p *Provider) deleteDocument(uri string, replicated bool) error {
-	if p.replica {
+	if p.replica.Load() {
 		w, err := p.writeProxy()
 		if err != nil {
 			return err
@@ -531,7 +562,7 @@ func (p *Provider) forEachPeer(fn func(Peer) error) error {
 // published changesets; attached callers (LMR nodes) must therefore NOT
 // apply the returned changeset themselves.
 func (p *Provider) Subscribe(subscriber, rule string) (int64, *core.Changeset, error) {
-	if p.replica {
+	if p.replica.Load() {
 		// Proxied to the primary: the subscription is logged there and
 		// comes back through the stream, so this follower's engine (and
 		// every other replica's) registers it too. The initial fill is
@@ -580,7 +611,7 @@ func (p *Provider) Subscribe(subscriber, rule string) (int64, *core.Changeset, e
 // (and the changelog, on durable providers) like every other input
 // operation.
 func (p *Provider) Unsubscribe(subID int64) error {
-	if p.replica {
+	if p.replica.Load() {
 		w, err := p.writeProxy()
 		if err != nil {
 			return err
@@ -615,7 +646,7 @@ func (p *Provider) GetDocument(uri string) (*rdf.Document, error) {
 // durable provider it is logged like every other input operation, so it
 // survives restarts and replicates to followers.
 func (p *Provider) RegisterNamedRule(name, rule string) error {
-	if p.replica {
+	if p.replica.Load() {
 		w, err := p.writeProxy()
 		if err != nil {
 			return err
@@ -667,6 +698,9 @@ func (p *Provider) Serve(addr string) (string, error) {
 // fault-tolerance settings (heartbeats, I/O deadlines, per-subscriber
 // send-queue bounds).
 func (p *Provider) ServeConfig(addr string, cfg wire.Config) (string, error) {
+	if cfg.EpochFn == nil {
+		cfg.EpochFn = p.Epoch
+	}
 	srv, err := wire.NewServerConfig(addr, p.handle, cfg)
 	if err != nil {
 		return "", err
@@ -683,8 +717,20 @@ func (p *Provider) ServeConfig(addr string, cfg wire.Config) (string, error) {
 	}
 	p.mu.Lock()
 	p.server = srv
+	if p.advertise == "" {
+		p.advertise = srv.Addr()
+	}
 	p.mu.Unlock()
 	return srv.Addr(), nil
+}
+
+// SetAdvertiseAddr sets the address this node reports as its own in
+// topology responses (useful when the listen address is not the one peers
+// should dial). Defaults to the wire server's listen address.
+func (p *Provider) SetAdvertiseAddr(addr string) {
+	p.mu.Lock()
+	p.advertise = addr
+	p.mu.Unlock()
 }
 
 // Close stops the wire server, if running, and closes the changelog of a
@@ -748,7 +794,7 @@ func (p *Provider) DeliveryStats() *wire.DeliveryStatsResponse {
 	for name := range p.wireAttach {
 		names[name] = true
 	}
-	resp := &wire.DeliveryStatsResponse{Role: p.Role()}
+	resp := &wire.DeliveryStatsResponse{Role: p.Role(), Epoch: p.Epoch()}
 	if p.dur != nil {
 		resp.LogSeq = p.dur.log.LastSeq()
 	}
@@ -808,6 +854,9 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
+		if err := p.fenceWrite(req.Epoch); err != nil {
+			return nil, err
+		}
 		docs, err := decodeDocs(req.Docs)
 		if err != nil {
 			return nil, err
@@ -824,6 +873,9 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
+		if err := p.fenceWrite(req.Epoch); err != nil {
+			return nil, err
+		}
 		return nil, p.deleteDocument(req.URI, req.Replicated)
 	case wire.KindReplicateDelete:
 		var req wire.DeleteDocumentRequest
@@ -836,6 +888,9 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
+		if err := p.fenceWrite(req.Epoch); err != nil {
+			return nil, err
+		}
 		id, initial, err := p.Subscribe(req.Subscriber, req.Rule)
 		if err != nil {
 			return nil, err
@@ -844,6 +899,9 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 	case wire.KindUnsubscribe:
 		var req wire.UnsubscribeRequest
 		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		if err := p.fenceWrite(req.Epoch); err != nil {
 			return nil, err
 		}
 		return nil, p.Unsubscribe(req.SubID)
@@ -902,6 +960,9 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
+		if err := p.fenceWrite(req.Epoch); err != nil {
+			return nil, err
+		}
 		return nil, p.RegisterNamedRule(req.Name, req.Rule)
 	case wire.KindReplSnapshot:
 		var req wire.ReplSnapshotRequest
@@ -921,6 +982,21 @@ func (p *Provider) handle(conn *wire.ServerConn, kind string, body json.RawMessa
 			return nil, err
 		}
 		return nil, p.handleReplAck(&req)
+	case wire.KindPromote:
+		epoch, err := p.Promote()
+		if err != nil {
+			return nil, err
+		}
+		return &wire.PromoteResponse{Epoch: epoch}, nil
+	case wire.KindTopology:
+		return p.Topology(), nil
+	case wire.KindEpochAnnounce:
+		var req wire.EpochAnnounceRequest
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		p.ObserveEpoch(req.Epoch, req.Primary)
+		return &wire.EpochAnnounceResponse{Epoch: p.Epoch()}, nil
 	case wire.KindStats:
 		return p.Engine().Stats(), nil
 	case wire.KindDeliveryStats:

@@ -77,7 +77,10 @@ func (p *Provider) writeProxy() (WriteProxy, error) {
 	w := p.proxy
 	p.mu.Unlock()
 	if w == nil {
-		return nil, ErrNotPrimary
+		// Typed and retryable: the caller learns the last-known topology so
+		// it can keep serving reads and retry the write with backoff while
+		// the cluster elects (or an operator promotes) a new primary.
+		return nil, p.noPrimaryErr()
 	}
 	return w, nil
 }
@@ -112,18 +115,24 @@ func (p *Provider) handleReplSnapshot(conn *wire.ServerConn, req *wire.ReplSnaps
 	if p.dur == nil {
 		return nil, ErrNotDurable
 	}
-	if p.replica {
+	if err := p.fencePeer(req.Epoch); err != nil {
+		return nil, err
+	}
+	if p.replica.Load() {
 		return nil, fmt.Errorf("provider: a replica cannot serve replication bootstraps")
 	}
 	t0 := time.Now()
 	p.lockPub()
-	if req.FromSeq+1 >= p.dur.log.OldestSeq() {
+	// Force bypasses the tail check: a demoted ex-primary's tail may hold
+	// divergent records the sequence numbers alone cannot reveal, so its
+	// rejoin must take a snapshot unconditionally and rebuild from it.
+	if !req.Force && req.FromSeq+1 >= p.dur.log.OldestSeq() {
 		p.unlockPub()
-		return &wire.ReplSnapshotResponse{Needed: false}, nil
+		return &wire.ReplSnapshotResponse{Needed: false, Epoch: p.Epoch()}, nil
 	}
 	seq := p.dur.log.LastSeq()
 	var buf bytes.Buffer
-	err := writeSnapshot(&buf, seq, p.Engine())
+	err := writeSnapshot(&buf, seq, p.Epoch(), p.Engine())
 	p.unlockPub()
 	if err != nil {
 		return nil, fmt.Errorf("provider: serialize bootstrap snapshot: %w", err)
@@ -147,7 +156,7 @@ func (p *Provider) handleReplSnapshot(conn *wire.ServerConn, req *wire.ReplSnaps
 	if m := p.met.Load(); m != nil && m.snapshotShip != nil {
 		m.snapshotShip.ObserveSince(t0)
 	}
-	return &wire.ReplSnapshotResponse{Needed: true, SnapshotSeq: seq}, nil
+	return &wire.ReplSnapshotResponse{Needed: true, SnapshotSeq: seq, Epoch: p.Epoch()}, nil
 }
 
 // handleReplStream subscribes the connection to the changelog record
@@ -158,7 +167,10 @@ func (p *Provider) handleReplStream(conn *wire.ServerConn, req *wire.ReplStreamR
 	if p.dur == nil {
 		return nil, ErrNotDurable
 	}
-	if p.replica {
+	if err := p.fencePeer(req.Epoch); err != nil {
+		return nil, err
+	}
+	if p.replica.Load() {
 		return nil, fmt.Errorf("provider: a replica cannot serve replication streams")
 	}
 	if req.Follower == "" {
@@ -191,7 +203,7 @@ func (p *Provider) handleReplStream(conn *wire.ServerConn, req *wire.ReplStreamR
 	p.streamWG.Add(1)
 	p.mu.Unlock()
 	go p.streamToFollower(fs, conn, reader)
-	return &wire.ReplStreamResponse{LatestSeq: latest}, nil
+	return &wire.ReplStreamResponse{LatestSeq: latest, Epoch: p.Epoch()}, nil
 }
 
 // streamToFollower tails the log and ships each durable record. It exits
@@ -208,7 +220,10 @@ func (p *Provider) streamToFollower(fs *followerState, conn *wire.ServerConn, re
 		if err != nil {
 			return
 		}
-		push := &wire.ReplRecordPush{Seq: seq, Rec: payload, SentUnixNano: time.Now().UnixNano()}
+		// Stamped with the CURRENT epoch at send time (even for old records):
+		// the stamp proves the sender still believes itself primary of that
+		// term, and the follower drops the session if it has seen a higher one.
+		push := &wire.ReplRecordPush{Seq: seq, Rec: payload, SentUnixNano: time.Now().UnixNano(), Epoch: p.Epoch()}
 		// Blocking enqueue: dropping a record would break the verbatim-
 		// prefix invariant. A truly stuck follower trips the connection
 		// write deadline, which closes the conn and errors this send.
@@ -280,10 +295,16 @@ func (p *Provider) ApplyReplicated(seq uint64, payload []byte, sentNano int64) e
 	if p.dur == nil {
 		return ErrNotDurable
 	}
-	if !p.replica {
+	if !p.replica.Load() {
 		return ErrNotReplica
 	}
 	p.lockPub()
+	// Recheck under the publish lock: a Promote that flipped the role while
+	// this record waited must win — a primary appends nothing replicated.
+	if !p.replica.Load() {
+		p.unlockPub()
+		return ErrNotReplica
+	}
 	tail := p.dur.log.LastSeq()
 	if seq <= tail {
 		p.unlockPub()
@@ -336,6 +357,11 @@ func (p *Provider) ApplyReplicated(seq uint64, payload []byte, sentNano int64) e
 		for _, r := range rec.Lost {
 			p.dur.addLost(r[0], r[1])
 		}
+	case recEpoch:
+		// The primary's promotion record: this follower now serves term
+		// rec.Epoch (the record is already appended verbatim above, so the
+		// term survives a local restart too).
+		p.bumpEpoch(rec.Epoch)
 	}
 	p.unlockPubAndDeliver(dels)
 	return nil
@@ -352,15 +378,31 @@ func (p *Provider) InstallSnapshot(data []byte) (uint64, error) {
 	if p.dur == nil {
 		return 0, ErrNotDurable
 	}
-	if !p.replica {
+	if !p.replica.Load() {
 		return 0, ErrNotReplica
 	}
-	snapSeq, eng, err := readSnapshot(bytes.NewReader(data), p.Engine().Schema())
+	snapSeq, snapEpoch, eng, err := readSnapshot(bytes.NewReader(data), p.Engine().Schema())
 	if err != nil {
 		return 0, fmt.Errorf("provider: install snapshot: %w", err)
 	}
 	p.lockPub()
-	if snapSeq < p.dur.log.LastSeq() {
+	if !p.replica.Load() {
+		p.unlockPub()
+		return 0, ErrNotReplica
+	}
+	if p.resyncPending.Load() {
+		// Divergent-tail repair on a demoted ex-primary: its log may hold
+		// records the new primary's history disowns (same sequence numbers,
+		// different bytes — acknowledged to nobody, because their fsync
+		// returned after the followers were already gone, or never returned
+		// at all). Wipe the local log entirely and restart numbering at the
+		// snapshot's coverage; the verbatim-prefix invariant holds again from
+		// there on.
+		if err := p.dur.log.Reset(snapSeq); err != nil {
+			p.unlockPub()
+			return 0, err
+		}
+	} else if snapSeq < p.dur.log.LastSeq() {
 		p.unlockPub()
 		return 0, fmt.Errorf("provider: snapshot covers seq %d but the local log is already at %d", snapSeq, p.dur.log.LastSeq())
 	}
@@ -378,6 +420,8 @@ func (p *Provider) InstallSnapshot(data []byte) (uint64, error) {
 		}
 	}
 	p.dur.streamFloor = snapSeq
+	p.bumpEpoch(snapEpoch)
+	p.resyncPending.Store(false)
 	// Attached subscribers hold caches from before the gap; rebuild them
 	// from the fresh engine with full-state resets, sequenced like any
 	// publish so later replicated deliveries order after them.

@@ -199,7 +199,7 @@ func TestInstallSnapshotBootstrap(t *testing.T) {
 	}
 	snapSeq := primary.LogSeq()
 	var snap bytes.Buffer
-	if err := writeSnapshot(&snap, snapSeq, primary.Engine()); err != nil {
+	if err := writeSnapshot(&snap, snapSeq, primary.Epoch(), primary.Engine()); err != nil {
 		t.Fatal(err)
 	}
 

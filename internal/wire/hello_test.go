@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -51,7 +52,9 @@ func TestHandshakeVersionSkew(t *testing.T) {
 	if !strings.Contains(err.Error(), "protocol version mismatch") {
 		t.Fatalf("error %q does not describe the version mismatch", err)
 	}
-	if !strings.Contains(err.Error(), "v2") || !strings.Contains(err.Error(), "v1") {
+	ours := fmt.Sprintf("v%d", ProtocolVersion)
+	theirs := fmt.Sprintf("v%d", ProtocolVersion+1)
+	if !strings.Contains(err.Error(), ours) || !strings.Contains(err.Error(), theirs) {
 		t.Fatalf("error %q does not name both versions", err)
 	}
 	if IsRetryable(err) {

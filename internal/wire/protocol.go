@@ -59,12 +59,30 @@ const (
 	KindReplAck           = "repl_ack"
 )
 
+// Failover control kinds. KindPromote turns a follower MDP into the
+// primary of a new, higher epoch; KindTopology reports a node's view of
+// the cluster (role, epoch, primary, follower lag); KindEpochAnnounce
+// informs a node of a higher epoch elsewhere, so a resurrected stale
+// primary fences itself and re-points at the real primary.
+const (
+	KindPromote       = "promote"
+	KindTopology      = "topology"
+	KindEpochAnnounce = "epoch_announce"
+)
+
 // ReplSnapshotRequest asks the primary for a bootstrap snapshot if the
 // follower's changelog tail (FromSeq) lies below the primary's retained
 // log. When a snapshot is needed its bytes arrive as ordered
 // KindReplSnapshotChunk pushes on this connection, before the response.
+// Epoch is the follower's current epoch: a primary receiving a request
+// from a HIGHER epoch knows it is stale and self-demotes instead of
+// serving. Force demands a snapshot even when the follower's tail looks
+// current — the divergent-tail repair a demoted ex-primary runs, since
+// its tail past the last replicated prefix can disagree with history.
 type ReplSnapshotRequest struct {
 	FromSeq uint64 `json:"from_seq"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Force   bool   `json:"force,omitempty"`
 }
 
 // ReplSnapshotChunk is one piece of a streamed engine snapshot. Engine
@@ -79,6 +97,8 @@ type ReplSnapshotChunk struct {
 type ReplSnapshotResponse struct {
 	Needed      bool   `json:"needed"`
 	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Epoch is the primary's current epoch at negotiation time.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ReplStreamRequest subscribes the connection to the primary's changelog
@@ -88,11 +108,18 @@ type ReplSnapshotResponse struct {
 type ReplStreamRequest struct {
 	Follower string `json:"follower"`
 	FromSeq  uint64 `json:"from_seq"`
+	// Epoch fences the stream: a primary whose epoch is LOWER than the
+	// follower's refuses (and self-demotes — the request is proof of a
+	// newer term); a follower never streams history it has outgrown.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// ReplStreamResponse reports the primary's changelog tail at stream start.
+// ReplStreamResponse reports the primary's changelog tail and epoch at
+// stream start. The follower stamps proxied writes with this epoch until
+// the stream teaches it a newer one.
 type ReplStreamResponse struct {
 	LatestSeq uint64 `json:"latest_seq"`
+	Epoch     uint64 `json:"epoch,omitempty"`
 }
 
 // ReplRecordPush carries one changelog record, verbatim, to a follower.
@@ -103,6 +130,10 @@ type ReplRecordPush struct {
 	Seq          uint64 `json:"seq"`
 	Rec          []byte `json:"rec"`
 	SentUnixNano int64  `json:"sent_unix_nano,omitempty"`
+	// Epoch is the sender's epoch at send time; a follower that has seen a
+	// higher epoch rejects the record (a stale primary's stream must not
+	// extend the log past the point history diverged).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ReplAckRequest reports the follower's durable applied prefix. The
@@ -111,6 +142,45 @@ type ReplRecordPush struct {
 type ReplAckRequest struct {
 	Follower string `json:"follower"`
 	Seq      uint64 `json:"seq"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+}
+
+// PromoteResponse reports the epoch the promoted node now leads. Promote
+// is idempotent: promoting a node that is already primary returns its
+// current epoch unchanged.
+type PromoteResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// TopologyResponse is one node's view of the replication cluster: its own
+// role and epoch, the primary's address as it knows it (its own advertised
+// address when it IS the primary), its changelog tail, and — on a primary
+// — per-follower replication lag.
+type TopologyResponse struct {
+	Name    string `json:"name"`
+	Role    string `json:"role"`
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary,omitempty"`
+	LogSeq  uint64 `json:"log_seq"`
+	// ProxyUp reports, on a replica, whether the write-forwarding path to
+	// the primary is currently established.
+	ProxyUp   bool               `json:"proxy_up,omitempty"`
+	Followers []FollowerDelivery `json:"followers,omitempty"`
+}
+
+// EpochAnnounceRequest carries proof of a newer epoch to a (presumed
+// stale) node, with the new primary's address so it can re-point. The
+// response returns the receiver's resulting epoch.
+type EpochAnnounceRequest struct {
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary,omitempty"`
+}
+
+// EpochAnnounceResponse returns the receiver's epoch after processing the
+// announcement (it may exceed the announced epoch if the receiver knew of
+// an even newer term).
+type EpochAnnounceResponse struct {
+	Epoch uint64 `json:"epoch"`
 }
 
 // Message kinds served by an LMR (local metadata repository).
@@ -124,23 +194,31 @@ const (
 )
 
 // RegisterDocumentsRequest registers or re-registers documents at an MDP.
+// Epoch, when non-zero, fences the write: an MDP whose epoch differs
+// rejects it rather than applying a write issued against a superseded (or
+// not-yet-learned) view of the cluster. Zero means unfenced (a direct
+// client that does not track epochs). The same field and semantics apply
+// to every write request below.
 type RegisterDocumentsRequest struct {
 	Docs []Doc `json:"docs"`
 	// Replicated marks backbone-internal forwarding; such registrations are
 	// not forwarded again (the backbone is a full mesh).
-	Replicated bool `json:"replicated,omitempty"`
+	Replicated bool   `json:"replicated,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
 // DeleteDocumentRequest deletes a document at an MDP.
 type DeleteDocumentRequest struct {
 	URI        string `json:"uri"`
 	Replicated bool   `json:"replicated,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
 // SubscribeRequest registers a subscription rule.
 type SubscribeRequest struct {
 	Subscriber string `json:"subscriber"`
 	Rule       string `json:"rule"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
 // SubscribeResponse returns the subscription id and the initial cache fill.
@@ -151,7 +229,8 @@ type SubscribeResponse struct {
 
 // UnsubscribeRequest removes a subscription.
 type UnsubscribeRequest struct {
-	SubID int64 `json:"sub_id"`
+	SubID int64  `json:"sub_id"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // BrowseRequest lists resources at an MDP (§2.2's user browsing).
@@ -261,6 +340,9 @@ type DeliveryStatsResponse struct {
 	LogSeq uint64 `json:"log_seq"`
 	// Role is "primary" or "replica" ("" on pre-replication nodes).
 	Role string `json:"role,omitempty"`
+	// Epoch is the node's current replication epoch (0 when epochs are not
+	// in play, e.g. a non-durable provider).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Followers lists connected (and recently connected) follower MDPs
 	// replicating from this node.
 	Followers []FollowerDelivery `json:"followers,omitempty"`
@@ -274,8 +356,9 @@ type MetricsResponse struct {
 
 // NamedRuleRequest registers a named rule usable as an extension.
 type NamedRuleRequest struct {
-	Name string `json:"name"`
-	Rule string `json:"rule"`
+	Name  string `json:"name"`
+	Rule  string `json:"rule"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // QueryRequest evaluates an MDV query at an LMR.

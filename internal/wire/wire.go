@@ -63,15 +63,23 @@ const (
 // echo their own. Either side failing the comparison reports a descriptive
 // RemoteError and refuses the connection, so mixed-version deployments
 // (MDP/LMR/replica) fail loudly at connect instead of mis-decoding frames.
-const ProtocolVersion = 1
+//
+// v2 added epochs: the server's hello echo carries its replication epoch,
+// and replication/write payloads grew epoch fields.
+const ProtocolVersion = 2
 
 // KindHello is the version handshake request, handled below the request
 // handler like the liveness messages.
 const KindHello = "hello"
 
-// helloBody carries one side's protocol version.
+// helloBody carries one side's protocol version and, in the server's
+// echo, its replication epoch (0 when the node has none — a non-durable
+// provider or an LMR). Exposing the epoch at handshake time lets a
+// failover-aware dialer reject a stale ex-primary before sending it
+// anything.
 type helloBody struct {
-	Version int `json:"version"`
+	Version int    `json:"version"`
+	Epoch   uint64 `json:"epoch,omitempty"`
 }
 
 // pingBody carries the sender's send timestamp so the echoed pong yields
@@ -106,6 +114,10 @@ type Config struct {
 	// connect handshake. Zero means the package's ProtocolVersion; tests
 	// use it to simulate a version-skewed peer.
 	ProtocolVersion int
+	// EpochFn, set on servers that participate in replication, supplies
+	// the node's current epoch for the hello echo. Nil announces epoch 0
+	// (no epoch).
+	EpochFn func() uint64
 }
 
 func (c Config) protocolVersion() int {
@@ -380,8 +392,14 @@ func (s *Server) serveConn(c *ServerConn) {
 				resp.Error = fmt.Sprintf(
 					"wire: protocol version mismatch: peer speaks v%d, this node speaks v%d; upgrade the older side before connecting",
 					hb.Version, s.cfg.protocolVersion())
-			} else if body, err := json.Marshal(&helloBody{Version: s.cfg.protocolVersion()}); err == nil {
-				resp.Body = body
+			} else {
+				echo := helloBody{Version: s.cfg.protocolVersion()}
+				if s.cfg.EpochFn != nil {
+					echo.Epoch = s.cfg.EpochFn()
+				}
+				if body, err := json.Marshal(&echo); err == nil {
+					resp.Body = body
+				}
 			}
 			// On mismatch the error response is still delivered; the peer
 			// closes the connection after reading it.
@@ -562,6 +580,9 @@ type Client struct {
 	closeCh  chan struct{}
 	lastRecv atomic.Int64 // unix nanos of the last inbound message
 	rtt      atomic.Int64 // nanos, last request-ping round trip
+	// peerEpoch is the replication epoch the server announced in its hello
+	// echo (0 = none).
+	peerEpoch atomic.Uint64
 	// OnPush handles server-initiated messages. Set before issuing calls
 	// that provoke pushes; safe to leave nil (pushes are dropped).
 	OnPush func(kind string, body json.RawMessage)
@@ -614,8 +635,14 @@ func (c *Client) handshake() error {
 			"wire: protocol version mismatch: peer speaks v%d, this node speaks v%d; upgrade the older side before connecting",
 			resp.Version, c.cfg.protocolVersion())}
 	}
+	c.peerEpoch.Store(resp.Epoch)
 	return nil
 }
+
+// PeerEpoch returns the replication epoch the server announced at
+// handshake time (0 when the server has none). It is a connect-time
+// snapshot, not a live value.
+func (c *Client) PeerEpoch() uint64 { return c.peerEpoch.Load() }
 
 func (c *Client) readLoop() {
 	idle := c.cfg.idleBound()

@@ -229,6 +229,40 @@ func NewMultiDialer(addrs []string, cfg ClientConfig) (*MultiDialer, error) {
 // primary connection to proxy them to.
 var ErrNotPrimary = provider.ErrNotPrimary
 
+// Epoch-fenced failover (DESIGN.md §11): promotions bump a durable
+// replication term; stale-term traffic is fenced, a resurrected old
+// primary self-demotes and repairs its divergent tail, and writes against
+// a primary-less cluster degrade to a typed retryable error.
+type (
+	// TopologyView is one node's view of the cluster: its role and epoch,
+	// the primary it knows, and (on a primary) per-follower stream lag.
+	TopologyView = wire.TopologyResponse
+	// NoPrimaryError is the typed, retryable error writes return while the
+	// cluster has no reachable primary; it carries the last-known topology
+	// so the caller knows where to look next. errors.Is(err, ErrNotPrimary)
+	// still matches it.
+	NoPrimaryError = provider.NoPrimaryError
+	// FencedWriteError rejects a request stamped with a replication term
+	// the receiving node is no longer serving.
+	FencedWriteError = provider.FencedWriteError
+)
+
+// IsNoPrimary reports whether err (local or remote) means the cluster had
+// no reachable primary — retry after the failover completes.
+func IsNoPrimary(err error) bool { return provider.IsNoPrimary(err) }
+
+// IsFenced reports whether err (local or remote) is an epoch-fence
+// rejection: the write was stamped with a dead term and must not be
+// retried against the same history.
+func IsFenced(err error) bool { return provider.IsFenced(err) }
+
+// ProbeForPrimary probes each endpoint and returns the address and
+// topology of the highest-epoch node currently serving as primary ("" and
+// nil when none answers as one).
+func ProbeForPrimary(addrs []string, cfg ClientConfig) (string, *TopologyView) {
+	return replica.ProbeForPrimary(addrs, cfg)
+}
+
 // Batcher queues registrations and flushes them through the filter in
 // batches (size- or delay-triggered), the deployment policy the paper's
 // batch-size experiments inform.
