@@ -1,0 +1,245 @@
+// Fan-out figure (DESIGN.md §12): per-publish delivery cost against
+// subscriber count when interests coalesce. With N subscribers sharing G
+// interest groups, the coalesced path builds G changesets, appends G
+// changelog records, and encodes G wire frames per publish; the ablation
+// (DisableInterestCoalescing) pays all three per subscriber. The figure
+// sweeps 1/10/100 wire-attached subscribers over shared and distinct rule
+// sets and reports publish-path microseconds per document (normalize by the
+// subscriber count for us/doc-per-subscriber) plus bytes on the wire per
+// subscriber per document.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mdv/internal/changelog"
+	"mdv/internal/client"
+	"mdv/internal/core"
+	"mdv/internal/provider"
+	"mdv/internal/rdf"
+	"mdv/internal/workload"
+)
+
+// fanoutMode is one measurement series of the fan-out figure.
+type fanoutMode struct {
+	label string
+	// distinct gives every subscriber its own rule (no coalescible
+	// sharing); otherwise subscribers share min(N, 10) rules round-robin.
+	distinct bool
+	opts     core.Options
+}
+
+// fanoutPayload sizes the strong-closure payload resource every round's
+// upserts carry (paper §2.4: strong-reference closures always travel with
+// the matching resource). The payload is registered once and never changes,
+// so the per-round filter work stays small while every changeset build,
+// changelog record, and wire frame pays the closure's full weight — the
+// costs that scale per subscriber without coalescing and per group with it.
+const fanoutPayload = 64 << 10
+
+// figureFanout measures the publish path — filter run, changeset builds,
+// changelog appends, frame encodes, and fan-out enqueue — per registered
+// document as the number of wire subscribers grows. Documents change every
+// round (a static re-registration publishes nothing), the changelog runs
+// without fsyncs so disk latency is excluded, and each round's deliveries
+// are drained outside the timed section so subscriber-side decode does not
+// pollute the publish-path measurement.
+func figureFanout(div, reps int) {
+	rounds := 10 * reps
+	if div > 1 {
+		rounds = 5 * reps
+	}
+	modes := []fanoutMode{
+		{label: "shared coalesced"},
+		{label: "shared ablation", opts: core.Options{DisableInterestCoalescing: true}},
+		{label: "distinct rules", distinct: true},
+	}
+
+	// Throwaway cell: warms the process (SQL engine, JSON encoder, listener
+	// paths) so the table's first real cell is not cold-start inflated.
+	fanoutCell(1, 1, modes[0])
+
+	fmt.Printf("\nFan-out — interest-group coalesced delivery, PATH rules, %dKiB closure payload, %d rounds (us/doc | bytes/sub/doc)\n",
+		fanoutPayload>>10, rounds)
+	fmt.Printf("%-8s", "subs")
+	for _, m := range modes {
+		fmt.Printf("  %-24s", m.label)
+	}
+	fmt.Println()
+	for _, subs := range []int{1, 10, 100} {
+		fmt.Printf("%-8d", subs)
+		for _, m := range modes {
+			us, bytesPer := fanoutCell(subs, rounds, m)
+			fmt.Printf("  %-10.1f %-12.1f", us, bytesPer)
+			records = append(records,
+				record{Figure: "fanout", Label: m.label, RuleType: "PATH",
+					Rules: fanoutGroups(subs), Batch: subs, UsPerDoc: us, Reps: reps},
+				record{Figure: "fanout", Label: m.label + " bytes/sub/doc", RuleType: "PATH",
+					Rules: fanoutGroups(subs), Batch: subs, UsPerDoc: bytesPer, Reps: reps})
+		}
+		fmt.Println()
+		os.Stdout.Sync()
+	}
+}
+
+// fanoutGroups is the shared-mode interest-group count for N subscribers.
+func fanoutGroups(subs int) int {
+	if subs < 10 {
+		return subs
+	}
+	return 10
+}
+
+// fanoutSchema is the workload schema plus a payload class reached from
+// CycleProvider over a strong reference.
+func fanoutSchema() *rdf.Schema {
+	s := workload.Schema()
+	s.MustAddProperty("CycleProvider", rdf.PropertyDef{
+		Name: "blob", Type: rdf.TypeResource, RefClass: "Payload", RefKind: rdf.StrongRef})
+	s.MustAddProperty("Payload", rdf.PropertyDef{Name: "data", Type: rdf.TypeString})
+	return s
+}
+
+// fanoutBenchDoc is the PATH-workload document i (rule i matches it via
+// serverInformation.memory = i) with a round-stamped serverPort, so every
+// round's registration actually changes the document and publishes, plus a
+// strong reference to the shared payload resource.
+func fanoutBenchDoc(i, round int) *rdf.Document {
+	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
+	host := doc.NewResource("host", "CycleProvider")
+	host.Add("serverHost", rdf.Lit(fmt.Sprintf("host%d.uni-passau.de", i)))
+	host.Add("serverPort", rdf.Lit(fmt.Sprint(1000+round)))
+	host.Add("serverInformation", rdf.Ref(doc.QualifyID("info")))
+	host.Add("blob", rdf.Ref("blob.rdf#data"))
+	info := doc.NewResource("info", "ServerInformation")
+	info.Add("memory", rdf.Lit(fmt.Sprint(i)))
+	info.Add("cpu", rdf.Lit("600"))
+	return doc
+}
+
+// fanoutCell boots a fresh durable MDP, attaches subs wire subscribers, and
+// times the RegisterDocuments publish path over rounds of G-document
+// batches, draining deliveries between rounds. It returns publish-path
+// microseconds per registered document and wire bytes received per
+// subscriber per document.
+func fanoutCell(subs, rounds int, m fanoutMode) (usPerDoc, bytesPerSubDoc float64) {
+	// Cells run back to back in one process; collect the previous cell's
+	// garbage now so its GC debt is not charged to this cell's timed rounds.
+	runtime.GC()
+	groups := fanoutGroups(subs)
+	gen := workload.Generator{Type: workload.PATH, RuleBase: subs}
+
+	dir, err := os.MkdirTemp("", "mdvbench-fanout-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	prov, err := provider.OpenDurable("mdp", fanoutSchema(), filepath.Join(dir, "mdp"),
+		provider.DurableOptions{Sync: changelog.SyncNone, EngineOptions: m.opts})
+	if err != nil {
+		panic(err)
+	}
+	defer prov.Close()
+	// The payload is registered once, before any subscriptions: it matches
+	// no rule, but every round's upserts carry it in their strong closure.
+	blob := rdf.NewDocument("blob.rdf")
+	blob.NewResource("data", "Payload").Add("data", rdf.Lit(strings.Repeat("x", fanoutPayload)))
+	if err := prov.RegisterDocuments([]*rdf.Document{blob}); err != nil {
+		panic(err)
+	}
+	addr, err := prov.Serve("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+
+	// Subscriber j: shared mode uses rule j%G (N/G members per interest
+	// group); distinct mode uses rule j (every group is a singleton, and
+	// only the owners of the G registered documents receive pushes).
+	clients := make([]*client.MDP, subs)
+	applied := make([]atomic.Uint64, subs)
+	expects := make([]int, subs)
+	for j := 0; j < subs; j++ {
+		cli, err := client.DialMDPConfig(addr, client.Config{CallTimeout: 30 * time.Second})
+		if err != nil {
+			panic(err)
+		}
+		defer cli.Close()
+		clients[j] = cli
+		name := fmt.Sprintf("lmr-%d", j)
+		rule := gen.Rule(j % groups)
+		expects[j] = 1
+		if m.distinct {
+			rule = gen.Rule(j)
+			if j >= groups {
+				expects[j] = 0
+			}
+		}
+		j := j
+		if err := cli.Attach(name, func(_ uint64, _ bool, _ *core.Changeset) error {
+			applied[j].Add(1)
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+		if _, _, err := cli.Subscribe(name, rule); err != nil {
+			panic(err)
+		}
+	}
+
+	register := func(round int) time.Duration {
+		docs := make([]*rdf.Document, groups)
+		for i := range docs {
+			docs[i] = fanoutBenchDoc(i, round)
+		}
+		t0 := time.Now()
+		if err := prov.RegisterDocuments(docs); err != nil {
+			panic(err)
+		}
+		return time.Since(t0)
+	}
+	waitApplied := func(target int) {
+		deadline := time.Now().Add(120 * time.Second)
+		for j := range applied {
+			want := uint64(target * expects[j])
+			for applied[j].Load() < want {
+				if time.Now().After(deadline) {
+					panic("mdvbench: fan-out deliveries did not converge")
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+
+	// Warm-up round: initial upserts (cold caches, first-match inserts)
+	// are excluded from the measured steady-state update rounds.
+	register(0)
+	waitApplied(1)
+	var bytesBefore uint64
+	for _, cli := range clients {
+		bytesBefore += cli.BytesRead()
+	}
+
+	var publish time.Duration
+	for r := 1; r <= rounds; r++ {
+		publish += register(r)
+		// Drain outside the timed section: subscriber decode is receiver
+		// cost, not per-publish cost, and on small machines it would
+		// otherwise dominate both series equally and mask the ratio.
+		waitApplied(r + 1)
+	}
+
+	var bytesAfter uint64
+	for _, cli := range clients {
+		bytesAfter += cli.BytesRead()
+	}
+	docs := float64(rounds * groups)
+	usPerDoc = float64(publish.Microseconds()) / docs
+	bytesPerSubDoc = float64(bytesAfter-bytesBefore) / float64(subs) / docs
+	return usPerDoc, bytesPerSubDoc
+}

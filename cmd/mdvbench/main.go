@@ -38,7 +38,7 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "figure to reproduce: 11|12|13|14|15|ablation|baseline|concurrent|pipeline|replicated|all")
+	figFlag   = flag.String("fig", "all", "figure to reproduce: 11|12|13|14|15|ablation|baseline|concurrent|pipeline|replicated|fanout|all")
 	scaleFlag = flag.String("scale", "paper", "rule base scale: paper|small")
 	repsFlag  = flag.Int("reps", 1, "repetitions per measurement (median reported)")
 	batchFlag = flag.String("batches", "1,2,5,10,20,50,100,200,500,1000", "comma-separated batch sizes")
@@ -160,6 +160,9 @@ func main() {
 	}
 	if run("replicated") {
 		figureReplicated(div, *repsFlag)
+	}
+	if run("fanout") {
+		figureFanout(div, *repsFlag)
 	}
 	if *jsonFlag != "" {
 		writeJSON(*jsonFlag)

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mdv/internal/client"
+	"mdv/internal/core"
+	"mdv/internal/lmr"
+	"mdv/internal/provider"
+	"mdv/internal/rdf"
+	"mdv/internal/wire"
+	"mdv/internal/workload"
+)
+
+// fanoutDoc is workload document i with overridable port and memory — the
+// memory value decides which PATH rule (if any) the document matches.
+func fanoutDoc(gen workload.Generator, i, port, memory int) *rdf.Document {
+	doc := gen.Document(i)
+	host, _ := doc.Find(doc.QualifyID("host"))
+	host.Set("serverPort", rdf.Lit(fmt.Sprint(port)))
+	info, _ := doc.Find(doc.QualifyID("info"))
+	info.Set("memory", rdf.Lit(fmt.Sprint(memory)))
+	return doc
+}
+
+// repoDump renders an LMR's full cache state — every resource's canonical
+// fingerprint plus its credit set — for byte-for-byte comparison.
+func repoDump(t *testing.T, node *lmr.Node) string {
+	t.Helper()
+	var b strings.Builder
+	for _, class := range []string{"CycleProvider", "ServerInformation"} {
+		rs, err := node.Repository().Resources(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i].URIRef < rs[j].URIRef })
+		for _, r := range rs {
+			credits, err := node.Repository().CreditsOf(r.URIRef)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(credits, func(i, j int) bool { return credits[i] < credits[j] })
+			fmt.Fprintf(&b, "%s credits=%v %s\n", r.URIRef, credits, r.Fingerprint())
+		}
+	}
+	return b.String()
+}
+
+// runFanoutStack drives one MDP (with the given engine options) and four
+// wire-attached LMRs — two with identical rules, one partially overlapping,
+// one distinct — through upserts, updates, removals, and a delete, waits for
+// convergence, and returns each node's state dump.
+func runFanoutStack(t *testing.T, opts core.Options) map[string]string {
+	t.Helper()
+	schema := workload.Schema()
+	gen := workload.Generator{Type: workload.PATH, RuleBase: 2}
+	prov, err := provider.NewWithOptions("mdp", schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := prov.ServeConfig("127.0.0.1:0", wire.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+
+	cliCfg := client.Config{CallTimeout: 30 * time.Second}
+	rules := map[string][]string{
+		"lmr-a": {gen.Rule(0)},
+		"lmr-b": {gen.Rule(0)},              // identical to lmr-a
+		"lmr-c": {gen.Rule(0), gen.Rule(1)}, // overlaps lmr-a and lmr-d
+		"lmr-d": {gen.Rule(1)},
+	}
+	nodes := map[string]*lmr.Node{}
+	for _, name := range []string{"lmr-a", "lmr-b", "lmr-c", "lmr-d"} {
+		cli, err := client.DialMDPConfig(addr, cliCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		node, err := lmr.New(name, schema, cli)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rule := range rules[name] {
+			if _, err := node.AddSubscription(rule); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes[name] = node
+	}
+
+	writer, err := client.DialMDPConfig(addr, cliCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	// Upserts: doc0 matches rule 0 ({lmr-a,lmr-b,lmr-c} coalesce), doc1
+	// matches rule 1 ({lmr-c is already grouped apart}, lmr-d), docs 2-3
+	// match nothing yet.
+	register := func(docs ...*rdf.Document) {
+		t.Helper()
+		if err := writer.RegisterDocuments(docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	register(fanoutDoc(gen, 0, 80, 0), fanoutDoc(gen, 1, 80, 1),
+		fanoutDoc(gen, 2, 80, 2), fanoutDoc(gen, 3, 80, 3))
+	// Updates: same matches, changed content — republished to the groups.
+	register(fanoutDoc(gen, 0, 81, 0), fanoutDoc(gen, 1, 81, 1))
+	// doc2 joins rule 0, then leaves it: one coalesced upsert group and one
+	// coalesced removal group over {lmr-a, lmr-b, lmr-c}.
+	register(fanoutDoc(gen, 2, 81, 0))
+	register(fanoutDoc(gen, 2, 82, 99))
+	// doc3 joins rule 1 ({lmr-c, lmr-d}), then doc1 is deleted at the
+	// source: forced deletes for the same pair.
+	register(fanoutDoc(gen, 3, 81, 1))
+	if err := writer.DeleteDocument("doc1.rdf"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Final state: doc0 for rule 0, doc3 for rule 1, docs 1-2 gone.
+	want := map[string]map[string]bool{
+		"lmr-a": {"doc0.rdf#host": true, "doc1.rdf#host": false, "doc2.rdf#host": false, "doc3.rdf#host": false},
+		"lmr-b": {"doc0.rdf#host": true, "doc1.rdf#host": false, "doc2.rdf#host": false, "doc3.rdf#host": false},
+		"lmr-c": {"doc0.rdf#host": true, "doc1.rdf#host": false, "doc2.rdf#host": false, "doc3.rdf#host": true},
+		"lmr-d": {"doc0.rdf#host": false, "doc1.rdf#host": false, "doc2.rdf#host": false, "doc3.rdf#host": true},
+	}
+	for name, node := range nodes {
+		node := node
+		wantSet := want[name]
+		waitUntil(t, name+" convergence", func() bool {
+			for uri, present := range wantSet {
+				if node.Repository().Has(uri) != present {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	dumps := map[string]string{}
+	for name, node := range nodes {
+		dumps[name] = repoDump(t, node)
+	}
+	for name, node := range nodes {
+		if err := node.Close(); err != nil {
+			t.Errorf("close %s: %v", name, err)
+		}
+	}
+	return dumps
+}
+
+// TestCoalescedFanoutConvergence proves the tentpole's correctness claim
+// end to end over real wire connections: interest-group coalesced delivery
+// (shared changesets, MemberCredits filtering, encode-once frames) leaves
+// every LMR byte-identical to the per-subscriber ablation path, across
+// identical, partially-overlapping, and distinct rule sets, including
+// removal and forced-delete rounds. Run under -race in CI.
+func TestCoalescedFanoutConvergence(t *testing.T) {
+	coalesced := runFanoutStack(t, core.Options{})
+	ablation := runFanoutStack(t, core.Options{DisableInterestCoalescing: true})
+
+	for _, name := range []string{"lmr-a", "lmr-b", "lmr-c", "lmr-d"} {
+		if coalesced[name] != ablation[name] {
+			t.Errorf("%s state diverged\ncoalesced:\n%s\nablation:\n%s",
+				name, coalesced[name], ablation[name])
+		}
+	}
+	// Members of one interest group converge to identical state (their
+	// credit sets reference the same subscription IDs only if the engine
+	// assigned them identically, so compare a and b structurally).
+	if coalesced["lmr-a"] == "" {
+		t.Error("lmr-a converged to an empty cache; expected doc0 resources")
+	}
+}

@@ -105,6 +105,10 @@ func (c *MDP) Close() error { return c.conn.Close() }
 // Done is closed when the connection terminates.
 func (c *MDP) Done() <-chan struct{} { return c.conn.Done() }
 
+// BytesRead returns the total bytes received on the underlying connection,
+// including frame headers (benchmarks use it to measure wire amplification).
+func (c *MDP) BytesRead() uint64 { return c.conn.BytesRead() }
+
 // PeerEpoch returns the replication term the provider announced in the
 // connect handshake (0 when the server predates epochs or is not durable).
 func (c *MDP) PeerEpoch() uint64 { return c.conn.PeerEpoch() }
@@ -116,13 +120,27 @@ func (c *MDP) PeerEpoch() uint64 { return c.conn.PeerEpoch() }
 func (c *MDP) SetWriteEpoch(epoch uint64) { c.writeEpoch.Store(epoch) }
 
 func (c *MDP) onPush(kind string, body json.RawMessage) {
-	if kind != wire.KindChangeset {
-		return
+	switch kind {
+	case wire.KindChangeset:
+		var push wire.ChangesetPush
+		if err := json.Unmarshal(body, &push); err != nil {
+			return
+		}
+		c.applyPush(&push)
+	case wire.KindChangesetBatch:
+		// Coalesced replay frame: apply each element in order, exactly as
+		// if it had arrived as its own push.
+		var batch wire.ChangesetBatchPush
+		if err := json.Unmarshal(body, &batch); err != nil {
+			return
+		}
+		for i := range batch.Pushes {
+			c.applyPush(&batch.Pushes[i])
+		}
 	}
-	var push wire.ChangesetPush
-	if err := json.Unmarshal(body, &push); err != nil {
-		return
-	}
+}
+
+func (c *MDP) applyPush(push *wire.ChangesetPush) {
 	if push.Changeset == nil {
 		return
 	}

@@ -43,6 +43,11 @@ type Options struct {
 	// (§3.3.4), instead of comparing the typed num_value columns through
 	// their ordered indexes. Ablation of the sub-linear triggering path.
 	DisableTypedIndexes bool
+	// DisableInterestCoalescing builds one changeset per subscriber instead
+	// of one per interest group, with per-group URI caches disabled —
+	// the pre-coalescing per-subscriber delivery path, kept as the
+	// fan-out ablation.
+	DisableInterestCoalescing bool
 }
 
 // Stats counts engine work, exposed for the performance experiments.
@@ -56,6 +61,15 @@ type Stats struct {
 	JoinMatches         int
 	AtomicRulesShared   int // registrations that reused an existing atomic rule
 	AtomicRulesCreated  int
+	// Interest-group coalescing counters: how many delivery groups batches
+	// produced, how many subscriber slots those groups covered, and how
+	// much changeset construction actually ran. ChangesetsBuilt counts one
+	// per group (not per subscriber); UpsertsBuilt counts resource-fetch +
+	// strong-closure walks, deduplicated by the per-batch URI cache.
+	PublishGroups      int
+	GroupedSubscribers int
+	ChangesetsBuilt    int
+	UpsertsBuilt       int
 }
 
 // Engine is the MDV filter engine of one Metadata Provider.

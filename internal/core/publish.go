@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"strings"
 
 	"mdv/internal/rdb"
 	"mdv/internal/rdf"
@@ -12,8 +13,10 @@ import (
 // closure resources that must travel with it (paper §2.4).
 type Upsert struct {
 	Resource *rdf.Resource
-	// SubIDs are the subscriber's subscriptions this resource matches; the
-	// LMR uses them as cache credits for its garbage collector.
+	// SubIDs are the subscriptions this resource matches; the LMR uses them
+	// as cache credits for its garbage collector. On a shared group
+	// changeset this is the union across members — Changeset.MemberCredits
+	// says which of them belong to which member.
 	SubIDs []int64
 	// Closure holds the resources reached from Resource over strong
 	// references, transitively.
@@ -28,7 +31,8 @@ type Removal struct {
 	SubID  int64
 }
 
-// Changeset is what an MDP publishes to one subscriber after a batch.
+// Changeset is what an MDP publishes after a batch — to one subscriber, or
+// to every member of an interest group when their changesets coincide.
 type Changeset struct {
 	Upserts  []Upsert
 	Removals []Removal
@@ -38,6 +42,13 @@ type Changeset struct {
 	// ForcedDeletes are resources deleted at the source; the subscriber
 	// must drop them regardless of credits.
 	ForcedDeletes []string
+	// MemberCredits is set only on changesets shared by a multi-member
+	// interest group: it maps each member subscriber to the subscription
+	// IDs (credits) in this changeset that belong to it. A receiver applies
+	// only its own credits and removal entries. Nil means the changeset was
+	// built for a single receiver, which applies everything (the pre-group
+	// wire format).
+	MemberCredits map[string][]int64 `json:"member_credits,omitempty"`
 }
 
 // Empty reports whether the changeset carries nothing.
@@ -46,22 +57,39 @@ func (c *Changeset) Empty() bool {
 		len(c.ClosureUpserts) == 0 && len(c.ForcedDeletes) == 0
 }
 
-// PublishSet maps subscriber names to their changesets for one batch.
+// PublishGroup is one interest group of a batch: subscribers whose
+// changesets for the batch are identical, sharing a single Changeset.
+type PublishGroup struct {
+	// Members are the group's subscribers, sorted.
+	Members []string
+	// Changeset is shared by every member. MemberCredits is non-nil iff
+	// the group has more than one member.
+	Changeset *Changeset
+}
+
+// PublishSet carries the changesets of one batch, grouped by interest.
+// Changesets indexes the same changesets per subscriber (members of one
+// group alias one *Changeset) for callers that address a single subscriber.
 type PublishSet struct {
 	Changesets map[string]*Changeset
+	// Groups holds the distinct non-empty changesets with their members,
+	// ordered by first member. Nil on hand-constructed sets that fill only
+	// Changesets; GroupList synthesizes single-member groups for those.
+	Groups []PublishGroup
 }
 
 func newPublishSet() *PublishSet {
 	return &PublishSet{Changesets: make(map[string]*Changeset)}
 }
 
-func (p *PublishSet) changesetFor(subscriber string) *Changeset {
-	cs := p.Changesets[subscriber]
-	if cs == nil {
-		cs = &Changeset{}
-		p.Changesets[subscriber] = cs
+// NewSingleSubscriberSet wraps one subscriber's changeset (initial fills,
+// replay paths) as a PublishSet.
+func NewSingleSubscriberSet(subscriber string, cs *Changeset) *PublishSet {
+	ps := &PublishSet{Changesets: map[string]*Changeset{subscriber: cs}}
+	if cs != nil && !cs.Empty() {
+		ps.Groups = []PublishGroup{{Members: []string{subscriber}, Changeset: cs}}
 	}
-	return cs
+	return ps
 }
 
 // Subscribers returns the subscribers with non-empty changesets, sorted.
@@ -76,18 +104,116 @@ func (p *PublishSet) Subscribers() []string {
 	return out
 }
 
+// GroupList returns the batch's delivery groups. Engine-built sets return
+// their computed groups; sets constructed by hand with only the Changesets
+// map get one single-member group per non-empty changeset.
+func (p *PublishSet) GroupList() []PublishGroup {
+	if p.Groups != nil {
+		return p.Groups
+	}
+	subs := p.Subscribers()
+	out := make([]PublishGroup, 0, len(subs))
+	for _, s := range subs {
+		out = append(out, PublishGroup{Members: []string{s}, Changeset: p.Changesets[s]})
+	}
+	return out
+}
+
+// interest is one subscriber's raw match outcome for a batch, collected
+// before any changeset is materialized: URI and subscription-ID sets only.
+// Its signature decides interest-group membership.
+type interest struct {
+	upserts  map[string]map[int64]bool // uri -> subIDs now matching
+	removals map[string]map[int64]bool // uri -> subIDs no longer matching
+	closures map[string]bool           // uris updated behind strong refs
+	forced   map[string]bool           // uris force-deleted at the source
+}
+
+func (in *interest) upsertIDs(uri string) map[int64]bool {
+	ids := in.upserts[uri]
+	if ids == nil {
+		ids = map[int64]bool{}
+		in.upserts[uri] = ids
+	}
+	return ids
+}
+
+func (in *interest) removalIDs(uri string) map[int64]bool {
+	ids := in.removals[uri]
+	if ids == nil {
+		ids = map[int64]bool{}
+		in.removals[uri] = ids
+	}
+	return ids
+}
+
+// signature fingerprints the changeset this interest will produce. Two
+// subscribers with equal signatures receive byte-identical changesets up to
+// credit ownership (per-URI subID sets may differ; the union travels with
+// MemberCredits recording ownership), so they form one interest group.
+func (in *interest) signature() string {
+	var b strings.Builder
+	section := func(uris map[string]bool) {
+		keys := make([]string, 0, len(uris))
+		for u := range uris {
+			keys = append(keys, u)
+		}
+		sort.Strings(keys)
+		for _, u := range keys {
+			b.WriteString(u)
+			b.WriteByte(0x1f)
+		}
+		b.WriteByte(0x1e)
+	}
+	up := make(map[string]bool, len(in.upserts))
+	for u := range in.upserts {
+		up[u] = true
+	}
+	rm := make(map[string]bool, len(in.removals))
+	for u := range in.removals {
+		rm[u] = true
+	}
+	section(up)
+	section(rm)
+	section(in.closures)
+	section(in.forced)
+	return b.String()
+}
+
+// builtUpsert caches the expensive half of an upsert — the resource fetch
+// and its strong-reference closure — shared across every group (and every
+// subscriber) that delivers the URI in this batch.
+type builtUpsert struct {
+	res     *rdf.Resource
+	closure []*rdf.Resource
+}
+
 // buildPublishSet turns the before/after match sets of a registration batch
-// into per-subscriber changesets.
+// into changesets, one per interest group: subscribers whose batch outcome
+// is identical share a single changeset built once (compute-once), with the
+// union of their credits and a MemberCredits ownership map.
 func (e *Engine) buildPublishSet(before, after *matchSet, updated, deleted []*rdf.Resource,
 	holders map[string]map[string]bool) (*PublishSet, error) {
 	ps := newPublishSet()
 
-	// Upserts: after-matches of subscribed end rules.
-	type pendingUpsert struct {
-		subscriber string
-		subIDs     map[int64]bool
+	// Phase 1: collect per-subscriber interests (URI/ID sets only; nothing
+	// expensive is built yet).
+	interests := map[string]*interest{}
+	interestOf := func(subscriber string) *interest {
+		in := interests[subscriber]
+		if in == nil {
+			in = &interest{
+				upserts:  map[string]map[int64]bool{},
+				removals: map[string]map[int64]bool{},
+				closures: map[string]bool{},
+				forced:   map[string]bool{},
+			}
+			interests[subscriber] = in
+		}
+		return in
 	}
-	upserts := map[string]map[string]*pendingUpsert{} // subscriber -> uri -> entry
+
+	// Upserts: after-matches of subscribed end rules.
 	for rule := range after.byRule {
 		subs, err := e.subscribersOf(rule)
 		if err != nil {
@@ -98,35 +224,7 @@ func (e *Engine) buildPublishSet(before, after *matchSet, updated, deleted []*rd
 		}
 		for _, uri := range after.uris(rule) {
 			for _, s := range subs {
-				byURI := upserts[s.subscriber]
-				if byURI == nil {
-					byURI = map[string]*pendingUpsert{}
-					upserts[s.subscriber] = byURI
-				}
-				entry := byURI[uri]
-				if entry == nil {
-					entry = &pendingUpsert{subscriber: s.subscriber, subIDs: map[int64]bool{}}
-					byURI[uri] = entry
-				}
-				entry.subIDs[s.subID] = true
-			}
-		}
-	}
-	for subscriber, byURI := range upserts {
-		cs := ps.changesetFor(subscriber)
-		uris := make([]string, 0, len(byURI))
-		for uri := range byURI {
-			uris = append(uris, uri)
-		}
-		sort.Strings(uris)
-		for _, uri := range uris {
-			entry := byURI[uri]
-			up, err := e.buildUpsert(uri, entry.subIDs)
-			if err != nil {
-				return nil, err
-			}
-			if up != nil {
-				cs.Upserts = append(cs.Upserts, *up)
+				interestOf(s.subscriber).upsertIDs(uri)[s.subID] = true
 			}
 		}
 	}
@@ -150,29 +248,21 @@ func (e *Engine) buildPublishSet(before, after *matchSet, updated, deleted []*rd
 				continue // wrong candidate: it still matches
 			}
 			for _, s := range subs {
-				cs := ps.changesetFor(s.subscriber)
-				cs.Removals = append(cs.Removals, Removal{URIRef: uri, SubID: s.subID})
+				interestOf(s.subscriber).removalIDs(uri)[s.subID] = true
 			}
 		}
 	}
 
 	// Closure updates: an updated resource may be cached by subscribers
-	// only through strong references from rule-matched resources. Walk the
-	// strong-reference graph backwards to find them.
+	// only through strong references from rule-matched resources.
 	for _, r := range updated {
 		for subscriber := range holders[r.URIRef] {
+			in := interestOf(subscriber)
 			// Skip subscribers already receiving the resource as an upsert.
-			if byURI := upserts[subscriber]; byURI != nil && byURI[r.URIRef] != nil {
+			if in.upserts[r.URIRef] != nil {
 				continue
 			}
-			cs := ps.changesetFor(subscriber)
-			cur, ok, err := e.getResourceLocked(r.URIRef)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				cs.ClosureUpserts = append(cs.ClosureUpserts, cur)
-			}
+			in.closures[r.URIRef] = true
 		}
 	}
 
@@ -180,7 +270,6 @@ func (e *Engine) buildPublishSet(before, after *matchSet, updated, deleted []*rd
 	// everywhere. Deliver to subscribers that had any before-match for the
 	// resource or hold it via strong references.
 	for _, r := range deleted {
-		targets := map[string]bool{}
 		for rule := range before.byRule {
 			if !before.has(rule, r.URIRef) {
 				continue
@@ -190,35 +279,185 @@ func (e *Engine) buildPublishSet(before, after *matchSet, updated, deleted []*rd
 				return nil, err
 			}
 			for _, s := range subs {
-				targets[s.subscriber] = true
+				interestOf(s.subscriber).forced[r.URIRef] = true
 			}
 		}
 		for subscriber := range holders[r.URIRef] {
-			targets[subscriber] = true
-		}
-		for subscriber := range targets {
-			cs := ps.changesetFor(subscriber)
-			cs.ForcedDeletes = append(cs.ForcedDeletes, r.URIRef)
+			interestOf(subscriber).forced[r.URIRef] = true
 		}
 	}
 
-	// Deterministic ordering of removal/delete lists.
-	for _, cs := range ps.Changesets {
-		sort.Slice(cs.Removals, func(a, b int) bool {
-			if cs.Removals[a].URIRef != cs.Removals[b].URIRef {
-				return cs.Removals[a].URIRef < cs.Removals[b].URIRef
-			}
-			return cs.Removals[a].SubID < cs.Removals[b].SubID
-		})
-		sort.Strings(cs.ForcedDeletes)
-		sort.Slice(cs.ClosureUpserts, func(a, b int) bool {
-			return cs.ClosureUpserts[a].URIRef < cs.ClosureUpserts[b].URIRef
-		})
+	// Phase 2: group subscribers by interest signature. The ablation
+	// (DisableInterestCoalescing) keys by subscriber name, reproducing the
+	// per-subscriber build path end to end.
+	members := map[string][]string{} // signature -> member subscribers
+	for subscriber, in := range interests {
+		key := in.signature()
+		if e.opts.DisableInterestCoalescing {
+			key = "\x00sub\x00" + subscriber
+		}
+		members[key] = append(members[key], subscriber)
+	}
+	keys := make([]string, 0, len(members))
+	for key := range members {
+		sort.Strings(members[key])
+		keys = append(keys, key)
+	}
+	// Deterministic group order: by first member (each subscriber belongs
+	// to exactly one group, so first members are unique).
+	sort.Slice(keys, func(a, b int) bool { return members[keys[a]][0] < members[keys[b]][0] })
+
+	// Phase 3: build each group's changeset once. The URI-level caches are
+	// shared across groups, so a resource delivered to several groups is
+	// fetched and closure-walked a single time per batch; the ablation gets
+	// fresh caches per group to preserve the old per-subscriber cost.
+	sharedUpserts := map[string]*builtUpsert{}
+	sharedClosures := map[string]*rdf.Resource{}
+	for _, key := range keys {
+		group := members[key]
+		upCache, closCache := sharedUpserts, sharedClosures
+		if e.opts.DisableInterestCoalescing {
+			upCache, closCache = map[string]*builtUpsert{}, map[string]*rdf.Resource{}
+		}
+		cs, err := e.buildGroupChangeset(group, interests, upCache, closCache)
+		if err != nil {
+			return nil, err
+		}
+		e.stats.ChangesetsBuilt++
+		for _, subscriber := range group {
+			ps.Changesets[subscriber] = cs
+		}
+		if !cs.Empty() {
+			ps.Groups = append(ps.Groups, PublishGroup{Members: group, Changeset: cs})
+			e.stats.PublishGroups++
+			e.stats.GroupedSubscribers += len(group)
+		}
 	}
 	return ps, nil
 }
 
-// buildUpsert assembles an upsert with its strong-reference closure.
+// buildGroupChangeset materializes the shared changeset of one interest
+// group. All members have equal URI sets in every section (same signature);
+// per-URI subscription IDs are unioned, with MemberCredits recording which
+// IDs belong to which member when the group has several.
+func (e *Engine) buildGroupChangeset(group []string, interests map[string]*interest,
+	upCache map[string]*builtUpsert, closCache map[string]*rdf.Resource) (*Changeset, error) {
+	cs := &Changeset{}
+	rep := interests[group[0]]
+
+	// Upserts, sorted by URI.
+	uris := make([]string, 0, len(rep.upserts))
+	for uri := range rep.upserts {
+		uris = append(uris, uri)
+	}
+	sort.Strings(uris)
+	for _, uri := range uris {
+		base := upCache[uri]
+		if base == nil {
+			res, ok, err := e.getResourceLocked(uri)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				// Raced with deletion inside the batch; remember the miss
+				// so other groups skip the fetch too.
+				upCache[uri] = &builtUpsert{}
+				continue
+			}
+			closure, err := e.strongClosure(res)
+			if err != nil {
+				return nil, err
+			}
+			base = &builtUpsert{res: res, closure: closure}
+			upCache[uri] = base
+			e.stats.UpsertsBuilt++
+		}
+		if base.res == nil {
+			continue // cached deletion race
+		}
+		ids := map[int64]bool{}
+		for _, subscriber := range group {
+			for id := range interests[subscriber].upserts[uri] {
+				ids[id] = true
+			}
+		}
+		cs.Upserts = append(cs.Upserts, Upsert{
+			Resource: base.res, SubIDs: sortedIDs(ids), Closure: base.closure})
+	}
+
+	// Removals: union of the members' (uri, subID) pairs.
+	pairs := map[Removal]bool{}
+	for _, subscriber := range group {
+		for uri, ids := range interests[subscriber].removals {
+			for id := range ids {
+				pairs[Removal{URIRef: uri, SubID: id}] = true
+			}
+		}
+	}
+	for pair := range pairs {
+		cs.Removals = append(cs.Removals, pair)
+	}
+	sort.Slice(cs.Removals, func(a, b int) bool {
+		if cs.Removals[a].URIRef != cs.Removals[b].URIRef {
+			return cs.Removals[a].URIRef < cs.Removals[b].URIRef
+		}
+		return cs.Removals[a].SubID < cs.Removals[b].SubID
+	})
+
+	// Closure updates, sorted by URI.
+	curis := make([]string, 0, len(rep.closures))
+	for uri := range rep.closures {
+		curis = append(curis, uri)
+	}
+	sort.Strings(curis)
+	for _, uri := range curis {
+		cur, cached := closCache[uri]
+		if !cached {
+			res, ok, err := e.getResourceLocked(uri)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cur = res
+			}
+			closCache[uri] = cur
+		}
+		if cur != nil {
+			cs.ClosureUpserts = append(cs.ClosureUpserts, cur)
+		}
+	}
+
+	// Forced deletes, sorted.
+	for uri := range rep.forced {
+		cs.ForcedDeletes = append(cs.ForcedDeletes, uri)
+	}
+	sort.Strings(cs.ForcedDeletes)
+
+	// Credit ownership for shared changesets.
+	if len(group) > 1 && !cs.Empty() {
+		cs.MemberCredits = make(map[string][]int64, len(group))
+		for _, subscriber := range group {
+			in := interests[subscriber]
+			owned := map[int64]bool{}
+			for _, ids := range in.upserts {
+				for id := range ids {
+					owned[id] = true
+				}
+			}
+			for _, ids := range in.removals {
+				for id := range ids {
+					owned[id] = true
+				}
+			}
+			cs.MemberCredits[subscriber] = sortedIDs(owned)
+		}
+	}
+	return cs, nil
+}
+
+// buildUpsert assembles a standalone upsert with its strong-reference
+// closure (initial fills and resubscribe fills; the batch path goes through
+// buildGroupChangeset's caches instead).
 func (e *Engine) buildUpsert(uri string, subIDs map[int64]bool) (*Upsert, error) {
 	res, ok, err := e.getResourceLocked(uri)
 	if err != nil {
@@ -227,16 +466,20 @@ func (e *Engine) buildUpsert(uri string, subIDs map[int64]bool) (*Upsert, error)
 	if !ok {
 		return nil, nil // raced with deletion inside the batch
 	}
-	ids := make([]int64, 0, len(subIDs))
-	for id := range subIDs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	closure, err := e.strongClosure(res)
 	if err != nil {
 		return nil, err
 	}
-	return &Upsert{Resource: res, SubIDs: ids, Closure: closure}, nil
+	return &Upsert{Resource: res, SubIDs: sortedIDs(subIDs), Closure: closure}, nil
+}
+
+func sortedIDs(ids map[int64]bool) []int64 {
+	out := make([]int64, 0, len(ids))
+	for id := range ids {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // strongClosure returns the resources reachable from res over strong

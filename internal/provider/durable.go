@@ -59,8 +59,13 @@ const (
 	recUnsubscribe = "unsubscribe"
 	recNamedRule   = "named_rule"
 	recPub         = "pub"
-	recAck         = "ack"
-	recWatermark   = "watermark"
+	// recPubGroup is a publish record shared by an interest group: one
+	// changeset, one sequence, several member subscribers. Single-member
+	// groups keep writing recPub, so logs produced with coalescing enabled
+	// remain readable by the per-subscriber replay path and vice versa.
+	recPubGroup  = "pub_group"
+	recAck       = "ack"
+	recWatermark = "watermark"
 	// recEpoch marks an epoch bump: a promotion appends it as the first
 	// record of the new term, so the term change is durable, totally ordered
 	// with the writes it fences, and replicates to followers verbatim.
@@ -73,11 +78,14 @@ type logRecord struct {
 	Docs       []wire.Doc `json:"docs,omitempty"`       // register
 	URI        string     `json:"uri,omitempty"`        // delete
 	Subscriber string     `json:"subscriber,omitempty"` // subscribe, pub, ack
-	Rule       string     `json:"rule,omitempty"`       // subscribe, named_rule
-	Name       string     `json:"name,omitempty"`       // named_rule
-	SubID      int64      `json:"sub_id,omitempty"`     // unsubscribe
-	AckSeq     uint64     `json:"ack_seq,omitempty"`    // ack
-	Watermark  uint64     `json:"watermark,omitempty"`  // watermark
+	// Subscribers lists an interest group's members on pub_group records;
+	// every member's cursor advances over the record's single sequence.
+	Subscribers []string `json:"subscribers,omitempty"` // pub_group
+	Rule        string   `json:"rule,omitempty"`        // subscribe, named_rule
+	Name        string   `json:"name,omitempty"`        // named_rule
+	SubID       int64    `json:"sub_id,omitempty"`      // unsubscribe
+	AckSeq      uint64   `json:"ack_seq,omitempty"`     // ack
+	Watermark   uint64   `json:"watermark,omitempty"`   // watermark
 	// Lost carries the crash-lost sequence ranges (inclusive) on watermark
 	// records, so a second crash cannot forget that a range's pushes were
 	// delivered but their records died. Consolidated records (written by
@@ -143,6 +151,21 @@ func (d *durableState) addLost(lo, hi uint64) {
 	d.lost = append(d.lost, [2]uint64{lo, hi})
 }
 
+// replayBatchLimit bounds how many replayed changesets coalesce into one
+// batched push: enough to amortize frame and queue overhead, small enough
+// to keep each frame far from MaxMessageSize and the receiver's apply
+// granularity fine.
+const replayBatchLimit = 128
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
 // watermarkChunk is how far past the triggering sequence a delivered-
 // watermark record claims. Claiming ahead amortizes the watermark's fsync
 // to one per chunk of sequence numbers; the cost is up to a chunk of
@@ -170,6 +193,10 @@ type DurableOptions struct {
 	// to a full-state reset (an LMR can be ahead of a freshly restarted
 	// replica that has not caught up yet). Zero means 10s.
 	CatchupWait time.Duration
+	// EngineOptions configure the filter engine when the provider opens
+	// without a snapshot (benchmarks use DisableInterestCoalescing for the
+	// fan-out ablation). A snapshot-restored engine keeps default options.
+	EngineOptions core.Options
 }
 
 // defaultGroupWindow is the fsync commit window under load. At ~2ms a
@@ -229,7 +256,7 @@ func OpenDurableWithStats(name string, schema *rdf.Schema, dir string, opts Dura
 	}
 	if engine == nil {
 		var err error
-		engine, err = core.NewEngine(schema)
+		engine, err = core.NewEngineWithOptions(schema, opts.EngineOptions)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -296,9 +323,14 @@ func (p *Provider) logOpLocked(rec *logRecord) (uint64, error) {
 	return p.dur.log.Append(payload)
 }
 
-// appendPubLocked appends one publish record; caller holds pubMu.
-func (p *Provider) appendPubLocked(subscriber string, cs *core.Changeset) (uint64, error) {
-	return p.logOpLocked(&logRecord{Kind: recPub, Subscriber: subscriber, Changeset: cs})
+// appendPubLocked appends one publish record for an interest group; caller
+// holds pubMu. Single-member groups write the legacy per-subscriber record
+// kind, so an uncoalesced log is byte-compatible with pre-group builds.
+func (p *Provider) appendPubLocked(members []string, cs *core.Changeset) (uint64, error) {
+	if len(members) == 1 {
+		return p.logOpLocked(&logRecord{Kind: recPub, Subscriber: members[0], Changeset: cs})
+	}
+	return p.logOpLocked(&logRecord{Kind: recPubGroup, Subscribers: members, Changeset: cs})
 }
 
 // claimDeliveredLocked makes the durable delivered-watermark cover seq;
@@ -484,8 +516,8 @@ func (p *Provider) recover(stats *RecoveryStats) error {
 		}
 		stats.Replayed++
 		if ps != nil {
-			for _, subscriber := range ps.Subscribers() {
-				if _, err := p.appendPubLocked(subscriber, ps.Changesets[subscriber]); err != nil {
+			for _, g := range ps.GroupList() {
+				if _, err := p.appendPubLocked(g.Members, g.Changeset); err != nil {
 					return err
 				}
 			}
@@ -513,7 +545,7 @@ func (p *Provider) replayOp(rec *logRecord) (*core.PublishSet, error) {
 		if initial == nil || initial.Empty() {
 			return nil, nil
 		}
-		return &core.PublishSet{Changesets: map[string]*core.Changeset{rec.Subscriber: initial}}, nil
+		return core.NewSingleSubscriberSet(rec.Subscriber, initial), nil
 	case recUnsubscribe:
 		return nil, p.Engine().Unsubscribe(rec.SubID)
 	case recNamedRule:
@@ -609,26 +641,52 @@ func (p *Provider) Resume(subscriber string, fromSeq uint64) (uint64, error) {
 			p.pubMu.Unlock()
 			return 0, err
 		}
-		dels = append(dels, delivery{subscriber: subscriber, seq: latest, reset: true, cs: fill, sync: true})
+		dels = append(dels, delivery{subs: []string{subscriber}, seq: latest, reset: true, cs: fill, sync: true})
 	} else {
+		// Consecutive replay records for the cursor coalesce into batched
+		// pushes (bounded by replayBatchLimit), so a long catch-up pays one
+		// frame and one queue slot per batch instead of per record.
+		var batch []wire.ChangesetPush
+		flush := func() {
+			switch len(batch) {
+			case 0:
+			case 1:
+				dels = append(dels, delivery{subs: []string{subscriber},
+					seq: batch[0].Seq, cs: batch[0].Changeset, sync: true})
+				batch = nil
+			default:
+				dels = append(dels, delivery{subs: []string{subscriber},
+					seq: batch[len(batch)-1].Seq, batch: batch, sync: true})
+				p.replayCoalescedRecords.Add(uint64(len(batch)))
+				p.replayCoalescedBatches.Add(1)
+				batch = nil
+			}
+		}
 		err := p.dur.log.Replay(fromSeq+1, func(seq uint64, payload []byte) error {
 			var rec logRecord
 			if err := json.Unmarshal(payload, &rec); err != nil {
 				return fmt.Errorf("provider: changelog record %d: %w", seq, err)
 			}
-			if rec.Kind != recPub || rec.Subscriber != subscriber || rec.Changeset == nil {
+			mine := rec.Changeset != nil &&
+				(rec.Kind == recPub && rec.Subscriber == subscriber ||
+					rec.Kind == recPubGroup && containsString(rec.Subscribers, subscriber))
+			if !mine {
 				return nil
 			}
 			// Replays block on queue backpressure (sync) rather than drop:
 			// the backlog can exceed any queue bound, and the resuming
 			// subscriber is actively draining it.
-			dels = append(dels, delivery{subscriber: subscriber, seq: seq, cs: rec.Changeset, sync: true})
+			batch = append(batch, wire.ChangesetPush{Seq: seq, Changeset: rec.Changeset})
+			if len(batch) >= replayBatchLimit {
+				flush()
+			}
 			return nil
 		})
 		if err != nil {
 			p.pubMu.Unlock()
 			return 0, err
 		}
+		flush()
 	}
 	t := p.turn.ticket()
 	p.pubMu.Unlock()

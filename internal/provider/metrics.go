@@ -17,7 +17,14 @@ type provMetrics struct {
 	// snapshotShip times serving one bootstrap snapshot to a follower
 	// (serialize under the publish lock + chunked wire transfer).
 	snapshotShip *metrics.Histogram
+	// groupsPerPublish is the distinct-interest-group count per publish —
+	// the number the coalesced delivery path's cost actually scales with.
+	groupsPerPublish *metrics.Histogram
 }
+
+// groupCountBuckets bound the groups-per-publish histogram (counts, not
+// seconds).
+var groupCountBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 250, 1000}
 
 // EnableMetrics attaches the provider and everything below it — engine,
 // SQL database, and (when durable) the changelog — to the registry, and
@@ -35,6 +42,9 @@ func (p *Provider) EnableMetrics(reg *metrics.Registry) {
 		snapshotShip: reg.Histogram("mdv_replication_snapshot_ship_seconds",
 			"time to serve one bootstrap snapshot to a follower",
 			metrics.TimeBuckets),
+		groupsPerPublish: reg.Histogram("mdv_delivery_groups_per_publish",
+			"distinct interest groups (changelog records, changeset builds, wire encodes) per publish",
+			groupCountBuckets),
 	}
 	p.met.Store(m)
 	p.reg.Store(reg)
@@ -101,6 +111,15 @@ func (p *Provider) EnableMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("mdv_fenced_writes_total",
 		"requests rejected by the epoch fence (stale or future term stamps)",
 		func() float64 { return float64(p.fencedWrites.Load()) })
+	reg.GaugeFunc("mdv_delivery_encode_once_bytes_saved_total",
+		"wire bytes the encode-once group fan-out avoided re-marshaling (frame length x extra member connections)",
+		func() float64 { return float64(p.encodeSavedBytes.Load()) })
+	reg.GaugeFunc("mdv_resume_coalesced_records_total",
+		"resume replay records folded into batched changeset pushes",
+		func() float64 { return float64(p.replayCoalescedRecords.Load()) })
+	reg.GaugeFunc("mdv_resume_coalesced_batches_total",
+		"batched changeset pushes emitted by resume replays",
+		func() float64 { return float64(p.replayCoalescedBatches.Load()) })
 	fol := func(name string) []metrics.Label {
 		return []metrics.Label{metrics.L("follower", name)}
 	}

@@ -127,6 +127,15 @@ type Provider struct {
 	// share it.
 	pubPending atomic.Int32
 
+	// encodeSavedBytes counts the wire bytes the encode-once fan-out
+	// avoided re-marshaling: frame length times (member connections - 1),
+	// summed over group deliveries.
+	encodeSavedBytes atomic.Uint64
+	// replayCoalescedRecords/Batches count resume replay records folded
+	// into batched pushes and the batches emitted.
+	replayCoalescedRecords atomic.Uint64
+	replayCoalescedBatches atomic.Uint64
+
 	// met/reg hold the opt-in observability hooks (see EnableMetrics);
 	// nil until enabled.
 	met atomic.Pointer[provMetrics]
@@ -186,16 +195,22 @@ func (t *deliveryTurnstile) done() {
 }
 
 // delivery is one changeset delivery collected under pubMu and performed
-// by the delivery stage.
+// by the delivery stage: one changeset (or one coalesced replay batch)
+// addressed to every member of an interest group.
 type delivery struct {
-	subscriber string
-	seq        uint64
-	reset      bool
-	cs         *core.Changeset
-	sync       bool
+	// subs are the receiving subscribers — one interest group. Group
+	// members share the changeset and its sequence.
+	subs  []string
+	seq   uint64
+	reset bool
+	cs    *core.Changeset
+	sync  bool
 	// pubNano is the publish-time wall clock carried on live pushes for the
 	// receiver's end-to-end propagation-lag histogram; 0 on resume replays.
 	pubNano int64
+	// batch, when non-nil, carries coalesced replay pushes in ascending
+	// sequence order instead of cs; seq is the last element's sequence.
+	batch []wire.ChangesetPush
 }
 
 // deliverInTurn waits for the operation's turn at the delivery stage,
@@ -353,14 +368,17 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, []delivery, error
 	var maxSeq uint64
 	var dels []delivery
 	pubNano := time.Now().UnixNano()
-	// Deterministic subscriber order keeps publish records replayable in a
-	// stable order across recovery runs.
-	for _, subscriber := range ps.Subscribers() {
-		cs := ps.Changesets[subscriber]
+	// One record, one sequence, one delivery per interest group — the
+	// lock-held append cost and the fsynced bytes scale with distinct
+	// groups, not subscribers. Group order is deterministic (sorted by
+	// first member), so publish records replay in a stable order across
+	// recovery runs.
+	groups := ps.GroupList()
+	for _, g := range groups {
 		var seq uint64
 		if p.dur != nil {
 			var err error
-			seq, err = p.appendPubLocked(subscriber, cs)
+			seq, err = p.appendPubLocked(g.Members, g.Changeset)
 			if err != nil {
 				return maxSeq, dels, err
 			}
@@ -372,7 +390,10 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, []delivery, error
 				return maxSeq, dels, err
 			}
 		}
-		dels = append(dels, delivery{subscriber: subscriber, seq: seq, cs: cs, pubNano: pubNano})
+		dels = append(dels, delivery{subs: g.Members, seq: seq, cs: g.Changeset, pubNano: pubNano})
+	}
+	if m := p.met.Load(); m != nil && len(groups) > 0 {
+		m.groupsPerPublish.Observe(float64(len(groups)))
 	}
 	return maxSeq, dels, nil
 }
@@ -389,44 +410,106 @@ func (p *Provider) publishLocked(ps *core.PublishSet) (uint64, []delivery, error
 // replays, which can exceed any queue bound while the receiver is actively
 // draining) the enqueue blocks instead.
 func (p *Provider) deliver(d delivery) {
-	subscriber := d.subscriber
+	type fnTarget struct {
+		subscriber string
+		fn         ApplyFunc
+	}
+	type connTarget struct {
+		subscriber string
+		conn       *wire.ServerConn
+	}
+	var fns []fnTarget
+	var conns []connTarget
 	p.mu.Lock()
-	fns := append([]ApplyFunc(nil), p.attached[subscriber]...)
-	conns := append([]*wire.ServerConn(nil), p.wireAttach[subscriber]...)
-	counters := p.countersLocked(subscriber)
-	if d.seq > counters.lastSeq {
-		counters.lastSeq = d.seq
+	for _, subscriber := range d.subs {
+		for _, fn := range p.attached[subscriber] {
+			fns = append(fns, fnTarget{subscriber, fn})
+		}
+		for _, c := range p.wireAttach[subscriber] {
+			conns = append(conns, connTarget{subscriber, c})
+		}
+		counters := p.countersLocked(subscriber)
+		if d.seq > counters.lastSeq {
+			counters.lastSeq = d.seq
+		}
 	}
 	p.mu.Unlock()
-	report := func(err error) {
+	report := func(subscriber string, err error) {
 		if err != nil && p.OnDeliveryError != nil {
 			p.OnDeliveryError(subscriber, err)
 		}
 	}
-	for _, fn := range fns {
-		report(fn(d.seq, d.reset, d.cs))
+	for _, t := range fns {
+		if d.batch != nil {
+			for i := range d.batch {
+				b := &d.batch[i]
+				report(t.subscriber, t.fn(b.Seq, b.Reset, b.Changeset))
+			}
+		} else {
+			report(t.subscriber, t.fn(d.seq, d.reset, d.cs))
+		}
 	}
-	push := &wire.ChangesetPush{Seq: d.seq, Reset: d.reset, Changeset: d.cs, PubUnixNano: d.pubNano}
-	for _, c := range conns {
+	if len(conns) == 0 {
+		return
+	}
+	// Encode the push frame once; every member connection enqueues the
+	// same buffer (the group shares one sequence, so frames need no
+	// per-member stamping).
+	kind := wire.KindChangeset
+	var body interface{} = &wire.ChangesetPush{Seq: d.seq, Reset: d.reset, Changeset: d.cs, PubUnixNano: d.pubNano}
+	if d.batch != nil {
+		kind = wire.KindChangesetBatch
+		body = &wire.ChangesetBatchPush{Pushes: d.batch}
+	}
+	payload, err := json.Marshal(body)
+	var frame []byte
+	if err == nil {
+		frame, err = wire.EncodeMessage(&wire.Message{ID: 0, Kind: kind, Body: payload})
+	}
+	if err != nil {
+		for _, t := range conns {
+			report(t.subscriber, err)
+		}
+		return
+	}
+	if len(conns) > 1 {
+		p.encodeSavedBytes.Add(uint64(len(frame)) * uint64(len(conns)-1))
+	}
+	// Changesets handed to a queue per push: batches count each element.
+	perPush := uint64(1)
+	if d.batch != nil {
+		perPush = uint64(len(d.batch))
+	}
+	// Counter updates accumulate locally and land under ONE p.mu
+	// acquisition, instead of re-locking per connection.
+	enqueued := map[string]uint64{}
+	dropped := map[string]uint64{}
+	for _, t := range conns {
 		var err error
 		if d.sync {
-			err = c.NotifySync(wire.KindChangeset, push)
+			err = t.conn.NotifySyncEncoded(frame)
 		} else {
-			err = c.Notify(wire.KindChangeset, push)
+			err = t.conn.NotifyEncoded(frame)
 		}
 		if err != nil {
-			p.detachConn(subscriber, c)
-			p.mu.Lock()
+			p.detachConn(t.subscriber, t.conn)
 			if errors.Is(err, wire.ErrSlowSubscriber) {
-				counters.dropped++
+				dropped[t.subscriber] += perPush
 			}
-			p.mu.Unlock()
 		} else {
-			p.mu.Lock()
-			counters.enqueued++
-			p.mu.Unlock()
+			enqueued[t.subscriber] += perPush
 		}
-		report(err)
+		report(t.subscriber, err)
+	}
+	if len(enqueued) > 0 || len(dropped) > 0 {
+		p.mu.Lock()
+		for subscriber, n := range enqueued {
+			p.countersLocked(subscriber).enqueued += n
+		}
+		for subscriber, n := range dropped {
+			p.countersLocked(subscriber).dropped += n
+		}
+		p.mu.Unlock()
 	}
 }
 
@@ -588,7 +671,7 @@ func (p *Provider) Subscribe(subscriber, rule string) (int64, *core.Changeset, e
 	}
 	var dels []delivery
 	if initial != nil && !initial.Empty() {
-		ps := &core.PublishSet{Changesets: map[string]*core.Changeset{subscriber: initial}}
+		ps := core.NewSingleSubscriberSet(subscriber, initial)
 		var pubSeq uint64
 		var pubErr error
 		pubSeq, dels, pubErr = p.publishLocked(ps)

@@ -342,7 +342,11 @@ func (p *Provider) ApplyReplicated(seq uint64, payload []byte, sentNano int64) e
 		p.replayOp(&rec)
 	case recPub:
 		if rec.Changeset != nil {
-			dels = append(dels, delivery{subscriber: rec.Subscriber, seq: seq, cs: rec.Changeset, pubNano: sentNano})
+			dels = append(dels, delivery{subs: []string{rec.Subscriber}, seq: seq, cs: rec.Changeset, pubNano: sentNano})
+		}
+	case recPubGroup:
+		if rec.Changeset != nil {
+			dels = append(dels, delivery{subs: rec.Subscribers, seq: seq, cs: rec.Changeset, pubNano: sentNano})
 		}
 	case recAck:
 		p.mu.Lock()
@@ -441,7 +445,7 @@ func (p *Provider) InstallSnapshot(data []byte) (uint64, error) {
 			p.unlockPub()
 			return 0, err
 		}
-		dels = append(dels, delivery{subscriber: name, seq: snapSeq, reset: true, cs: fill, sync: true})
+		dels = append(dels, delivery{subs: []string{name}, seq: snapSeq, reset: true, cs: fill, sync: true})
 	}
 	p.unlockPubAndDeliver(dels)
 	return snapSeq, nil

@@ -350,7 +350,28 @@ func (r *Repository) resetGlobalLocked() error {
 }
 
 func (r *Repository) applyLocked(cs *core.Changeset) error {
+	// A changeset shared by an interest group carries the union of the
+	// members' credits; MemberCredits says which belong to this repository.
+	// Claiming foreign credits would wrongly pin resources against the
+	// garbage collector, so upsert credits are intersected with the owned
+	// set (nil MemberCredits = single-receiver changeset, apply everything).
+	var owned map[int64]bool
+	if cs.MemberCredits != nil {
+		owned = map[int64]bool{}
+		for _, id := range cs.MemberCredits[r.name] {
+			owned[id] = true
+		}
+	}
 	for _, up := range cs.Upserts {
+		if owned != nil {
+			mine := make([]int64, 0, len(up.SubIDs))
+			for _, id := range up.SubIDs {
+				if owned[id] {
+					mine = append(mine, id)
+				}
+			}
+			up.SubIDs = mine
+		}
 		if err := r.applyUpsert(up); err != nil {
 			return err
 		}
@@ -366,6 +387,9 @@ func (r *Repository) applyLocked(cs *core.Changeset) error {
 		}
 	}
 	for _, rm := range cs.Removals {
+		if owned != nil && !owned[rm.SubID] {
+			continue // another member's credit (would be a no-op anyway)
+		}
 		if _, err := r.prep.delCredit.Exec(rdb.NewText(rm.URIRef), rdb.NewInt(rm.SubID)); err != nil {
 			return err
 		}

@@ -36,6 +36,10 @@ const (
 	KindMetrics = "metrics"
 	// KindChangeset is the push an MDP sends to attached subscribers.
 	KindChangeset = "changeset"
+	// KindChangesetBatch is a push carrying several coalesced changesets
+	// in publish order (resume replays for lagging cursors amortize frame
+	// and queue overhead this way).
+	KindChangesetBatch = "changeset_batch"
 	// KindResume asks a durable MDP to replay the changesets published
 	// since the subscriber's acknowledged sequence number.
 	KindResume = "resume"
@@ -271,6 +275,14 @@ type ChangesetPush struct {
 	// propagation-lag histogram; skew between the two clocks is the
 	// measurement's error bar.
 	PubUnixNano int64 `json:"pub_unix_nano,omitempty"`
+}
+
+// ChangesetBatchPush is the body of a KindChangesetBatch push: consecutive
+// changesets coalesced into one frame, ordered by ascending Seq. The
+// receiver applies them exactly as if each had arrived as its own
+// KindChangeset push.
+type ChangesetBatchPush struct {
+	Pushes []ChangesetPush `json:"pushes"`
 }
 
 // ResumeRequest asks for a replay of publishes missed since FromSeq.

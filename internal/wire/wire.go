@@ -27,6 +27,7 @@
 package wire
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -66,7 +67,11 @@ const (
 //
 // v2 added epochs: the server's hello echo carries its replication epoch,
 // and replication/write payloads grew epoch fields.
-const ProtocolVersion = 2
+//
+// v3 added interest-group coalesced delivery: changeset pushes may carry a
+// member_credits ownership map, and resume replays may arrive as
+// changeset_batch pushes.
+const ProtocolVersion = 3
 
 // KindHello is the version handshake request, handled below the request
 // handler like the liveness messages.
@@ -155,7 +160,14 @@ type Message struct {
 	Body  json.RawMessage `json:"body,omitempty"`
 }
 
-// WriteMessage frames and writes one message.
+// encBufPool recycles the frame-assembly buffers of WriteMessage. Writer
+// goroutines frame thousands of messages per second; pooling keeps the
+// header+payload copy from allocating per message.
+var encBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// WriteMessage frames and writes one message. The header and payload are
+// assembled in a pooled buffer and hit the writer with a single Write, so a
+// net.Conn pays one syscall per message instead of two.
 func WriteMessage(w io.Writer, m *Message) error {
 	payload, err := json.Marshal(m)
 	if err != nil {
@@ -164,13 +176,33 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if len(payload) > MaxMessageSize {
 		return fmt.Errorf("wire: message of %d bytes exceeds limit", len(payload))
 	}
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	_, err = w.Write(buf.Bytes())
+	encBufPool.Put(buf)
 	return err
+}
+
+// EncodeMessage marshals and frames a message into a standalone byte slice
+// that can be written verbatim to any connection. Group fan-out uses it to
+// pay the JSON encoding once and enqueue the same frame on every member
+// connection (WriteRaw / NotifyEncoded).
+func EncodeMessage(m *Message) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxMessageSize {
+		return nil, fmt.Errorf("wire: message of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+	return frame, nil
 }
 
 // ReadMessage reads one framed message.
@@ -432,7 +464,7 @@ func (s *Server) serveConn(c *ServerConn) {
 type ServerConn struct {
 	nc        net.Conn
 	server    *Server
-	sendCh    chan *Message
+	sendCh    chan outbound
 	closed    chan struct{}
 	closeOnce sync.Once
 	enqueued  atomic.Uint64
@@ -442,11 +474,18 @@ type ServerConn struct {
 	Tag atomic.Value
 }
 
+// outbound is one queued write: either a message to frame on the writer
+// goroutine, or a pre-encoded frame written verbatim (encode-once fan-out).
+type outbound struct {
+	msg   *Message
+	frame []byte
+}
+
 func newServerConn(nc net.Conn, s *Server) *ServerConn {
 	c := &ServerConn{
 		nc:     nc,
 		server: s,
-		sendCh: make(chan *Message, s.cfg.sendQueue()),
+		sendCh: make(chan outbound, s.cfg.sendQueue()),
 		closed: make(chan struct{}),
 	}
 	c.lastRecv.Store(time.Now().UnixNano())
@@ -466,8 +505,14 @@ func (c *ServerConn) writeLoop(wg *sync.WaitGroup) {
 	}
 	for {
 		select {
-		case m := <-c.sendCh:
-			if err := c.writeNow(m); err != nil {
+		case o := <-c.sendCh:
+			var err error
+			if o.frame != nil {
+				err = c.writeFrame(o.frame)
+			} else {
+				err = c.writeNow(o.msg)
+			}
+			if err != nil {
 				c.Close()
 				return
 			}
@@ -490,13 +535,26 @@ func (c *ServerConn) writeNow(m *Message) error {
 	return WriteMessage(c.nc, m)
 }
 
+// writeFrame writes a pre-encoded frame verbatim under the write deadline.
+func (c *ServerConn) writeFrame(frame []byte) error {
+	if wt := c.server.cfg.WriteTimeout; wt > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, err := c.nc.Write(frame)
+	return err
+}
+
 // send enqueues a message, blocking until there is queue space or the
 // connection closes. Responses use it: request processing is serial per
 // connection, so the wait is bounded by the writer's own deadline-guarded
 // progress.
 func (c *ServerConn) send(m *Message) error {
+	return c.enqueue(outbound{msg: m})
+}
+
+func (c *ServerConn) enqueue(o outbound) error {
 	select {
-	case c.sendCh <- m:
+	case c.sendCh <- o:
 		c.enqueued.Add(1)
 		return nil
 	case <-c.closed:
@@ -513,9 +571,19 @@ func (c *ServerConn) Notify(kind string, body interface{}) error {
 	if err != nil {
 		return err
 	}
-	m := &Message{ID: 0, Kind: kind, Body: payload}
+	return c.notify(outbound{msg: &Message{ID: 0, Kind: kind, Body: payload}})
+}
+
+// NotifyEncoded is Notify for a frame already produced by EncodeMessage:
+// the same slice can be enqueued on any number of connections without
+// re-marshaling. The caller must not mutate the frame afterwards.
+func (c *ServerConn) NotifyEncoded(frame []byte) error {
+	return c.notify(outbound{frame: frame})
+}
+
+func (c *ServerConn) notify(o outbound) error {
 	select {
-	case c.sendCh <- m:
+	case c.sendCh <- o:
 		c.enqueued.Add(1)
 		return nil
 	case <-c.closed:
@@ -537,6 +605,11 @@ func (c *ServerConn) NotifySync(kind string, body interface{}) error {
 		return err
 	}
 	return c.send(&Message{ID: 0, Kind: kind, Body: payload})
+}
+
+// NotifySyncEncoded is NotifySync for a pre-encoded frame.
+func (c *ServerConn) NotifySyncEncoded(frame []byte) error {
+	return c.enqueue(outbound{frame: frame})
 }
 
 // Close closes the underlying connection and releases the writer.
@@ -570,16 +643,17 @@ func (c *ServerConn) RTT() time.Duration { return time.Duration(c.rtt.Load()) }
 // Client is a connection to a Server supporting concurrent calls and
 // receiving pushes.
 type Client struct {
-	nc       net.Conn
-	cfg      Config
-	writeMu  sync.Mutex
-	mu       sync.Mutex
-	pending  map[uint64]chan *Message
-	nextID   uint64
-	closed   bool
-	closeCh  chan struct{}
-	lastRecv atomic.Int64 // unix nanos of the last inbound message
-	rtt      atomic.Int64 // nanos, last request-ping round trip
+	nc        net.Conn
+	cfg       Config
+	writeMu   sync.Mutex
+	mu        sync.Mutex
+	pending   map[uint64]chan *Message
+	nextID    uint64
+	closed    bool
+	closeCh   chan struct{}
+	lastRecv  atomic.Int64  // unix nanos of the last inbound message
+	rtt       atomic.Int64  // nanos, last request-ping round trip
+	bytesRead atomic.Uint64 // total inbound bytes (frames + headers)
 	// peerEpoch is the replication epoch the server announced in its hello
 	// echo (0 = none).
 	peerEpoch atomic.Uint64
@@ -646,11 +720,12 @@ func (c *Client) PeerEpoch() uint64 { return c.peerEpoch.Load() }
 
 func (c *Client) readLoop() {
 	idle := c.cfg.idleBound()
+	src := &countingReader{r: c.nc, n: &c.bytesRead}
 	for {
 		if idle > 0 {
 			c.nc.SetReadDeadline(time.Now().Add(idle))
 		}
-		m, err := ReadMessage(c.nc)
+		m, err := ReadMessage(src)
 		if err != nil {
 			c.mu.Lock()
 			c.closed = true
@@ -719,6 +794,24 @@ func (c *Client) heartbeatLoop() {
 // RTT returns the last heartbeat round-trip time (zero until the first
 // ping completes; requires a heartbeat interval).
 func (c *Client) RTT() time.Duration { return time.Duration(c.rtt.Load()) }
+
+// BytesRead returns the total bytes received on this connection, including
+// frame headers (the benchmarks' bytes-on-wire measurement).
+func (c *Client) BytesRead() uint64 { return c.bytesRead.Load() }
+
+// countingReader counts the bytes flowing through an io.Reader.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.n.Add(uint64(n))
+	}
+	return n, err
+}
 
 // write frames one message onto the socket under the write lock, applying
 // the configured write deadline.
