@@ -26,6 +26,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -50,7 +51,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat ping interval; a provider silent for 3x this is declared dead (0 disables)")
 		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-message write deadline and default request timeout (0 disables)")
 		sendQueue  = flag.Int("send-queue", 256, "bounded per-client send queue on the LMR's own server")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; also enables mutex/block profiling; empty disables)")
 		metricsOn  = flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. localhost:6061; shares the pprof mux; empty disables)")
 		mdps       endpointList
 	)
@@ -63,6 +64,10 @@ func main() {
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
+		// Match cmd/mdp: sample mutex contention and blocking so lock waits
+		// in the delivery path are visible in the mutex/block profiles.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(100_000)
 		go func() {
 			log.Printf("lmr: pprof listening on http://%s/debug/pprof/", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {

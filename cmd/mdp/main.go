@@ -41,6 +41,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -68,7 +69,9 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 5*time.Second, "heartbeat ping interval; peers silent for 3x this are disconnected (0 disables)")
 		ioTimeout  = flag.Duration("io-timeout", 10*time.Second, "per-message write deadline on subscriber connections (0 disables)")
 		sendQueue  = flag.Int("send-queue", 256, "bounded per-subscriber send queue; overflow disconnects the subscriber")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; also enables mutex/block profiling; empty disables)")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "triggering shards of the filter engine (1 = serial engine)")
+		noSharding = flag.Bool("no-sharded-triggering", false, "ablation: force the serial triggering path regardless of -shards")
 		metricsOn  = flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. localhost:6060; shares the pprof mux; empty disables)")
 		slowThresh = flag.Duration("slow-threshold", 0, "log publishes slower than this, with the dominating rule groups and statements (0 disables)")
 		replicaOf  = flag.String("replica-of", "", "run as a read replica of the primary MDP at this address (requires -data)")
@@ -108,6 +111,12 @@ func main() {
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
+		// Contended-lock visibility: sample one in 100 mutex contention
+		// events and blocking events of ~100µs and up, so the per-shard
+		// statement locks and the engine lock show up in the mutex/block
+		// profiles (see the README capture recipe).
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(100_000)
 		go func() {
 			log.Printf("mdp: pprof listening on http://%s/debug/pprof/", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
@@ -125,12 +134,14 @@ func main() {
 		log.Fatalf("mdp: parse schema: %v", err)
 	}
 
+	engOpts := mdv.EngineOptions{Shards: *shards, DisableShardedTriggering: *noSharding}
+
 	var prov *mdv.Provider
 	if *dataDir != "" {
 		var stats *mdv.RecoveryStats
 		var err error
 		prov, stats, err = mdv.OpenDurableProviderWithStats(*name, schema, *dataDir,
-			mdv.DurableOptions{Sync: syncPolicy, Replica: *replicaOf != ""})
+			mdv.DurableOptions{Sync: syncPolicy, Replica: *replicaOf != "", EngineOptions: engOpts})
 		if err != nil {
 			log.Fatalf("mdp: open durable store: %v", err)
 		}
@@ -139,7 +150,7 @@ func main() {
 	}
 	if prov == nil && *snapshot != "" {
 		if sf, err := os.Open(*snapshot); err == nil {
-			engine, lerr := mdv.LoadEngine(sf, schema)
+			engine, lerr := mdv.LoadEngineWithOptions(sf, schema, engOpts)
 			sf.Close()
 			if lerr != nil {
 				log.Fatalf("mdp: load snapshot: %v", lerr)
@@ -150,7 +161,7 @@ func main() {
 	}
 	if prov == nil {
 		var err error
-		prov, err = mdv.NewProvider(*name, schema)
+		prov, err = mdv.NewProviderWithOptions(*name, schema, engOpts)
 		if err != nil {
 			log.Fatalf("mdp: %v", err)
 		}
@@ -262,8 +273,8 @@ func main() {
 	if *advAddr != "" {
 		prov.SetAdvertiseAddr(*advAddr)
 	}
-	log.Printf("mdp %q listening on %s (schema: %d classes, role %s, epoch %d)",
-		*name, listenAddr, len(schema.Classes()), prov.Role(), prov.Epoch())
+	log.Printf("mdp %q listening on %s (schema: %d classes, role %s, epoch %d, engine shards %d)",
+		*name, listenAddr, len(schema.Classes()), prov.Role(), prov.Epoch(), prov.Engine().ShardCount())
 
 	if followPrimary != "" {
 		if err := startFollower(followPrimary); err != nil {

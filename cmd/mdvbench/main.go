@@ -38,7 +38,7 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "figure to reproduce: 11|12|13|14|15|ablation|baseline|concurrent|pipeline|replicated|fanout|all")
+	figFlag   = flag.String("fig", "all", "figure to reproduce: 11|12|13|14|15|ablation|baseline|concurrent|pipeline|replicated|fanout|shards|all")
 	scaleFlag = flag.String("scale", "paper", "rule base scale: paper|small")
 	repsFlag  = flag.Int("reps", 1, "repetitions per measurement (median reported)")
 	batchFlag = flag.String("batches", "1,2,5,10,20,50,100,200,500,1000", "comma-separated batch sizes")
@@ -163,6 +163,9 @@ func main() {
 	}
 	if run("fanout") {
 		figureFanout(div, *repsFlag)
+	}
+	if run("shards") {
+		figureShards(div, batches)
 	}
 	if *jsonFlag != "" {
 		writeJSON(*jsonFlag)

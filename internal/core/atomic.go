@@ -227,6 +227,13 @@ func (e *Engine) internTrigger(spec triggerSpec, ctx *internCtx) (int64, error) 
 			return 0, err
 		}
 	}
+	// Mirror the rule into its owning shard's filter table; the canonical
+	// tables above stay authoritative for persistence and the serial path.
+	if e.shards != nil {
+		if err := e.shards.insertTriggerRule(spec, table, id); err != nil {
+			return 0, err
+		}
+	}
 	ctx.interned = append(ctx.interned, id)
 	ctx.created = append(ctx.created, id)
 	if err := e.initializeTrigger(id, spec); err != nil {

@@ -48,6 +48,27 @@ type Options struct {
 	// the pre-coalescing per-subscriber delivery path, kept as the
 	// fan-out ablation.
 	DisableInterestCoalescing bool
+	// Shards partitions the triggering phase of every filter run across
+	// this many independent engine sections keyed by a stable hash of
+	// (class, property), evaluated concurrently and merged in shard order
+	// so the output stays byte-identical to the serial engine. 0 or 1 run
+	// the serial path; cmd/mdp defaults its -shards flag to GOMAXPROCS.
+	Shards int
+	// DisableShardedTriggering forces the serial triggering path regardless
+	// of Shards (ablation of the partition-parallel phase 1).
+	DisableShardedTriggering bool
+}
+
+// effectiveShards resolves the configured shard count to the number of
+// sections the engine actually builds (1 = serial path, no shard state).
+func (o Options) effectiveShards() int {
+	if o.DisableShardedTriggering || o.Shards < 2 {
+		return 1
+	}
+	if o.Shards > maxShards {
+		return maxShards
+	}
+	return o.Shards
 }
 
 // Stats counts engine work, exposed for the performance experiments.
@@ -70,6 +91,12 @@ type Stats struct {
 	GroupedSubscribers int
 	ChangesetsBuilt    int
 	UpsertsBuilt       int
+	// Sharded-triggering counters: filter runs whose phase 1 fanned out
+	// across the per-shard sections, and how many sections those runs
+	// actually executed (shards no atom routed to are skipped). Both stay
+	// zero on a serial engine.
+	ShardedFilterRuns int
+	ShardSectionsRun  int
 }
 
 // Engine is the MDV filter engine of one Metadata Provider.
@@ -106,6 +133,11 @@ type Engine struct {
 	prep  prepared
 	cache stmtCache
 
+	// shards is the partitioned triggering machinery (shard.go); nil when
+	// the engine runs the serial path, which keeps the degenerate case free
+	// of any shard overhead.
+	shards *shardSet
+
 	// obs holds the optional metrics and slow-publish-log hooks; zero value
 	// means fully disabled (one atomic nil load per instrumented site).
 	obs engineObs
@@ -121,16 +153,9 @@ type prepared struct {
 	insFilterData *sql.Stmt
 	clearFilter   *sql.Stmt
 	stmtsOfURI    *sql.Stmt
-	trigANY       *sql.Stmt
-	trigEQ        *sql.Stmt
-	trigEQN       *sql.Stmt
-	trigNE        *sql.Stmt
-	trigNEN       *sql.Stmt
-	trigCON       *sql.Stmt
-	trigLT        *sql.Stmt
-	trigLE        *sql.Stmt
-	trigGT        *sql.Stmt
-	trigGE        *sql.Stmt
+	// trig holds the ten triggering queries in the canonical operator order
+	// of trigOpNames (ANY, EQ, EQN, NE, NEN, CON, LT, LE, GT, GE).
+	trig          [numTrigOps]*sql.Stmt
 	resultHas     *sql.Stmt
 	resultIns     *sql.Stmt
 	resultDel     *sql.Stmt
@@ -152,6 +177,9 @@ func NewEngineWithOptions(schema *rdf.Schema, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e.prepare()
+	if err := e.initShards(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -160,6 +188,10 @@ func (e *Engine) DB() *sql.DB { return e.db }
 
 // Schema returns the engine's metadata schema.
 func (e *Engine) Schema() *rdf.Schema { return e.schema }
+
+// Options returns the options the engine was created with (replicas reuse
+// them when installing a shipped snapshot).
+func (e *Engine) Options() Options { return e.opts }
 
 // Stats returns a consistent copy of the engine's counters. Counters are
 // only mutated under the exclusive lock, so the shared lock guarantees the
@@ -363,56 +395,13 @@ func (e *Engine) prepare() {
 	p.stmtsOfURI = e.db.MustPrepare(
 		`SELECT uri_reference, class, property, value, is_ref FROM Statements WHERE uri_reference = ?`)
 
-	// numCmp renders one numeric triggering comparison. The typed form
-	// compares the parsed num_value columns, which the planner turns into a
-	// point lookup (=) or a prefix + range scan (< <= > >=) on the filter
-	// table's ordered (class, property, num_value) index; the CAST form is
-	// the paper's string-reconverting scan, kept as an ablation.
-	numCmp := func(op string) string {
-		if e.opts.DisableTypedIndexes {
-			return "CAST(fd.value AS FLOAT) " + op + " CAST(fr.value AS FLOAT)"
-		}
-		return "fd.num_value " + op + " fr.num_value"
-	}
-
 	// Triggering-rule determination (paper §3.4, "Determination of Affected
-	// Triggering Rules"): FilterData joined against each filter table.
-	p.trigANY = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesANY fr
-		WHERE fd.property = '` + rdf.SubjectProperty + `' AND fr.class = fd.class`)
-	p.trigEQ = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesEQ fr
-		WHERE fr.class = fd.class AND fr.property = fd.property AND fr.value = fd.value`)
-	p.trigEQN = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesEQN fr
-		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND ` + numCmp("="))
-	p.trigNE = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesNE fr
-		WHERE fr.class = fd.class AND fr.property = fd.property AND fd.value != fr.value`)
-	p.trigNEN = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesNEN fr
-		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND ` + numCmp("!="))
-	p.trigCON = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesCON fr
-		WHERE fr.class = fd.class AND fr.property = fd.property AND fd.value CONTAINS fr.value`)
-	p.trigLT = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesLT fr
-		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND ` + numCmp("<"))
-	p.trigLE = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesLE fr
-		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND ` + numCmp("<="))
-	p.trigGT = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesGT fr
-		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND ` + numCmp(">"))
-	p.trigGE = e.db.MustPrepare(`
-		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, FilterRulesGE fr
-		WHERE fr.class = fd.class AND fr.property = fd.property
-		  AND ` + numCmp(">="))
+	// Triggering Rules"): FilterData joined against each filter table. The
+	// texts come from trigQueryTexts (shard.go) so the per-shard sections
+	// compile exactly the same plans.
+	for i, text := range trigQueryTexts(e.opts.DisableTypedIndexes) {
+		p.trig[i] = e.db.MustPrepare(text)
+	}
 
 	p.resultHas = e.db.MustPrepare(
 		`SELECT rule_id FROM RuleResults WHERE rule_id = ? AND uri_reference = ? LIMIT 1`)

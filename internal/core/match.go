@@ -106,38 +106,26 @@ func (e *Engine) runFilter(atoms []preparedAtom, mode filterMode) (*matchSet, er
 	if _, err := e.prep.clearFilter.Exec(); err != nil {
 		return nil, err
 	}
-	for _, pa := range atoms {
-		a := pa.stmt
-		if _, err := e.prep.insFilterData.Exec(
-			rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
-			rdb.NewText(a.Value), pa.num, rdb.NewBool(a.IsRef)); err != nil {
-			return nil, err
-		}
-	}
 
 	all := newMatchSet()
 	var delta []matchPair
 
-	// Phase 1: affected triggering rules (Figure 9, initial iteration).
+	// Phase 1: affected triggering rules (Figure 9, initial iteration):
+	// load the atoms into the FilterData scratch and join them against the
+	// filter tables — serially on the engine database, or fanned across the
+	// per-shard sections with a deterministic shard-order merge (shard.go).
+	// Matches are collected first and the materialization bookkeeping runs
+	// after: mutating statements must not run inside a streaming query.
 	tTrig := time.Now()
-	trigStmts := []*sql.Stmt{
-		e.prep.trigANY, e.prep.trigEQ, e.prep.trigEQN, e.prep.trigNE, e.prep.trigNEN,
-		e.prep.trigCON, e.prep.trigLT, e.prep.trigLE, e.prep.trigGT, e.prep.trigGE,
-	}
-	trigNames := []string{"ANY", "EQ", "EQN", "NE", "NEN", "CON", "LT", "LE", "GT", "GE"}
-	// Collect matches first, then do the materialization bookkeeping:
-	// mutating statements must not run inside a streaming query.
 	var trigPairs []matchPair
-	for i, st := range trigStmts {
-		t0 := time.Now()
-		err := st.QueryFunc(nil, func(row []rdb.Value) error {
-			trigPairs = append(trigPairs, matchPair{rule: row[0].Int, uri: row[1].Str})
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		e.traceTrig(trigNames[i], time.Since(t0))
+	var err error
+	if e.shards != nil {
+		trigPairs, err = e.collectTriggeringSharded(atoms)
+	} else {
+		trigPairs, err = e.collectTriggeringSerial(atoms)
+	}
+	if err != nil {
+		return nil, err
 	}
 	for _, p := range trigPairs {
 		if !all.add(p.rule, p.uri) {
@@ -180,6 +168,35 @@ func (e *Engine) runFilter(atoms []preparedAtom, mode filterMode) (*matchSet, er
 		return nil, err
 	}
 	return all, nil
+}
+
+// collectTriggeringSerial is the serial phase 1: load every atom into the
+// engine database's FilterData (one batched insert) and run the ten
+// triggering queries in canonical operator order. The scratch stays loaded
+// until runFilter's end-of-run clear, exactly as before sharding existed.
+func (e *Engine) collectTriggeringSerial(atoms []preparedAtom) ([]matchPair, error) {
+	rows := make([][]rdb.Value, len(atoms))
+	for i, pa := range atoms {
+		a := pa.stmt
+		rows[i] = []rdb.Value{rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
+			rdb.NewText(a.Value), pa.num, rdb.NewBool(a.IsRef)}
+	}
+	if _, err := e.prep.insFilterData.ExecBatch(rows); err != nil {
+		return nil, err
+	}
+	var pairs []matchPair
+	for i, st := range e.prep.trig {
+		t0 := time.Now()
+		err := st.QueryFunc(nil, func(row []rdb.Value) error {
+			pairs = append(pairs, matchPair{rule: row[0].Int, uri: row[1].Str})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.traceTrig(trigOpNames[i], time.Since(t0))
+	}
+	return pairs, nil
 }
 
 type matchPair struct {

@@ -46,11 +46,19 @@ func (e *Engine) syncNamedRulesTable() error {
 // schema must be the one the snapshot was created with (the snapshot does
 // not embed it; schemas are shared federation-wide configuration).
 func Load(r io.Reader, schema *rdf.Schema) (*Engine, error) {
+	return LoadWithOptions(r, schema, Options{})
+}
+
+// LoadWithOptions is Load with explicit engine options. Shard state is
+// derived, never persisted: snapshots are identical regardless of the shard
+// configuration of the engine that wrote them, and the loaded engine
+// rebuilds its shard map from the canonical filter tables.
+func LoadWithOptions(r io.Reader, schema *rdf.Schema, opts Options) (*Engine, error) {
 	raw, err := rdb.Load(r)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{db: sql.NewDB(raw), schema: schema, named: map[string]*rules.NormalRule{}}
+	e := &Engine{db: sql.NewDB(raw), schema: schema, opts: opts, named: map[string]*rules.NormalRule{}}
 	// The snapshot must contain the engine's tables.
 	for _, table := range []string{"Statements", "AtomicRules", "Subscriptions"} {
 		if !raw.HasTable(table) {
@@ -103,6 +111,9 @@ func Load(r io.Reader, schema *rdf.Schema) (*Engine, error) {
 			}
 			e.named[name] = normalized[0]
 		}
+	}
+	if err := e.initShards(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"time"
+
+	"mdv/internal/rdb"
+	"mdv/internal/rdb/sql"
+	"mdv/internal/rdf"
+)
+
+// Sharded triggering: the partition-parallel phase 1 of the filter run.
+//
+// Every one of the nine predicate triggering queries equates the filter
+// rule's (class, property) with the FilterData atom's (class, property); the
+// ANY query has no property column but only ever consumes subject atoms
+// (fd.property = rdf.SubjectProperty). (class, property) is therefore an
+// exact join-key partition of the triggering join: hashing atoms and rules
+// by that pair sends every derivable (rule, atom) match to exactly one
+// shard, so evaluating the shards independently and concatenating their
+// candidate sets in shard order reproduces the serial result — the
+// dedup/fixpoint downstream is a set computation, and everything
+// buildPublishSet emits is sorted, so the merged run's output is
+// byte-identical to the serial engine's.
+//
+// Each shard owns a private database holding only its slice of the
+// FilterData scratch and the ten FilterRules tables. A private database
+// means a private statement lock, so shard sections run truly concurrently;
+// the canonical filter tables in the engine database stay authoritative for
+// persistence, snapshots, and the serial ablation. Shards never read engine
+// state, which keeps the lock hierarchy a strict rdb < shard < engine <
+// provider.
+
+// numTrigOps is the number of triggering operators (ANY plus the nine
+// predicate forms of paper §3.3.4).
+const numTrigOps = 10
+
+// maxShards bounds the configured shard count: beyond the point where every
+// core has a section, more shards only add fixed per-shard costs and metric
+// cardinality.
+const maxShards = 64
+
+// trigOpNames are the triggering operators in the engine's canonical
+// evaluation order (the order prepare() builds their queries and runFilter
+// executes them).
+var trigOpNames = [numTrigOps]string{"ANY", "EQ", "EQN", "NE", "NEN", "CON", "LT", "LE", "GT", "GE"}
+
+// trigTableNames are the per-operator filter tables, index-aligned with
+// trigOpNames.
+var trigTableNames = [numTrigOps]string{
+	"FilterRulesANY", "FilterRulesEQ", "FilterRulesEQN", "FilterRulesNE", "FilterRulesNEN",
+	"FilterRulesCON", "FilterRulesLT", "FilterRulesLE", "FilterRulesGT", "FilterRulesGE",
+}
+
+// trigQueryTexts renders the ten triggering queries (paper §3.4,
+// "Determination of Affected Triggering Rules"): FilterData joined against
+// each filter table. Shared by the engine's serial path and the per-shard
+// sections so both compile exactly the same plans. The typed form compares
+// the parsed num_value columns through the ordered (class, property,
+// num_value) indexes; the CAST form is the paper's string-reconverting scan,
+// kept as an ablation.
+func trigQueryTexts(disableTyped bool) [numTrigOps]string {
+	numCmp := func(op string) string {
+		if disableTyped {
+			return "CAST(fd.value AS FLOAT) " + op + " CAST(fr.value AS FLOAT)"
+		}
+		return "fd.num_value " + op + " fr.num_value"
+	}
+	sel := func(table, cond string) string {
+		return `
+		SELECT fr.rule_id, fd.uri_reference FROM FilterData fd, ` + table + ` fr
+		WHERE ` + cond
+	}
+	cp := "fr.class = fd.class AND fr.property = fd.property"
+	return [numTrigOps]string{
+		sel("FilterRulesANY", "fd.property = '"+rdf.SubjectProperty+"' AND fr.class = fd.class"),
+		sel("FilterRulesEQ", cp+" AND fr.value = fd.value"),
+		sel("FilterRulesEQN", cp+" AND "+numCmp("=")),
+		sel("FilterRulesNE", cp+" AND fd.value != fr.value"),
+		sel("FilterRulesNEN", cp+" AND "+numCmp("!=")),
+		sel("FilterRulesCON", cp+" AND fd.value CONTAINS fr.value"),
+		sel("FilterRulesLT", cp+" AND "+numCmp("<")),
+		sel("FilterRulesLE", cp+" AND "+numCmp("<=")),
+		sel("FilterRulesGT", cp+" AND "+numCmp(">")),
+		sel("FilterRulesGE", cp+" AND "+numCmp(">=")),
+	}
+}
+
+// engineShard is one partition of the triggering phase: a private database
+// with this shard's slice of the scratch and filter tables and its own
+// prepared statement set.
+type engineShard struct {
+	db            *sql.DB
+	insFilterData *sql.Stmt
+	clearFilter   *sql.Stmt
+	trig          [numTrigOps]*sql.Stmt
+}
+
+// shardSet is the engine's partitioned triggering machinery; nil on a
+// serial engine.
+type shardSet struct {
+	shards []*engineShard
+}
+
+// shardDDL is the slice of the engine schema a shard owns: the FilterData
+// scratch and the ten FilterRules tables with their indexes, filtered out of
+// the canonical ddl so the two schemas cannot drift.
+func shardDDL() []string {
+	var out []string
+	for _, stmt := range ddl {
+		if strings.Contains(stmt, "FilterData") || strings.Contains(stmt, "FilterRules") {
+			out = append(out, stmt)
+		}
+	}
+	return out
+}
+
+// newShardSet bootstraps n shard databases and prepares their statements.
+func newShardSet(n int, disableTyped bool) (*shardSet, error) {
+	texts := trigQueryTexts(disableTyped)
+	s := &shardSet{shards: make([]*engineShard, n)}
+	for i := range s.shards {
+		db := sql.Open()
+		for _, stmt := range shardDDL() {
+			if _, err := db.Exec(stmt); err != nil {
+				return nil, fmt.Errorf("core: shard bootstrap: %w", err)
+			}
+		}
+		sh := &engineShard{db: db}
+		sh.insFilterData = db.MustPrepare(
+			`INSERT INTO FilterData (uri_reference, class, property, value, num_value, is_ref) VALUES (?, ?, ?, ?, ?, ?)`)
+		sh.clearFilter = db.MustPrepare(`DELETE FROM FilterData`)
+		for j, text := range texts {
+			sh.trig[j] = db.MustPrepare(text)
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// shardIndexFor routes a (class, property) pair to its shard: FNV-1a over
+// class, a zero separator, and property. The hash is stable across runs, so
+// a snapshot load rebuilds the same shard map.
+func shardIndexFor(n int, class, property string) int {
+	h := fnv.New32a()
+	h.Write([]byte(class))
+	h.Write([]byte{0})
+	h.Write([]byte(property))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ruleShardProperty is the routing property of a triggering rule: ANY rules
+// carry no property and only ever match subject atoms, so they are routed
+// as (class, rdf.SubjectProperty) — the key of the atoms that trigger them.
+func ruleShardProperty(spec triggerSpec) string {
+	if spec.any {
+		return rdf.SubjectProperty
+	}
+	return spec.property
+}
+
+// insertTriggerRule mirrors a freshly interned triggering rule into its
+// owning shard's filter table. Callers hold the engine lock exclusively
+// (subscription changes never race a filter run).
+func (s *shardSet) insertTriggerRule(spec triggerSpec, table string, id int64) error {
+	sh := s.shards[shardIndexFor(len(s.shards), spec.class, ruleShardProperty(spec))]
+	switch {
+	case spec.any:
+		_, err := sh.db.Exec(`INSERT INTO FilterRulesANY (rule_id, class) VALUES (?, ?)`,
+			rdb.NewInt(id), rdb.NewText(spec.class))
+		return err
+	case numericFilterTable(table):
+		_, err := sh.db.Exec(
+			`INSERT INTO `+table+` (rule_id, class, property, value, num_value) VALUES (?, ?, ?, ?, ?)`,
+			rdb.NewInt(id), rdb.NewText(spec.class), rdb.NewText(spec.property),
+			rdb.NewText(spec.value.Lexical()), numValue(spec.value.Lexical()))
+		return err
+	default:
+		_, err := sh.db.Exec(
+			`INSERT INTO `+table+` (rule_id, class, property, value) VALUES (?, ?, ?, ?)`,
+			rdb.NewInt(id), rdb.NewText(spec.class), rdb.NewText(spec.property),
+			rdb.NewText(spec.value.Lexical()))
+		return err
+	}
+}
+
+// deleteRule removes a swept triggering rule from every shard. The
+// unsubscribe sweep does not know which operator table or shard holds the
+// rule, and it is a cold path, so probing all of them is fine.
+func (s *shardSet) deleteRule(id int64) error {
+	for _, sh := range s.shards {
+		for _, table := range trigTableNames {
+			if _, err := sh.db.Exec(`DELETE FROM `+table+` WHERE rule_id = ?`, rdb.NewInt(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// initShards builds the per-shard triggering sections when the options ask
+// for them, mirroring any canonical filter rules already present (snapshot
+// loads). Serial engines leave e.shards nil — the zero-cost degenerate path.
+func (e *Engine) initShards() error {
+	n := e.opts.effectiveShards()
+	if n <= 1 {
+		return nil
+	}
+	s, err := newShardSet(n, e.opts.DisableTypedIndexes)
+	if err != nil {
+		return err
+	}
+	e.shards = s
+	return e.rebuildShardRules()
+}
+
+// rebuildShardRules repopulates every shard's filter tables from the
+// canonical tables (after a snapshot load).
+func (e *Engine) rebuildShardRules() error {
+	n := len(e.shards.shards)
+	for ti, table := range trigTableNames {
+		cols := "rule_id, class, property, value"
+		switch {
+		case table == "FilterRulesANY":
+			cols = "rule_id, class"
+		case numericFilterTable(table):
+			cols += ", num_value"
+		}
+		rows, err := e.db.Query(`SELECT ` + cols + ` FROM ` + table)
+		if err != nil {
+			return err
+		}
+		ins := `INSERT INTO ` + table + ` (` + cols + `) VALUES (?` +
+			strings.Repeat(", ?", strings.Count(cols, ",")) + `)`
+		for _, r := range rows.Data {
+			prop := rdf.SubjectProperty // ANY rules route by the subject key
+			if ti != 0 {
+				prop = r[2].Str
+			}
+			sh := e.shards.shards[shardIndexFor(n, r[1].Str, prop)]
+			if _, err := sh.db.Exec(ins, r...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ShardCount reports the engine's triggering parallelism (1 = serial path).
+func (e *Engine) ShardCount() int {
+	if e.shards == nil {
+		return 1
+	}
+	return len(e.shards.shards)
+}
+
+// shardRun is the output of one shard's triggering section.
+type shardRun struct {
+	pairs []matchPair
+	trig  [numTrigOps]time.Duration
+	wait  time.Duration // dispatch-to-start delay (core/lock queueing)
+	busy  time.Duration // wall time of the section itself
+	atoms int
+	err   error
+}
+
+// runTriggering is one shard's section: load the routed atoms into the
+// shard's FilterData, run the ten triggering queries in canonical order,
+// and clear the scratch. It touches only shard-local state plus the
+// caller-owned run record — never the engine.
+func (sh *engineShard) runTriggering(part []preparedAtom, run *shardRun) error {
+	rows := make([][]rdb.Value, len(part))
+	for i, pa := range part {
+		a := pa.stmt
+		rows[i] = []rdb.Value{rdb.NewText(a.URIRef), rdb.NewText(a.Class), rdb.NewText(a.Property),
+			rdb.NewText(a.Value), pa.num, rdb.NewBool(a.IsRef)}
+	}
+	if _, err := sh.insFilterData.ExecBatch(rows); err != nil {
+		return err
+	}
+	for j, st := range sh.trig {
+		tq := time.Now()
+		err := st.QueryFunc(nil, func(row []rdb.Value) error {
+			run.pairs = append(run.pairs, matchPair{rule: row[0].Int, uri: row[1].Str})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		run.trig[j] = time.Since(tq)
+	}
+	_, err := sh.clearFilter.Exec()
+	return err
+}
+
+// collectTriggeringSharded partitions the prepared atoms by shard, runs
+// every non-empty shard section concurrently, and merges the shard-local
+// candidate sets in shard order. The merge is deterministic: shard order is
+// fixed by the hash, per-shard statement order is the canonical operator
+// order, and per-statement row order is the plan's scan order — and the
+// downstream dedup/fixpoint is order-insensitive anyway.
+func (e *Engine) collectTriggeringSharded(atoms []preparedAtom) ([]matchPair, error) {
+	n := len(e.shards.shards)
+	parts := make([][]preparedAtom, n)
+	for _, pa := range atoms {
+		i := shardIndexFor(n, pa.stmt.Class, pa.stmt.Property)
+		parts[i] = append(parts[i], pa)
+	}
+	runs := make([]shardRun, n)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i := range parts {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run := &runs[i]
+			start := time.Now()
+			run.wait = start.Sub(t0)
+			run.atoms = len(parts[i])
+			run.err = e.shards.shards[i].runTriggering(parts[i], run)
+			run.busy = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+
+	// Merge on the coordinator, in shard order. Stats, metrics, and the
+	// slow-publish trace are only touched here — never inside the workers —
+	// so the engine's single-writer counter discipline holds.
+	var pairs []matchPair
+	sections := 0
+	for i := range runs {
+		run := &runs[i]
+		if run.atoms == 0 {
+			continue
+		}
+		if run.err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, run.err)
+		}
+		sections++
+		pairs = append(pairs, run.pairs...)
+		for j, d := range run.trig {
+			if d > 0 {
+				e.traceTrig(trigOpNames[j], d)
+			}
+		}
+	}
+	e.stats.ShardedFilterRuns++
+	e.stats.ShardSectionsRun += sections
+	e.observeShards(runs)
+	return pairs, nil
+}

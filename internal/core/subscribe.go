@@ -210,10 +210,13 @@ func (e *Engine) releaseInterned(interned []int64) error {
 			return err
 		}
 		if kind == kindTrigger {
-			for _, table := range []string{"FilterRulesANY", "FilterRulesEQ", "FilterRulesEQN",
-				"FilterRulesNE", "FilterRulesNEN", "FilterRulesCON", "FilterRulesLT",
-				"FilterRulesLE", "FilterRulesGT", "FilterRulesGE"} {
+			for _, table := range trigTableNames {
 				if _, err := e.db.Exec(`DELETE FROM `+table+` WHERE rule_id = ?`, rdb.NewInt(id)); err != nil {
+					return err
+				}
+			}
+			if e.shards != nil {
+				if err := e.shards.deleteRule(id); err != nil {
 					return err
 				}
 			}

@@ -243,7 +243,7 @@ func OpenDurableWithStats(name string, schema *rdf.Schema, dir string, opts Dura
 	var snapEpoch uint64
 	snapPath := filepath.Join(dir, snapshotFile)
 	if f, err := os.Open(snapPath); err == nil {
-		snapSeq, epoch, eng, lerr := readSnapshot(f, schema)
+		snapSeq, epoch, eng, lerr := readSnapshot(f, schema, opts.EngineOptions)
 		f.Close()
 		if lerr != nil {
 			return nil, nil, fmt.Errorf("provider: load snapshot: %w", lerr)
@@ -825,8 +825,10 @@ func writeSnapshot(w io.Writer, seq, epoch uint64, engine *core.Engine) error {
 
 // readSnapshot parses a snapshot written by writeSnapshotFile, either
 // format version. V1 snapshots (pre-epoch) report epoch 0; the caller
-// treats that as "epoch unknown" and keeps its default.
-func readSnapshot(r io.Reader, schema *rdf.Schema) (uint64, uint64, *core.Engine, error) {
+// treats that as "epoch unknown" and keeps its default. The engine options
+// configure the restored engine (snapshots carry no shard or ablation
+// state; shard maps are rebuilt from the canonical tables).
+func readSnapshot(r io.Reader, schema *rdf.Schema, opts core.Options) (uint64, uint64, *core.Engine, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -847,7 +849,7 @@ func readSnapshot(r io.Reader, schema *rdf.Schema) (uint64, uint64, *core.Engine
 		}
 		epoch = binary.BigEndian.Uint64(hdr[:])
 	}
-	engine, err := core.Load(br, schema)
+	engine, err := core.LoadWithOptions(br, schema, opts)
 	if err != nil {
 		return 0, 0, nil, err
 	}

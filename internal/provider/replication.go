@@ -385,7 +385,7 @@ func (p *Provider) InstallSnapshot(data []byte) (uint64, error) {
 	if !p.replica.Load() {
 		return 0, ErrNotReplica
 	}
-	snapSeq, snapEpoch, eng, err := readSnapshot(bytes.NewReader(data), p.Engine().Schema())
+	snapSeq, snapEpoch, eng, err := readSnapshot(bytes.NewReader(data), p.Engine().Schema(), p.Engine().Options())
 	if err != nil {
 		return 0, fmt.Errorf("provider: install snapshot: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // snapshot is the on-disk representation of a database. Row IDs are not
@@ -77,8 +78,15 @@ func (db *Database) cloneQuiesced() (*snapshot, error) {
 				ts.Rows = append(ts.Rows, row.Clone())
 			}
 		}
-		for _, ix := range t.indexes {
-			ts.Indexes = append(ts.Indexes, ix.Def)
+		// Indexes live in a map; emit them sorted so two databases with
+		// identical content produce byte-identical snapshots.
+		ixNames := make([]string, 0, len(t.indexes))
+		for name := range t.indexes {
+			ixNames = append(ixNames, name)
+		}
+		sort.Strings(ixNames)
+		for _, name := range ixNames {
+			ts.Indexes = append(ts.Indexes, t.indexes[name].Def)
 		}
 		snap.Tables = append(snap.Tables, ts)
 	}

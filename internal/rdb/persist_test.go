@@ -196,3 +196,27 @@ func TestSaveQuiescesWriters(t *testing.T) {
 	close(stop)
 	<-done
 }
+
+// TestSaveDeterministic: two databases with identical content — and the
+// same database saved twice — must serialize to identical bytes. Indexes
+// live in a map, so the writer must emit them in sorted order; unsorted
+// emission made snapshots of identical databases differ at random.
+func TestSaveDeterministic(t *testing.T) {
+	a, b := populated(t), populated(t)
+	var ba, bb, ba2 bytes.Buffer
+	if err := a.Save(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save(&ba2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), ba2.Bytes()) {
+		t.Error("saving the same database twice produced different bytes")
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("identical databases produced different snapshot bytes")
+	}
+}

@@ -148,6 +148,13 @@ func LoadEngine(r io.Reader, schema *Schema) (*Engine, error) {
 	return core.Load(r, schema)
 }
 
+// LoadEngineWithOptions is LoadEngine with explicit engine options
+// (snapshots carry no shard or ablation configuration; the loaded engine
+// rebuilds derived state such as its shard map from the canonical tables).
+func LoadEngineWithOptions(r io.Reader, schema *Schema, opts EngineOptions) (*Engine, error) {
+	return core.LoadWithOptions(r, schema, opts)
+}
+
 // NewProviderFromEngine wraps a restored engine as a provider.
 func NewProviderFromEngine(name string, engine *Engine) *Provider {
 	return provider.NewFromEngine(name, engine)
