@@ -72,6 +72,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; also enables mutex/block profiling; empty disables)")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "triggering shards of the filter engine (1 = serial engine)")
 		noSharding = flag.Bool("no-sharded-triggering", false, "ablation: force the serial triggering path regardless of -shards")
+		noTextIdx  = flag.Bool("no-text-index", false, "ablation: per-rule CONTAINS scans instead of the contains-rule substring index")
 		metricsOn  = flag.String("metrics", "", "serve Prometheus /metrics on this address (e.g. localhost:6060; shares the pprof mux; empty disables)")
 		slowThresh = flag.Duration("slow-threshold", 0, "log publishes slower than this, with the dominating rule groups and statements (0 disables)")
 		replicaOf  = flag.String("replica-of", "", "run as a read replica of the primary MDP at this address (requires -data)")
@@ -134,7 +135,7 @@ func main() {
 		log.Fatalf("mdp: parse schema: %v", err)
 	}
 
-	engOpts := mdv.EngineOptions{Shards: *shards, DisableShardedTriggering: *noSharding}
+	engOpts := mdv.EngineOptions{Shards: *shards, DisableShardedTriggering: *noSharding, DisableTextIndex: *noTextIdx}
 
 	var prov *mdv.Provider
 	if *dataDir != "" {

@@ -38,7 +38,7 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "figure to reproduce: 11|12|13|14|15|ablation|baseline|concurrent|pipeline|replicated|fanout|shards|all")
+	figFlag   = flag.String("fig", "all", "figure to reproduce: 11|12|13|14|15|ablation|baseline|concurrent|pipeline|replicated|fanout|shards|text|all")
 	scaleFlag = flag.String("scale", "paper", "rule base scale: paper|small")
 	repsFlag  = flag.Int("reps", 1, "repetitions per measurement (median reported)")
 	batchFlag = flag.String("batches", "1,2,5,10,20,50,100,200,500,1000", "comma-separated batch sizes")
@@ -166,6 +166,20 @@ func main() {
 	}
 	if run("shards") {
 		figureShards(div, batches)
+	}
+	if run("text") {
+		// Contains-rule substring index (textindex.go) vs. the per-rule
+		// CONTAINS scan ablation, mirroring the typed-vs-CAST comparison.
+		var cfgs []config
+		for _, rb := range []int{100 / div, 1000 / div, 10000 / div} {
+			gen := workload.Generator{Type: workload.TEXT, RuleBase: rb}
+			cfgs = append(cfgs,
+				config{label: fmt.Sprintf("idx rules=%-6d", rb), gen: gen},
+				config{label: fmt.Sprintf("scan rules=%-5d", rb), gen: gen,
+					opts: core.Options{DisableTextIndex: true}})
+		}
+		figure("text", "TEXT — contains rules: substring index vs. per-rule CONTAINS scans", cfgs,
+			capBatches(batches, 100))
 	}
 	if *jsonFlag != "" {
 		writeJSON(*jsonFlag)

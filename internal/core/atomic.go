@@ -234,6 +234,11 @@ func (e *Engine) internTrigger(spec triggerSpec, ctx *internCtx) (int64, error) 
 			return 0, err
 		}
 	}
+	// Contains rules additionally enter the substring index (derived state,
+	// same authority rule as the shard mirror).
+	if e.text != nil && table == "FilterRulesCON" {
+		e.text.insert(spec.class, spec.property, spec.value.Lexical(), id)
+	}
 	ctx.interned = append(ctx.interned, id)
 	ctx.created = append(ctx.created, id)
 	if err := e.initializeTrigger(id, spec); err != nil {

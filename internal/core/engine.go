@@ -43,6 +43,12 @@ type Options struct {
 	// (§3.3.4), instead of comparing the typed num_value columns through
 	// their ordered indexes. Ablation of the sub-linear triggering path.
 	DisableTypedIndexes bool
+	// DisableTextIndex makes `contains` triggering join every document atom
+	// against its whole FilterRulesCON (class, property) cohort with per-rule
+	// strings.Contains probes, as the paper's prototype does, instead of one
+	// Aho-Corasick pass over the rule constants (textindex.go). Ablation of
+	// the sub-linear text triggering path.
+	DisableTextIndex bool
 	// DisableInterestCoalescing builds one changeset per subscriber instead
 	// of one per interest group, with per-group URI caches disabled —
 	// the pre-coalescing per-subscriber delivery path, kept as the
@@ -138,6 +144,11 @@ type Engine struct {
 	// of any shard overhead.
 	shards *shardSet
 
+	// text is the contains-rule substring index (textindex.go); nil under
+	// Options.DisableTextIndex, which leaves the CON triggering query in
+	// charge. Derived state: FilterRulesCON stays authoritative.
+	text *textIndex
+
 	// obs holds the optional metrics and slow-publish-log hooks; zero value
 	// means fully disabled (one atomic nil load per instrumented site).
 	obs engineObs
@@ -178,6 +189,9 @@ func NewEngineWithOptions(schema *rdf.Schema, opts Options) (*Engine, error) {
 	}
 	e.prepare()
 	if err := e.initShards(); err != nil {
+		return nil, err
+	}
+	if err := e.initTextIndex(); err != nil {
 		return nil, err
 	}
 	return e, nil

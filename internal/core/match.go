@@ -187,6 +187,13 @@ func (e *Engine) collectTriggeringSerial(atoms []preparedAtom) ([]matchPair, err
 	var pairs []matchPair
 	for i, st := range e.prep.trig {
 		t0 := time.Now()
+		// The CON slot runs through the substring index when enabled: one
+		// automaton pass per atom instead of the per-rule CONTAINS join.
+		if i == conTrigIdx && e.text != nil {
+			pairs = e.text.collect(atoms, pairs)
+			e.traceTrig(trigOpNames[i], time.Since(t0))
+			continue
+		}
 		err := st.QueryFunc(nil, func(row []rdb.Value) error {
 			pairs = append(pairs, matchPair{rule: row[0].Int, uri: row[1].Str})
 			return nil

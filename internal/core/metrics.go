@@ -84,6 +84,32 @@ func (e *Engine) EnableMetrics(reg *metrics.Registry) {
 			"per-run max/mean shard triggering time across all shards (1.0 = perfectly balanced)",
 			shardRatioBuckets)
 	}
+	if e.text != nil {
+		reg.GaugeFunc("mdv_text_index_rules",
+			"live contains-rule constants in the substring index", func() float64 {
+				e.mu.RLock()
+				defer e.mu.RUnlock()
+				return float64(e.text.ruleCount())
+			})
+		reg.GaugeFunc("mdv_text_index_nodes",
+			"states across the compiled per-cohort Aho-Corasick automata "+
+				"(cohorts mutated since their last scan report 0 until recompiled)",
+			func() float64 {
+				e.mu.RLock()
+				defer e.mu.RUnlock()
+				return float64(e.text.nodeCount())
+			})
+		reg.SampleFunc("mdv_text_index_scans_total",
+			"atom values scanned through a cohort automaton",
+			metrics.TypeCounter, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(e.text.scans.Load())}}
+			})
+		reg.SampleFunc("mdv_text_index_matches_total",
+			"candidate (rule, atom) pairs emitted by the substring index",
+			metrics.TypeCounter, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(e.text.matches.Load())}}
+			})
+	}
 	reg.SampleFunc("mdv_engine_stat",
 		"engine work counters (core.Stats), by counter name",
 		metrics.TypeCounter, func() []metrics.Sample {

@@ -115,5 +115,10 @@ func LoadWithOptions(r io.Reader, schema *rdf.Schema, opts Options) (*Engine, er
 	if err := e.initShards(); err != nil {
 		return nil, err
 	}
+	// The text index is derived state, never serialized: rebuild it from the
+	// canonical FilterRulesCON rows, like the shard mirrors above.
+	if err := e.initTextIndex(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }

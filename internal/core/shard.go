@@ -270,8 +270,11 @@ type shardRun struct {
 // runTriggering is one shard's section: load the routed atoms into the
 // shard's FilterData, run the ten triggering queries in canonical order,
 // and clear the scratch. It touches only shard-local state plus the
-// caller-owned run record — never the engine.
-func (sh *engineShard) runTriggering(part []preparedAtom, run *shardRun) error {
+// caller-owned run record — never the engine. text is the engine's shared
+// contains-rule index (nil under the ablation): reading it from a worker is
+// safe because an atom's cohort key is its (class, property) routing key,
+// so this shard's part only ever touches cohorts no other worker sees.
+func (sh *engineShard) runTriggering(text *textIndex, part []preparedAtom, run *shardRun) error {
 	rows := make([][]rdb.Value, len(part))
 	for i, pa := range part {
 		a := pa.stmt
@@ -283,6 +286,11 @@ func (sh *engineShard) runTriggering(part []preparedAtom, run *shardRun) error {
 	}
 	for j, st := range sh.trig {
 		tq := time.Now()
+		if j == conTrigIdx && text != nil {
+			run.pairs = text.collect(part, run.pairs)
+			run.trig[j] = time.Since(tq)
+			continue
+		}
 		err := st.QueryFunc(nil, func(row []rdb.Value) error {
 			run.pairs = append(run.pairs, matchPair{rule: row[0].Int, uri: row[1].Str})
 			return nil
@@ -323,7 +331,7 @@ func (e *Engine) collectTriggeringSharded(atoms []preparedAtom) ([]matchPair, er
 			start := time.Now()
 			run.wait = start.Sub(t0)
 			run.atoms = len(parts[i])
-			run.err = e.shards.shards[i].runTriggering(parts[i], run)
+			run.err = e.shards.shards[i].runTriggering(e.text, parts[i], run)
 			run.busy = time.Since(start)
 		}(i)
 	}

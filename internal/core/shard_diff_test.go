@@ -23,7 +23,7 @@ import (
 // test is its enforcement.
 
 var (
-	shardDiffHosts  = []string{"pirates.uni-passau.de", "mdv.uni-passau.de", "a.example.org", "007"}
+	shardDiffHosts  = []string{"pirates.uni-passau.de", "mdv.uni-passau.de", "a.example.org", "007", "grün.uni-passau.de", "PASSAU.DE"}
 	shardDiffPorts  = []string{"80", "5874", "007", "0", "-3", "65535"}
 	shardDiffInts   = []string{"0", "7", "007", "64", "92", "600", "1024"}
 	shardDiffThemes = []string{"astronomy", "x-ray", "abc"}
@@ -35,10 +35,14 @@ func shardDiffOp(rng *rand.Rand) string {
 }
 
 // shardDiffRule draws one rule over the paper schema, covering all ten
-// operator tables plus the join, path, and OR-split shapes.
+// operator tables plus the join, path, and OR-split shapes. The contains
+// cases deliberately include the empty constant (matches everything),
+// multi-byte UTF-8 constants, and the bare-variable form `c contains 'x'`
+// (matches the URIref; routed as (class, rdf.SubjectProperty) like the
+// subject atoms that trigger it) — the text-index edge semantics.
 func shardDiffRule(rng *rand.Rand) string {
 	op := shardDiffOp(rng)
-	switch rng.Intn(12) {
+	switch rng.Intn(13) {
 	case 0: // ANY (class-only)
 		return `search CycleProvider c register c`
 	case 1: // OID point rule
@@ -51,7 +55,10 @@ func shardDiffRule(rng *rand.Rand) string {
 			shardDiffHosts[rng.Intn(len(shardDiffHosts))])
 	case 4: // contains
 		return fmt.Sprintf(`search CycleProvider c register c where c.serverHost contains '%s'`,
-			[]string{"passau", "00", "a", "example"}[rng.Intn(4)])
+			[]string{"passau", "00", "a", "example", "", "ü", "grün", "PASSAU"}[rng.Intn(8)])
+	case 12: // bare-variable contains (matches the URIref)
+		return fmt.Sprintf(`search CycleProvider c register c where c contains '%s'`,
+			[]string{"doc", "rdf#host", "", "7"}[rng.Intn(4)])
 	case 5: // numeric comparison on an integer property
 		return fmt.Sprintf(`search CycleProvider c register c where c.serverPort %s %d`, op, rng.Intn(6000))
 	case 6: // numeric comparison on the other class

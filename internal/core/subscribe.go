@@ -210,6 +210,18 @@ func (e *Engine) releaseInterned(interned []int64) error {
 			return err
 		}
 		if kind == kindTrigger {
+			// Release the rule's substring-index entry before its canonical
+			// CON row (the row carries the cohort key the removal needs).
+			if e.text != nil {
+				crows, err := e.db.Query(
+					`SELECT class, property, value FROM FilterRulesCON WHERE rule_id = ?`, rdb.NewInt(id))
+				if err != nil {
+					return err
+				}
+				for _, cr := range crows.Data {
+					e.text.remove(cr[0].Str, cr[1].Str, cr[2].Str, id)
+				}
+			}
 			for _, table := range trigTableNames {
 				if _, err := e.db.Exec(`DELETE FROM `+table+` WHERE rule_id = ?`, rdb.NewInt(id)); err != nil {
 					return err

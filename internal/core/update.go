@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -402,6 +403,18 @@ func (e *Engine) getResourceLocked(uriRef string) (*rdf.Resource, bool, error) {
 			res.Add(prop, rdf.Lit(value))
 		}
 	}
+	// The statement index orders rows by (uri, property), but values of a
+	// set-valued property (equal keys) surface in physical row order, which
+	// free-list reuse makes history-dependent: the same resource could render
+	// its themes differently on a long-lived engine and a reloaded snapshot.
+	// Sort equal-name runs so changesets are deterministic functions of
+	// engine content.
+	sort.SliceStable(res.Props, func(a, b int) bool {
+		if res.Props[a].Name != res.Props[b].Name {
+			return res.Props[a].Name < res.Props[b].Name
+		}
+		return res.Props[a].Value.String() < res.Props[b].Value.String()
+	})
 	return res, true, nil
 }
 
@@ -437,6 +450,15 @@ func (e *Engine) StoredDocument(uri string) (*rdf.Document, error) {
 // Browse lists resources of a class with a simple substring filter over
 // their serialized properties — the MDP-side browsing facility real users
 // use to select metadata for caching (paper §2.2, Figure 2).
+//
+// Contract (deliberately broader than a rule-level `contains`, which tests
+// exactly one (class, property) value): a resource matches when the filter
+// occurs byte-wise and case-sensitively — the same strings.Contains
+// semantics as the SQL CONTAINS operator and the triggering text index — in
+// its URI reference OR in any property value's lexical form (for reference
+// properties, the target URI). An empty filter matches every resource of
+// the class. Browse never consults the filter tables or the text index:
+// it is a read-only catalog scan, not a subscription evaluation.
 func (e *Engine) Browse(class, contains string) ([]*rdf.Resource, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

@@ -11,9 +11,12 @@
 //	      where c.serverHost contains 'uni-passau.de'
 //	        and c.serverInformation.cpu = 600
 //	        and c.serverInformation.memory = INT
+//	TEXT: search CycleProvider c register c where c.serverHost contains 'kNNNNNNq'
 //
-// OID, PATH, and JOIN workloads pair documents and rules one-to-one: the
-// i-th document is matched by exactly the i-th rule. COMP rules are
+// OID, PATH, JOIN, and TEXT workloads pair documents and rules one-to-one:
+// the i-th document is matched by exactly the i-th rule (TEXT embeds a
+// fixed-width needle k<i, 6 digits>q in the i-th document's serverHost, so
+// no needle is a substring of another document's host). COMP rules are
 // generated so that every document matches a fixed percentage of the rule
 // base.
 package workload
@@ -37,6 +40,9 @@ const (
 	// JOIN rules combine a contains predicate, a shared comparison, and a
 	// discriminating comparison over the referenced resource.
 	JOIN
+	// TEXT rules are pure contains predicates with per-rule needles,
+	// exercising the substring-index triggering path.
+	TEXT
 )
 
 // String returns the paper's name for the rule type.
@@ -50,6 +56,8 @@ func (t RuleType) String() string {
 		return "PATH"
 	case JOIN:
 		return "JOIN"
+	case TEXT:
+		return "TEXT"
 	default:
 		return fmt.Sprintf("RuleType(%d)", int(t))
 	}
@@ -98,6 +106,9 @@ func (g Generator) Rule(i int) string {
 		return fmt.Sprintf(
 			`search CycleProvider c register c where c.serverHost contains 'uni-passau.de' `+
 				`and c.serverInformation.cpu = 600 and c.serverInformation.memory = %d`, i)
+	case TEXT:
+		return fmt.Sprintf(
+			`search CycleProvider c register c where c.serverHost contains '%s'`, textNeedle(i))
 	default:
 		panic("workload: unknown rule type")
 	}
@@ -123,7 +134,7 @@ func (g Generator) Rules() []string {
 func (g Generator) Document(i int) *rdf.Document {
 	doc := rdf.NewDocument(fmt.Sprintf("doc%d.rdf", i))
 	host := doc.NewResource("host", "CycleProvider")
-	host.Add("serverHost", rdf.Lit(fmt.Sprintf("host%d.uni-passau.de", i)))
+	host.Add("serverHost", rdf.Lit(g.serverHost(i)))
 	host.Add("serverPort", rdf.Lit("5874"))
 	host.Add("synthValue", rdf.Lit(fmt.Sprint(g.synthValue())))
 	host.Add("serverInformation", rdf.Ref(doc.QualifyID("info")))
@@ -132,6 +143,19 @@ func (g Generator) Document(i int) *rdf.Document {
 	info.Add("cpu", rdf.Lit("600"))
 	return doc
 }
+
+// serverHost pairs TEXT documents with their rules: document i's host
+// embeds exactly the needle of rule i. The fixed-width k...q framing keeps
+// needles from containing each other.
+func (g Generator) serverHost(i int) string {
+	if g.Type == TEXT {
+		return fmt.Sprintf("host.%s.uni-passau.de", textNeedle(i))
+	}
+	return fmt.Sprintf("host%d.uni-passau.de", i)
+}
+
+// textNeedle is the contains constant of TEXT rule i.
+func textNeedle(i int) string { return fmt.Sprintf("k%06dq", i) }
 
 // synthValue makes a document match MatchPercent of a COMP rule base:
 // rule i matches iff synthValue > i, so a value of pct*N matches rules
